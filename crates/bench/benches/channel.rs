@@ -1,0 +1,70 @@
+//! Channel throughput: noisy reads generated per second by each simulator
+//! model (the cost of generating one table row's dataset).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dnasim_channel::{
+    DnaSimulatorModel, ErrorModel, KeoliyaModel, NaiveModel, ParametricModel, SimulatorLayer,
+    SpatialDistribution,
+};
+use dnasim_core::rng::seeded;
+use dnasim_core::Strand;
+use dnasim_dataset::{GroundTruthChannel, NanoporeTwinConfig};
+use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
+
+fn learned_model() -> LearnedModel {
+    let mut config = NanoporeTwinConfig::small();
+    config.cluster_count = 40;
+    let twin = config.generate();
+    let mut rng = seeded(11);
+    let stats = ErrorStats::from_dataset(&twin, TieBreak::Random, &mut rng);
+    LearnedModel::from_stats(&stats, 10)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = seeded(1);
+    let reference = Strand::random(110, &mut rng);
+    let learned = learned_model();
+    let mut group = c.benchmark_group("corrupt-110bp");
+    let naive = NaiveModel::with_total_rate(0.059);
+    group.bench_function("naive", |b| {
+        let mut rng = seeded(2);
+        b.iter(|| naive.corrupt(black_box(&reference), &mut rng))
+    });
+    let dnasim = DnaSimulatorModel::nanopore_default();
+    group.bench_function("dnasimulator", |b| {
+        let mut rng = seeded(3);
+        b.iter(|| dnasim.corrupt(black_box(&reference), &mut rng))
+    });
+    for layer in SimulatorLayer::ALL {
+        let model = KeoliyaModel::new(learned.clone(), layer);
+        group.bench_function(format!("keoliya/{layer}"), |b| {
+            let mut rng = seeded(4);
+            b.iter(|| model.corrupt(black_box(&reference), &mut rng))
+        });
+    }
+    let parametric = ParametricModel::new(0.15, SpatialDistribution::AShaped);
+    group.bench_function("parametric-a-shape", |b| {
+        let mut rng = seeded(5);
+        b.iter(|| parametric.corrupt(black_box(&reference), &mut rng))
+    });
+    let twin = GroundTruthChannel::new(0.059, 110);
+    group.bench_function("nanopore-twin", |b| {
+        let mut rng = seeded(6);
+        b.iter(|| twin.corrupt(black_box(&reference), &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(60)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_models
+}
+criterion_main!(benches);

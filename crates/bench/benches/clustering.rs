@@ -1,0 +1,58 @@
+//! Clustering throughput: grouping a shuffled read pool back into
+//! clusters, with and without reference assignment.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dnasim_channel::{ErrorModel, NaiveModel};
+use dnasim_cluster::{GreedyClusterer, QGramSignature};
+use dnasim_core::rng::seeded;
+use dnasim_core::Strand;
+use rand::seq::SliceRandom;
+
+fn pool(references: usize, coverage: usize, seed: u64) -> (Vec<Strand>, Vec<Strand>) {
+    let mut rng = seeded(seed);
+    let refs: Vec<Strand> = (0..references)
+        .map(|_| Strand::random(110, &mut rng))
+        .collect();
+    let model = NaiveModel::with_total_rate(0.059);
+    let mut reads = Vec::new();
+    for r in &refs {
+        for _ in 0..coverage {
+            reads.push(model.corrupt(r, &mut rng));
+        }
+    }
+    reads.shuffle(&mut rng);
+    (refs, reads)
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let (refs, reads) = pool(50, 6, 1);
+    let clusterer = GreedyClusterer::default();
+    c.bench_function("greedy-cluster/300-reads", |b| {
+        b.iter(|| clusterer.cluster(black_box(&reads)).len())
+    });
+    c.bench_function("cluster-vs-references/300-reads", |b| {
+        b.iter(|| {
+            clusterer
+                .cluster_against_references(black_box(&reads), black_box(&refs))
+                .total_reads()
+        })
+    });
+    let strand = &reads[0];
+    c.bench_function("qgram-signature/110bp", |b| {
+        b.iter(|| QGramSignature::new(black_box(strand), 5, 12))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_clustering
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Codec throughput: Reed–Solomon, binary↔DNA transcoding, and strand
+//! layout round trips.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dnasim_codec::{OuterRsCode, ReedSolomon, RotationCodec, StrandLayout, TwoBitCodec, XorParity};
+use dnasim_core::rng::seeded;
+use rand::RngExt;
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let rs = ReedSolomon::new(255, 223).unwrap();
+    let mut rng = seeded(1);
+    let data: Vec<u8> = (0..223).map(|_| rng.random()).collect();
+    let clean = rs.encode(&data);
+    c.bench_function("rs-255-223/encode", |b| {
+        b.iter(|| rs.encode(black_box(&data)))
+    });
+    c.bench_function("rs-255-223/decode-clean", |b| {
+        b.iter(|| {
+            let mut cw = clean.clone();
+            rs.decode(black_box(&mut cw)).unwrap().len()
+        })
+    });
+    c.bench_function("rs-255-223/decode-8-errors", |b| {
+        b.iter(|| {
+            let mut cw = clean.clone();
+            for p in [3usize, 50, 99, 120, 170, 200, 230, 250] {
+                cw[p] ^= 0x5a;
+            }
+            rs.decode(black_box(&mut cw)).unwrap().len()
+        })
+    });
+}
+
+fn bench_transcoding(c: &mut Criterion) {
+    let mut rng = seeded(2);
+    let bytes: Vec<u8> = (0..256).map(|_| rng.random()).collect();
+    let two_bit = TwoBitCodec.encode(&bytes);
+    let rotation = RotationCodec.encode(&bytes);
+    c.bench_function("two-bit/encode-256B", |b| {
+        b.iter(|| TwoBitCodec.encode(black_box(&bytes)))
+    });
+    c.bench_function("two-bit/decode-256B", |b| {
+        b.iter(|| TwoBitCodec.decode(black_box(&two_bit)).unwrap())
+    });
+    c.bench_function("rotation/encode-256B", |b| {
+        b.iter(|| RotationCodec.encode(black_box(&bytes)))
+    });
+    c.bench_function("rotation/decode-256B", |b| {
+        b.iter(|| RotationCodec.decode(black_box(&rotation)).unwrap())
+    });
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let mut rng = seeded(3);
+    let layout = StrandLayout::new(32, 16, &mut rng).unwrap();
+    let data: Vec<u8> = (0..1024).map(|_| rng.random()).collect();
+    let strands = layout.encode_file(&data);
+    c.bench_function("layout/encode-1KiB", |b| {
+        b.iter(|| layout.encode_file(black_box(&data)))
+    });
+    c.bench_function("layout/decode-1KiB", |b| {
+        b.iter(|| layout.decode_file(black_box(&strands)).unwrap().len())
+    });
+    let parity = XorParity::new(8);
+    let chunks: Vec<Vec<u8>> = data.chunks(16).map(<[u8]>::to_vec).collect();
+    c.bench_function("xor-parity/protect-64-chunks", |b| {
+        b.iter(|| parity.protect(black_box(&chunks)).len())
+    });
+}
+
+fn bench_outer_code(c: &mut Criterion) {
+    let mut rng = seeded(4);
+    let payloads: Vec<Vec<u8>> = (0..32)
+        .map(|_| (0..16).map(|_| rng.random()).collect())
+        .collect();
+    let outer = OuterRsCode::new(6, 4).unwrap();
+    let protected = outer.protect(&payloads);
+    c.bench_function("outer-rs-6-4/protect-32", |b| {
+        b.iter(|| outer.protect(black_box(&payloads)).len())
+    });
+    c.bench_function("outer-rs-6-4/recover-2-losses", |b| {
+        b.iter(|| {
+            let mut received: Vec<Option<Vec<u8>>> =
+                protected.iter().cloned().map(Some).collect();
+            received[0] = None;
+            received[1] = None;
+            outer.recover(black_box(&mut received)).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(60)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_reed_solomon, bench_transcoding, bench_layout, bench_outer_code
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks for the similarity metrics: Levenshtein (full and
+//! banded), Hamming, and gestalt pattern matching, across strand lengths.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dnasim_channel::{ErrorModel, NaiveModel};
+use dnasim_core::rng::seeded;
+use dnasim_core::Strand;
+use dnasim_metrics::{
+    gestalt_score, hamming, levenshtein, levenshtein_within, matching_blocks,
+};
+
+fn pair(len: usize, seed: u64) -> (Strand, Strand) {
+    let mut rng = seeded(seed);
+    let reference = Strand::random(len, &mut rng);
+    let read = NaiveModel::with_total_rate(0.059).corrupt(&reference, &mut rng);
+    (reference, read)
+}
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let mut group = c.benchmark_group("levenshtein");
+    for len in [110usize, 220, 440] {
+        let (a, b) = pair(len, 1);
+        group.bench_with_input(BenchmarkId::new("full", len), &len, |bench, _| {
+            bench.iter(|| levenshtein(black_box(a.as_bases()), black_box(b.as_bases())))
+        });
+        group.bench_with_input(BenchmarkId::new("banded-20", len), &len, |bench, _| {
+            bench.iter(|| {
+                levenshtein_within(black_box(a.as_bases()), black_box(b.as_bases()), 20)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let (a, b) = pair(110, 2);
+    c.bench_function("hamming/110", |bench| {
+        bench.iter(|| hamming(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_gestalt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gestalt");
+    for len in [110usize, 220] {
+        let (a, b) = pair(len, 3);
+        group.bench_with_input(BenchmarkId::new("score", len), &len, |bench, _| {
+            bench.iter(|| gestalt_score(black_box(a.as_bases()), black_box(b.as_bases())))
+        });
+        group.bench_with_input(BenchmarkId::new("blocks", len), &len, |bench, _| {
+            bench.iter(|| matching_blocks(black_box(a.as_bases()), black_box(b.as_bases())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(60)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_levenshtein, bench_hamming, bench_gestalt
+}
+criterion_main!(benches);

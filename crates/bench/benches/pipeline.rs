@@ -1,0 +1,64 @@
+//! End-to-end pipeline throughput: the archival round trip, the §3.1
+//! fidelity computation, and primer-addressed random access.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dnasim_core::rng::seeded;
+use dnasim_dataset::NanoporeTwinConfig;
+use dnasim_pipeline::{
+    archive_round_trip, simulator_fidelity, ArchiveConfig, FilePool, PoolConfig,
+};
+
+fn bench_archive(c: &mut Criterion) {
+    let data: Vec<u8> = (0u8..=255).cycle().take(512).collect();
+    c.bench_function("archive-round-trip/512B", |b| {
+        b.iter(|| {
+            let mut rng = seeded(1);
+            archive_round_trip(black_box(&data), &ArchiveConfig::default(), &mut rng)
+                .unwrap()
+                .strands_written
+        })
+    });
+}
+
+fn bench_fidelity(c: &mut Criterion) {
+    let mut config = NanoporeTwinConfig::small();
+    config.cluster_count = 30;
+    let real = config.generate();
+    config.seed ^= 1;
+    let other = config.generate();
+    c.bench_function("fidelity/30-clusters", |b| {
+        b.iter(|| {
+            let mut rng = seeded(2);
+            simulator_fidelity(black_box(&real), black_box(&other), &mut rng).total()
+        })
+    });
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    let mut rng = seeded(3);
+    let mut pool = FilePool::new(PoolConfig::default());
+    pool.store("target", (0u8..120).collect(), &mut rng).unwrap();
+    pool.store("noise", vec![0x5A; 200], &mut rng).unwrap();
+    c.bench_function("file-pool/retrieve-120B", |b| {
+        b.iter(|| {
+            let mut rng = seeded(4);
+            pool.retrieve(black_box("target"), &mut rng).unwrap().len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // End-to-end runs are hundreds of milliseconds each: keep the sample
+    // budget small so the whole suite stays in CI territory.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_archive, bench_fidelity, bench_random_access
+}
+criterion_main!(benches);

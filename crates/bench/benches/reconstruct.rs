@@ -1,0 +1,76 @@
+//! Reconstruction throughput: clusters reconstructed per second by each
+//! algorithm at the paper's evaluation coverages.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dnasim_channel::{ErrorModel, NaiveModel};
+use dnasim_core::rng::seeded;
+use dnasim_core::Strand;
+use dnasim_reconstruct::{
+    BmaLookahead, DividerBma, Iterative, MajorityVote, MsaReconstructor, TraceReconstructor,
+    TwoWayIterative, WeightedIterative,
+};
+
+fn cluster(coverage: usize, seed: u64) -> (Strand, Vec<Strand>) {
+    let mut rng = seeded(seed);
+    let reference = Strand::random(110, &mut rng);
+    let model = NaiveModel::with_total_rate(0.059);
+    let reads = (0..coverage)
+        .map(|_| model.corrupt(&reference, &mut rng))
+        .collect();
+    (reference, reads)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let algorithms: Vec<Box<dyn TraceReconstructor>> = vec![
+        Box::new(MajorityVote),
+        Box::new(BmaLookahead::default()),
+        Box::new(DividerBma),
+        Box::new(Iterative::default()),
+        Box::new(TwoWayIterative::default()),
+        Box::new(WeightedIterative::default()),
+        Box::new(MsaReconstructor),
+    ];
+    let mut group = c.benchmark_group("reconstruct-110bp");
+    for coverage in [5usize, 10, 26] {
+        let (_, reads) = cluster(coverage, coverage as u64);
+        for algo in &algorithms {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), coverage),
+                &coverage,
+                |b, _| b.iter(|| algo.reconstruct(black_box(&reads), 110)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// DESIGN.md ablation: the Iterative scan's look-ahead window controls the
+/// resync cost — time the algorithm across window widths.
+fn bench_lookahead_ablation(c: &mut Criterion) {
+    let (_, reads) = cluster(6, 99);
+    let mut group = c.benchmark_group("iterative-lookahead");
+    for w in [1usize, 2, 3, 4, 6] {
+        let algo = Iterative {
+            lookahead: w,
+            max_rounds: 3,
+        };
+        group.bench_with_input(BenchmarkId::new("w", w), &w, |b, _| {
+            b.iter(|| algo.reconstruct(black_box(&reads), 110))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_algorithms, bench_lookahead_ablation
+}
+criterion_main!(benches);

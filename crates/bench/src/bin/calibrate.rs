@@ -1,0 +1,44 @@
+//! `calibrate` — algorithm-parameter sweeps on controlled channels.
+//!
+//! Used to tune reconstruction hyper-parameters (look-ahead windows,
+//! refinement rounds) against the accuracy levels the paper reports for
+//! its reference implementations.
+
+use dnasim_channel::{CoverageModel, NaiveModel, Simulator};
+use dnasim_core::rng::seeded;
+use dnasim_core::Strand;
+use dnasim_pipeline::evaluate_reconstruction;
+use dnasim_reconstruct::{BmaLookahead, Iterative, OneWayBma, TraceReconstructor};
+
+fn main() {
+    let clusters = 400;
+    let len = 110;
+    let mut rng = seeded(0xCA11B);
+    let references: Vec<Strand> = (0..clusters).map(|_| Strand::random(len, &mut rng)).collect();
+
+    // The paper's "naive simulator" regime: 5.9% aggregate error, uniform.
+    let model = NaiveModel::with_total_rate(0.059);
+    for coverage in [5usize, 6] {
+        let ds = Simulator::new(&model, CoverageModel::Fixed(coverage))
+            .simulate(&references, &mut rng);
+        println!("== uniform p=0.059, N={coverage} (paper: BMA 68/93, Iter 91/99 at N=5) ==");
+        for w in [2usize, 3, 4, 5, 6] {
+            let bma = BmaLookahead { lookahead: w };
+            let r = evaluate_reconstruction(&ds, &bma);
+            println!("  bma w={w}: {r}");
+        }
+        for w in [2usize, 3, 4] {
+            for rounds in [2usize, 4, 8] {
+                let it = Iterative {
+                    lookahead: w,
+                    max_rounds: rounds,
+                };
+                let r = evaluate_reconstruction(&ds, &it);
+                println!("  iterative w={w} rounds={rounds}: {r}");
+            }
+        }
+        let ow = OneWayBma { lookahead: 3 };
+        println!("  one-way bma: {}", evaluate_reconstruction(&ds, &ow));
+        let _ = ow.name();
+    }
+}

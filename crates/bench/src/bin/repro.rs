@@ -1,0 +1,375 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p dnasim-bench --release --bin repro -- <experiment> [--full] [--coverage N] [--csv DIR]
+//! ```
+//!
+//! With `--csv DIR`, the numeric series behind Fig. 3.2, Fig. 3.3 and the
+//! §3.4.1 sensitivity grid are additionally written as CSV files for
+//! external plotting.
+//!
+//! Experiments: `table-1.1 table-2.1 table-2.2 table-3.1 table-3.2 fig-3.2
+//! fig-3.3 fig-3.4 fig-3.5 fig-3.6 fig-3.7 fig-3.8 fig-3.9 fig-3.10
+//! sens-3.4.1 appendix-c ext-twoway ext-layers robustness all`.
+//!
+//! By default a reduced twin dataset (300 clusters) keeps every experiment
+//! in seconds; `--full` switches to the paper-scale 10,000-cluster twin.
+
+use std::process::ExitCode;
+
+use dnasim_bench::{render_profile, render_profile_pair, render_second_order};
+use dnasim_channel::SimulatorLayer;
+use dnasim_core::tech::SURVEY;
+use dnasim_dataset::NanoporeTwinConfig;
+use dnasim_pipeline::Experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiment = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+    let full = args.iter().any(|a| a == "--full");
+    let coverage = args
+        .iter()
+        .position(|a| a == "--coverage")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(5);
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if full {
+        NanoporeTwinConfig::default()
+    } else {
+        NanoporeTwinConfig::small()
+    };
+
+    // Table 1.1 needs no dataset.
+    if experiment == "table-1.1" {
+        table_1_1();
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "# generating twin ({} clusters) and learning the channel model...",
+        config.cluster_count
+    );
+    let exp = Experiments::new(&config);
+    eprintln!(
+        "# twin: {} reads, mean coverage {:.2}, learned aggregate error {:.4}",
+        exp.twin().total_reads(),
+        exp.twin().mean_coverage(),
+        exp.learned().aggregate_error_rate
+    );
+
+    let known = run(&exp, &experiment, coverage, csv_dir.as_deref());
+    if !known {
+        eprintln!("unknown experiment '{experiment}'");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs one experiment (or `all`). Returns false for unknown ids.
+fn run(exp: &Experiments, experiment: &str, coverage: usize, csv_dir: Option<&str>) -> bool {
+    match experiment {
+        "all" => {
+            table_1_1();
+            for id in [
+                "table-2.1",
+                "table-2.2",
+                "table-3.1",
+                "table-3.2",
+                "fig-3.2",
+                "fig-3.3",
+                "fig-3.4",
+                "fig-3.5",
+                "fig-3.6",
+                "fig-3.7",
+                "fig-3.8",
+                "fig-3.9",
+                "fig-3.10",
+                "sens-3.4.1",
+                "appendix-c",
+                "ext-twoway",
+                "ext-layers",
+                "fidelity",
+                "robustness",
+            ] {
+                eprintln!("# running {id}");
+                run(exp, id, coverage, csv_dir);
+            }
+        }
+        "table-2.1" => println!("{}", exp.table_2_1()),
+        "table-2.2" => println!("{}", exp.table_2_2()),
+        "table-3.1" => println!("{}", exp.ablation_table(5)),
+        "table-3.2" => println!("{}", exp.ablation_table(6)),
+        "fig-3.2" => {
+            let (h, g) = exp.fig_3_2();
+            println!(
+                "{}",
+                render_profile_pair("Fig 3.2: Nanopore noise before reconstruction", &h, &g)
+            );
+            if let Some(dir) = csv_dir {
+                write_csv(
+                    dir,
+                    "fig-3.2.csv",
+                    "position,hamming_rate,gestalt_rate",
+                    h.rates()
+                        .iter()
+                        .zip(g.rates())
+                        .enumerate()
+                        .map(|(i, (hr, gr))| format!("{i},{hr},{gr}")),
+                );
+            }
+        }
+        "fig-3.3" => {
+            println!("Fig 3.3: Iterative accuracy at N = 1..10");
+            println!("{:>3} {:>10} {:>10}", "N", "strand %", "char %");
+            let sweep = exp.coverage_sweep(10);
+            for (n, cell) in &sweep {
+                println!("{n:>3} {:>10.2} {:>10.2}", cell.per_strand, cell.per_char);
+            }
+            if let Some(dir) = csv_dir {
+                write_csv(
+                    dir,
+                    "fig-3.3.csv",
+                    "coverage,per_strand,per_char",
+                    sweep
+                        .iter()
+                        .map(|(n, c)| format!("{n},{},{}", c.per_strand, c.per_char)),
+                );
+            }
+        }
+        "fig-3.4" => {
+            for (name, h, g) in exp.post_profiles_real(coverage) {
+                println!(
+                    "{}",
+                    render_profile_pair(
+                        &format!("Fig 3.4: post-reconstruction, Nanopore, {name}, N={coverage}"),
+                        &h,
+                        &g
+                    )
+                );
+            }
+        }
+        "fig-3.5" => {
+            for (name, h, g) in exp.post_profiles_simulated(SimulatorLayer::SpatialSkew, coverage)
+            {
+                println!(
+                    "{}",
+                    render_profile_pair(
+                        &format!(
+                            "Fig 3.5: post-reconstruction, simulated + skew, {name}, N={coverage}"
+                        ),
+                        &h,
+                        &g
+                    )
+                );
+            }
+        }
+        "fig-3.6" => {
+            println!("Fig 3.6: second-order errors in Nanopore data before reconstruction");
+            println!("{}", render_second_order(&exp.second_order_analysis(10)));
+        }
+        "fig-3.7" => {
+            for (name, h, g) in exp.uniform_profiles(0.15, coverage) {
+                println!(
+                    "{}",
+                    render_profile_pair(
+                        &format!("Fig 3.7: p=0.15 uniform, {name}, N={coverage}"),
+                        &h,
+                        &g
+                    )
+                );
+            }
+        }
+        "fig-3.8" => {
+            for n in [5usize, 6, 10] {
+                for (name, _, g) in exp.uniform_profiles(0.15, n) {
+                    if name == "bma" {
+                        println!(
+                            "{}",
+                            render_profile(
+                                &format!("Fig 3.8: gestalt-aligned BMA errors, p=0.15, N={n}"),
+                                &g
+                            )
+                        );
+                    }
+                }
+            }
+        }
+        "fig-3.9" => {
+            println!("Fig 3.9: pre-reconstruction spatial distributions at p̄=0.15");
+            for (name, profile) in exp.shaped_pre_profiles(0.15) {
+                println!("{}", render_profile(&format!("{name} distribution"), &profile));
+            }
+        }
+        "fig-3.10" => {
+            for (name, h, g, acc) in exp.shaped_bma_profiles(0.15, coverage) {
+                println!(
+                    "{}",
+                    render_profile_pair(
+                        &format!(
+                            "Fig 3.10: BMA on {name} data, N={coverage} \
+                             (strand {:.2}%, char {:.2}%)",
+                            acc.per_strand, acc.per_char
+                        ),
+                        &h,
+                        &g
+                    )
+                );
+            }
+        }
+        "sens-3.4.1" => {
+            println!("§3.4.1 sensitivity grid (uniform spatial distribution)");
+            println!(
+                "{:>6} {:>4} | {:>9} {:>9} | {:>9} {:>9} | {:>10}",
+                "p", "N", "bma str%", "bma chr%", "iter str%", "iter chr%", "iter del-share"
+            );
+            let grid = exp.sensitivity_grid(&[0.03, 0.06, 0.09, 0.12, 0.15], &[5, 6, 10]);
+            if let Some(dir) = csv_dir {
+                write_csv(
+                    dir,
+                    "sens-3.4.1.csv",
+                    "error_rate,coverage,bma_strand,bma_char,iter_strand,iter_char,iter_del_share",
+                    grid.iter().map(|p| {
+                        format!(
+                            "{},{},{},{},{},{},{}",
+                            p.error_rate,
+                            p.coverage,
+                            p.bma.per_strand,
+                            p.bma.per_char,
+                            p.iterative.per_strand,
+                            p.iterative.per_char,
+                            p.iterative_residual_deletion_share
+                        )
+                    }),
+                );
+            }
+            for point in grid {
+                println!(
+                    "{:>6.2} {:>4} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>10.2}",
+                    point.error_rate,
+                    point.coverage,
+                    point.bma.per_strand,
+                    point.bma.per_char,
+                    point.iterative.per_strand,
+                    point.iterative.per_char,
+                    point.iterative_residual_deletion_share,
+                );
+            }
+        }
+        "appendix-c" => {
+            // The N=5 panels for every dataset of the ablation (Figs C.4–C.8).
+            for (label, profiles) in [
+                ("C.4 real Nanopore", exp.post_profiles_real(5)),
+                (
+                    "C.5 naive",
+                    exp.post_profiles_simulated(SimulatorLayer::Naive, 5),
+                ),
+                (
+                    "C.6 naive+cond+LD",
+                    exp.post_profiles_simulated(SimulatorLayer::ConditionalLongDel, 5),
+                ),
+                (
+                    "C.7 +skew",
+                    exp.post_profiles_simulated(SimulatorLayer::SpatialSkew, 5),
+                ),
+                (
+                    "C.8 +second-order",
+                    exp.post_profiles_simulated(SimulatorLayer::SecondOrder, 5),
+                ),
+            ] {
+                for (name, h, g) in profiles {
+                    println!(
+                        "{}",
+                        render_profile_pair(&format!("Fig {label}, {name}, N=5"), &h, &g)
+                    );
+                }
+            }
+        }
+        "ext-twoway" => {
+            println!("{}", exp.two_way_comparison(coverage));
+        }
+        "ext-layers" => {
+            println!("{}", exp.extensions_table(coverage));
+        }
+        "fidelity" => {
+            println!("§3.1 closed-form fidelity distances vs real data (lower is better):");
+            for (label, report) in exp.fidelity_by_layer() {
+                println!("  {label:<20} {report}");
+            }
+        }
+        "robustness" => {
+            // §4.3: validate against a second, different high-error dataset.
+            let mut config_a = NanoporeTwinConfig::small();
+            let mut config_b = NanoporeTwinConfig::high_error_variant();
+            config_b.cluster_count = config_a.cluster_count;
+            config_b.erasure_count = config_a.erasure_count;
+            if exp.twin().len() >= 10_000 {
+                config_a = NanoporeTwinConfig::default();
+                config_b = NanoporeTwinConfig::high_error_variant();
+            }
+            println!(
+                "{}",
+                dnasim_pipeline::cross_dataset_robustness(&config_a, &config_b, coverage)
+            );
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// Writes a CSV series under `dir` (best-effort; failures are reported to
+/// stderr, never fatal to the experiment run).
+fn write_csv<I: IntoIterator<Item = String>>(dir: &str, name: &str, header: &str, rows: I) {
+    let path = std::path::Path::new(dir).join(name);
+    let result = std::fs::create_dir_all(dir).and_then(|()| {
+        let mut text = String::from(header);
+        text.push('\n');
+        for row in rows {
+            text.push_str(&row);
+            text.push('\n');
+        }
+        std::fs::write(&path, text)
+    });
+    match result {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
+    }
+}
+
+fn table_1_1() {
+    println!("== Table 1.1: comparison of DNA sequencing technologies ==");
+    println!(
+        "{:<22} {:>18} {:>16} {:>18} {:>20}",
+        "technology", "cost ($/Kb)", "error rate", "seq. length (bp)", "read speed (h/Kb)"
+    );
+    for tech in SURVEY {
+        println!(
+            "{:<22} {:>18} {:>16} {:>18} {:>20}",
+            tech.name,
+            format!("{:.0e}-{:.0e}", tech.cost_per_kb_usd.0, tech.cost_per_kb_usd.1),
+            format!(
+                "{:.3}%-{:.3}%",
+                tech.error_rate.0 * 100.0,
+                tech.error_rate.1 * 100.0
+            ),
+            format!(
+                "{}-{}",
+                tech.sequencing_length_bp.0, tech.sequencing_length_bp.1
+            ),
+            format!(
+                "{:.0e}-{:.0e}",
+                tech.read_speed_h_per_kb.0, tech.read_speed_h_per_kb.1
+            ),
+        );
+    }
+    println!();
+}

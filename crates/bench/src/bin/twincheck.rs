@@ -1,0 +1,15 @@
+//! Quick aggregate-rate check for the twin channel.
+use dnasim_dataset::NanoporeTwinConfig;
+use dnasim_metrics::levenshtein;
+
+fn main() {
+    let ds = NanoporeTwinConfig::small().generate();
+    let (mut errors, mut bases) = (0usize, 0usize);
+    for c in ds.iter() {
+        for r in c.reads() {
+            errors += levenshtein(c.reference().as_bases(), r.as_bases());
+            bases += c.reference().len();
+        }
+    }
+    println!("measured aggregate: {:.4} over {} reads", errors as f64 / bases as f64, ds.total_reads());
+}

@@ -1,0 +1,93 @@
+//! Rendering helpers shared by the `repro` harness and the Criterion
+//! benches.
+
+use dnasim_core::EditOp;
+use dnasim_metrics::PositionalProfile;
+
+/// Renders a figure (a pair of positional profiles) as labelled ASCII
+/// charts, the textual equivalent of the paper's Hamming / gestalt-aligned
+/// panels.
+pub fn render_profile_pair(
+    title: &str,
+    hamming: &PositionalProfile,
+    gestalt: &PositionalProfile,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("-- {title} --\n"));
+    out.push_str(&format!(
+        "Hamming errors ({} comparisons, {} errors):\n{}",
+        hamming.comparisons(),
+        hamming.total_errors(),
+        hamming.ascii_chart(11)
+    ));
+    out.push_str(&format!(
+        "Gestalt-aligned errors ({} errors):\n{}",
+        gestalt.total_errors(),
+        gestalt.ascii_chart(11)
+    ));
+    out
+}
+
+/// Renders a single positional profile.
+pub fn render_profile(title: &str, profile: &PositionalProfile) -> String {
+    format!(
+        "-- {title} --\n({} comparisons, {} errors)\n{}",
+        profile.comparisons(),
+        profile.total_errors(),
+        profile.ascii_chart(11)
+    )
+}
+
+/// Renders the second-order error analysis (Fig. 3.6): each top error with
+/// its positional concentration summarised by thirds of the strand.
+pub fn render_second_order(entries: &[(EditOp, usize, Vec<usize>)]) -> String {
+    let mut out = String::new();
+    out.push_str("top second-order errors (count; positional thirds start/mid/end):\n");
+    for (op, count, positional) in entries {
+        let n = positional.len().max(1);
+        let third = (n / 3).max(1);
+        let sum = |range: std::ops::Range<usize>| -> usize {
+            positional[range.start.min(n)..range.end.min(n)].iter().sum()
+        };
+        let (a, b, c) = (sum(0..third), sum(third..2 * third), sum(2 * third..n));
+        out.push_str(&format!(
+            "  {op:>5}: {count:>7}   [{a:>6} | {b:>6} | {c:>6}]\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::{Base, Strand};
+    use dnasim_metrics::ProfileKind;
+
+    #[test]
+    fn render_profile_pair_includes_title_and_bars() {
+        let mut h = PositionalProfile::new(ProfileKind::Hamming, 20);
+        let mut g = PositionalProfile::new(ProfileKind::GestaltAligned, 20);
+        let a: Strand = "AAAAAAAAAAAAAAAAAAAA".parse().unwrap();
+        let b: Strand = "AAAAAAAAATAAAAAAAAAA".parse().unwrap();
+        h.record(&a, &b);
+        g.record(&a, &b);
+        let text = render_profile_pair("Fig test", &h, &g);
+        assert!(text.contains("Fig test"));
+        assert!(text.contains("Hamming"));
+        assert!(text.contains("Gestalt"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn render_second_order_shows_thirds() {
+        let entries = vec![(
+            EditOp::Insert(Base::A),
+            42,
+            vec![10, 0, 0, 0, 0, 0, 0, 0, 2],
+        )];
+        let text = render_second_order(&entries);
+        assert!(text.contains("+A"));
+        assert!(text.contains("42"));
+        assert!(text.contains("10"));
+    }
+}

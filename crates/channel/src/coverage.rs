@@ -1,0 +1,281 @@
+//! Sequencing-coverage models: how many noisy reads each reference strand
+//! receives.
+//!
+//! Real coverage is far from constant — Illumina read counts per strand are
+//! approximately negative-binomially distributed, and the paper's Nanopore
+//! dataset spans coverages 0–164 around a mean of ≈27. The evaluation
+//! protocols also need *fixed* coverage (first-N-reads) and *custom*
+//! coverage (mirror a real dataset cluster-by-cluster).
+
+use dnasim_core::rng::SimRng;
+use rand::RngExt;
+
+/// A model for drawing per-cluster sequencing coverage.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_channel::CoverageModel;
+/// use dnasim_core::rng::seeded;
+///
+/// let mut rng = seeded(3);
+/// let model = CoverageModel::Fixed(5);
+/// assert_eq!(model.sample(0, &mut rng), 5);
+///
+/// let nb = CoverageModel::negative_binomial(26.97, 4.0);
+/// let mean: f64 = (0..2000).map(|i| nb.sample(i, &mut rng) as f64).sum::<f64>() / 2000.0;
+/// assert!((mean - 26.97).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoverageModel {
+    /// Every cluster gets exactly `n` reads.
+    Fixed(usize),
+    /// Cluster `i` gets `coverages[i]` reads (clamped to the last entry
+    /// beyond the end). This is the "custom coverage" protocol that mirrors
+    /// a real dataset.
+    Custom(Vec<usize>),
+    /// Negative-binomial coverage — the empirical distribution of reads per
+    /// strand (Heckel et al.). Parameterised by dispersion `r` and success
+    /// probability `p`; mean is `r·(1−p)/p`.
+    NegativeBinomial {
+        /// Dispersion (number of failures); larger means closer to Poisson.
+        r: f64,
+        /// Success probability in `(0, 1)`.
+        p: f64,
+    },
+    /// Normal coverage, rounded and clamped at 0 (Bornholt et al. observed
+    /// an approximately normal distribution).
+    Normal {
+        /// Mean coverage.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Poisson coverage (the classical uniform-amplification assumption).
+    Poisson {
+        /// Mean coverage (λ).
+        lambda: f64,
+    },
+}
+
+impl CoverageModel {
+    /// Negative-binomial model with the given `mean` and dispersion `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 0` or `r <= 0`.
+    pub fn negative_binomial(mean: f64, r: f64) -> CoverageModel {
+        assert!(mean >= 0.0, "mean coverage must be non-negative");
+        assert!(r > 0.0, "dispersion must be positive");
+        let p = r / (r + mean);
+        CoverageModel::NegativeBinomial { r, p }
+    }
+
+    /// Draws the coverage for cluster `index`.
+    pub fn sample(&self, index: usize, rng: &mut SimRng) -> usize {
+        match self {
+            CoverageModel::Fixed(n) => *n,
+            CoverageModel::Custom(v) => {
+                if v.is_empty() {
+                    0
+                } else {
+                    v[index.min(v.len() - 1)]
+                }
+            }
+            CoverageModel::NegativeBinomial { r, p } => {
+                // Gamma–Poisson mixture: λ ~ Gamma(r, (1−p)/p), N ~ Poisson(λ).
+                let scale = (1.0 - p) / p;
+                let lambda = sample_gamma(*r, rng) * scale;
+                sample_poisson(lambda, rng)
+            }
+            CoverageModel::Normal { mean, std_dev } => {
+                let z = sample_standard_normal(rng);
+                (mean + std_dev * z).round().max(0.0) as usize
+            }
+            CoverageModel::Poisson { lambda } => sample_poisson(*lambda, rng),
+        }
+    }
+
+    /// The model's mean coverage, where defined in closed form.
+    pub fn mean(&self) -> f64 {
+        match self {
+            CoverageModel::Fixed(n) => *n as f64,
+            CoverageModel::Custom(v) => {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<usize>() as f64 / v.len() as f64
+                }
+            }
+            CoverageModel::NegativeBinomial { r, p } => r * (1.0 - p) / p,
+            CoverageModel::Normal { mean, .. } => *mean,
+            CoverageModel::Poisson { lambda } => *lambda,
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn sample_standard_normal(rng: &mut SimRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gamma(shape, scale=1) via Marsaglia–Tsang, with the boost trick for
+/// `shape < 1`.
+fn sample_gamma(shape: f64, rng: &mut SimRng) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a+1) · U^{1/a}
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Poisson sampling: Knuth's product method for small λ, normal
+/// approximation with continuity correction for large λ.
+fn sample_poisson(lambda: f64, rng: &mut SimRng) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let threshold = (-lambda).exp();
+        let mut k = 0usize;
+        let mut product: f64 = rng.random();
+        while product > threshold {
+            k += 1;
+            product *= rng.random::<f64>();
+        }
+        k
+    } else {
+        let z = sample_standard_normal(rng);
+        (lambda + lambda.sqrt() * z).round().max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = seeded(1);
+        let m = CoverageModel::Fixed(7);
+        for i in 0..10 {
+            assert_eq!(m.sample(i, &mut rng), 7);
+        }
+        assert_eq!(m.mean(), 7.0);
+    }
+
+    #[test]
+    fn custom_indexes_per_cluster() {
+        let mut rng = seeded(2);
+        let m = CoverageModel::Custom(vec![3, 0, 9]);
+        assert_eq!(m.sample(0, &mut rng), 3);
+        assert_eq!(m.sample(1, &mut rng), 0);
+        assert_eq!(m.sample(2, &mut rng), 9);
+        // Beyond the end clamps to the last entry.
+        assert_eq!(m.sample(99, &mut rng), 9);
+        assert_eq!(m.mean(), 4.0);
+    }
+
+    #[test]
+    fn custom_empty_is_zero() {
+        let mut rng = seeded(3);
+        let m = CoverageModel::Custom(Vec::new());
+        assert_eq!(m.sample(0, &mut rng), 0);
+        assert_eq!(m.mean(), 0.0);
+    }
+
+    #[test]
+    fn negative_binomial_mean_and_spread() {
+        let mut rng = seeded(4);
+        let m = CoverageModel::negative_binomial(27.0, 4.0);
+        assert!((m.mean() - 27.0).abs() < 1e-9);
+        let samples: Vec<usize> = (0..5000).map(|i| m.sample(i, &mut rng)).collect();
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        assert!((mean - 27.0).abs() < 1.5, "empirical mean {mean}");
+        // Overdispersed: variance should exceed the mean (Poisson would equal it).
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(var > 1.5 * mean, "variance {var} vs mean {mean}");
+        // Wide range like the real dataset (0 to >100).
+        assert!(samples.iter().any(|&x| x < 5));
+        assert!(samples.iter().any(|&x| x > 60));
+    }
+
+    #[test]
+    fn normal_clamps_at_zero() {
+        let mut rng = seeded(5);
+        let m = CoverageModel::Normal {
+            mean: 1.0,
+            std_dev: 5.0,
+        };
+        for i in 0..200 {
+            let _ = m.sample(i, &mut rng); // must not panic / underflow
+        }
+    }
+
+    #[test]
+    fn normal_empirical_mean() {
+        let mut rng = seeded(6);
+        let m = CoverageModel::Normal {
+            mean: 26.0,
+            std_dev: 5.0,
+        };
+        let mean: f64 = (0..4000).map(|i| m.sample(i, &mut rng) as f64).sum::<f64>() / 4000.0;
+        assert!((mean - 26.0).abs() < 0.5, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_lambda() {
+        let mut rng = seeded(7);
+        for lambda in [0.5, 5.0, 80.0] {
+            let m = CoverageModel::Poisson { lambda };
+            let mean: f64 =
+                (0..4000).map(|i| m.sample(i, &mut rng) as f64).sum::<f64>() / 4000.0;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt().max(0.2),
+                "lambda {lambda}: empirical mean {mean}"
+            );
+        }
+        assert_eq!(
+            CoverageModel::Poisson { lambda: 0.0 }.sample(0, &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dispersion must be positive")]
+    fn negative_binomial_rejects_bad_dispersion() {
+        let _ = CoverageModel::negative_binomial(5.0, 0.0);
+    }
+
+    #[test]
+    fn gamma_sampler_is_positive_and_near_mean() {
+        let mut rng = seeded(8);
+        for shape in [0.5, 1.0, 4.0, 20.0] {
+            let mean: f64 = (0..4000).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / 4000.0;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape + 0.1,
+                "shape {shape}: empirical mean {mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The error-model abstraction and the simulator driver.
+
+use dnasim_core::rng::SimRng;
+use dnasim_core::{Cluster, Dataset, Strand};
+
+use crate::coverage::CoverageModel;
+
+/// A noisy-channel error model: corrupts one reference strand into one
+/// noisy read.
+///
+/// Implementations are the simulators under comparison: the naive model,
+/// the DNASimulator baseline (Algorithm 1), the layered data-driven model,
+/// and the parametric model used for sensitivity analysis.
+///
+/// The trait is object-safe so that experiment tables can iterate over a
+/// heterogeneous suite of simulators.
+pub trait ErrorModel: std::fmt::Debug {
+    /// Produces one noisy read of `reference`.
+    fn corrupt(&self, reference: &Strand, rng: &mut SimRng) -> Strand;
+
+    /// A short human-readable name for reports and tables.
+    fn name(&self) -> String;
+}
+
+impl<M: ErrorModel + ?Sized> ErrorModel for &M {
+    fn corrupt(&self, reference: &Strand, rng: &mut SimRng) -> Strand {
+        (**self).corrupt(reference, rng)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<M: ErrorModel + ?Sized> ErrorModel for Box<M> {
+    fn corrupt(&self, reference: &Strand, rng: &mut SimRng) -> Strand {
+        (**self).corrupt(reference, rng)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// An error model that returns every reference unchanged — the zero-noise
+/// channel, useful as a control and in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityModel;
+
+impl ErrorModel for IdentityModel {
+    fn corrupt(&self, reference: &Strand, _rng: &mut SimRng) -> Strand {
+        reference.clone()
+    }
+
+    fn name(&self) -> String {
+        "identity".to_owned()
+    }
+}
+
+/// Drives an [`ErrorModel`] over a set of reference strands, drawing
+/// per-cluster coverage from a [`CoverageModel`], to produce a simulated
+/// [`Dataset`].
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_channel::{CoverageModel, IdentityModel, Simulator};
+/// use dnasim_core::{rng::seeded, Strand};
+///
+/// let mut rng = seeded(1);
+/// let references = vec![Strand::random(110, &mut rng)];
+/// let sim = Simulator::new(IdentityModel, CoverageModel::Fixed(5));
+/// let dataset = sim.simulate(&references, &mut rng);
+/// assert_eq!(dataset.len(), 1);
+/// assert_eq!(dataset.total_reads(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<M> {
+    model: M,
+    coverage: CoverageModel,
+}
+
+impl<M: ErrorModel> Simulator<M> {
+    /// Creates a simulator from an error model and a coverage model.
+    pub fn new(model: M, coverage: CoverageModel) -> Simulator<M> {
+        Simulator { model, coverage }
+    }
+
+    /// The underlying error model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The coverage model.
+    pub fn coverage(&self) -> &CoverageModel {
+        &self.coverage
+    }
+
+    /// Simulates a dataset: one cluster per reference, with coverage drawn
+    /// per cluster.
+    pub fn simulate(&self, references: &[Strand], rng: &mut SimRng) -> Dataset {
+        references
+            .iter()
+            .enumerate()
+            .map(|(index, reference)| {
+                let coverage = self.coverage.sample(index, rng);
+                self.simulate_cluster(reference, coverage, rng)
+            })
+            .collect()
+    }
+
+    /// Simulates one cluster of `coverage` noisy reads for `reference`.
+    pub fn simulate_cluster(
+        &self,
+        reference: &Strand,
+        coverage: usize,
+        rng: &mut SimRng,
+    ) -> Cluster {
+        let reads = (0..coverage)
+            .map(|_| self.model.corrupt(reference, rng))
+            .collect();
+        Cluster::new(reference.clone(), reads)
+    }
+
+    /// Resimulates a real dataset with *custom coverage*: the same
+    /// reference strands, with each simulated cluster given exactly the
+    /// coverage its real counterpart had (the Table 2.1 protocol).
+    pub fn resimulate_matching(&self, real: &Dataset, rng: &mut SimRng) -> Dataset {
+        real.iter()
+            .map(|cluster| self.simulate_cluster(cluster.reference(), cluster.coverage(), rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+
+    #[test]
+    fn identity_model_is_lossless() {
+        let mut rng = seeded(1);
+        let r = Strand::random(50, &mut rng);
+        assert_eq!(IdentityModel.corrupt(&r, &mut rng), r);
+    }
+
+    #[test]
+    fn simulate_honours_fixed_coverage() {
+        let mut rng = seeded(2);
+        let refs: Vec<Strand> = (0..4).map(|_| Strand::random(20, &mut rng)).collect();
+        let sim = Simulator::new(IdentityModel, CoverageModel::Fixed(3));
+        let ds = sim.simulate(&refs, &mut rng);
+        assert_eq!(ds.len(), 4);
+        assert!(ds.iter().all(|c| c.coverage() == 3));
+        for (c, r) in ds.iter().zip(&refs) {
+            assert_eq!(c.reference(), r);
+            assert!(c.reads().iter().all(|read| read == r));
+        }
+    }
+
+    #[test]
+    fn simulate_honours_custom_coverage() {
+        let mut rng = seeded(3);
+        let refs: Vec<Strand> = (0..3).map(|_| Strand::random(20, &mut rng)).collect();
+        let sim = Simulator::new(IdentityModel, CoverageModel::Custom(vec![1, 0, 4]));
+        let ds = sim.simulate(&refs, &mut rng);
+        assert_eq!(ds.coverages(), vec![1, 0, 4]);
+        assert_eq!(ds.erasure_count(), 1);
+    }
+
+    #[test]
+    fn resimulate_matches_real_coverages() {
+        let mut rng = seeded(4);
+        let refs: Vec<Strand> = (0..5).map(|_| Strand::random(20, &mut rng)).collect();
+        let real = Simulator::new(IdentityModel, CoverageModel::negative_binomial(8.0, 3.0))
+            .simulate(&refs, &mut rng);
+        let sim = Simulator::new(IdentityModel, CoverageModel::Fixed(999));
+        let resim = sim.resimulate_matching(&real, &mut rng);
+        assert_eq!(resim.coverages(), real.coverages());
+        assert_eq!(resim.references(), real.references());
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut rng = seeded(5);
+        let boxed: Box<dyn ErrorModel> = Box::new(IdentityModel);
+        let r = Strand::random(10, &mut rng);
+        assert_eq!(boxed.corrupt(&r, &mut rng), r);
+        assert_eq!(boxed.name(), "identity");
+        let sim = Simulator::new(boxed, CoverageModel::Fixed(1));
+        assert_eq!(sim.simulate(&[r], &mut rng).total_reads(), 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! The parametric model used for sensitivity analysis (§3.4): a chosen
+//! aggregate error rate spread over the strand by a chosen
+//! [`SpatialDistribution`].
+
+use dnasim_core::rng::SimRng;
+use dnasim_core::{Base, Strand};
+use rand::RngExt;
+
+use crate::model::ErrorModel;
+use crate::spatial::SpatialDistribution;
+
+/// An error model fully described by `(p̄, kind mix, spatial shape)`.
+///
+/// Because every [`SpatialDistribution`] normalises to mean 1.0, datasets
+/// generated at the same `total_rate` but different shapes have the same
+/// aggregate error — only its placement differs. That is the controlled
+/// experiment behind Figs. 3.7–3.10.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_channel::{ErrorModel, ParametricModel, SpatialDistribution};
+/// use dnasim_core::{rng::seeded, Strand};
+///
+/// let model = ParametricModel::new(0.15, SpatialDistribution::AShaped);
+/// let mut rng = seeded(1);
+/// let reference = Strand::random(110, &mut rng);
+/// let read = model.corrupt(&reference, &mut rng);
+/// assert!(read.len() > 70);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParametricModel {
+    total_rate: f64,
+    /// Fractions `[substitution, deletion, insertion]`, summing to 1.
+    kind_mix: [f64; 3],
+    spatial: SpatialDistribution,
+}
+
+impl ParametricModel {
+    /// A model with aggregate rate `total_rate` split equally among the
+    /// three error kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_rate` is not in `[0, 1]`.
+    pub fn new(total_rate: f64, spatial: SpatialDistribution) -> ParametricModel {
+        ParametricModel::with_kind_mix(total_rate, [1.0 / 3.0; 3], spatial)
+    }
+
+    /// A model with an explicit kind mix `[sub, del, ins]` (normalised
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_rate ∉ [0, 1]` or the mix is all zeros / negative.
+    pub fn with_kind_mix(
+        total_rate: f64,
+        kind_mix: [f64; 3],
+        spatial: SpatialDistribution,
+    ) -> ParametricModel {
+        assert!((0.0..=1.0).contains(&total_rate), "rate must be in [0, 1]");
+        assert!(kind_mix.iter().all(|&m| m >= 0.0), "mix must be non-negative");
+        let total: f64 = kind_mix.iter().sum();
+        assert!(total > 0.0 || total_rate == 0.0, "mix must not be all zero");
+        let kind_mix = if total > 0.0 {
+            [
+                kind_mix[0] / total,
+                kind_mix[1] / total,
+                kind_mix[2] / total,
+            ]
+        } else {
+            [0.0; 3]
+        };
+        ParametricModel {
+            total_rate,
+            kind_mix,
+            spatial,
+        }
+    }
+
+    /// The aggregate per-base error rate.
+    pub fn total_rate(&self) -> f64 {
+        self.total_rate
+    }
+
+    /// The spatial shape.
+    pub fn spatial(&self) -> &SpatialDistribution {
+        &self.spatial
+    }
+}
+
+impl ErrorModel for ParametricModel {
+    fn corrupt(&self, reference: &Strand, rng: &mut SimRng) -> Strand {
+        let multipliers = self.spatial.multipliers(reference.len());
+        let mut read = Strand::with_capacity(reference.len() + 4);
+        for (i, base) in reference.iter().enumerate() {
+            let rate = (self.total_rate * multipliers[i]).min(0.95);
+            let p_sub = rate * self.kind_mix[0];
+            let p_del = rate * self.kind_mix[1];
+            let p_ins = rate * self.kind_mix[2];
+            let u: f64 = rng.random();
+            if u < p_sub {
+                read.push(base.random_other(rng));
+            } else if u < p_sub + p_del {
+                // Deleted.
+            } else if u < p_sub + p_del + p_ins {
+                read.push(base);
+                read.push(Base::random(rng));
+            } else {
+                read.push(base);
+            }
+        }
+        read
+    }
+
+    fn name(&self) -> String {
+        format!("parametric(p={}, {})", self.total_rate, self.spatial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+    use dnasim_metrics::levenshtein;
+
+    fn empirical_rate(model: &ParametricModel, trials: usize, seed: u64) -> f64 {
+        let mut rng = seeded(seed);
+        let mut errors = 0usize;
+        let len = 110;
+        for _ in 0..trials {
+            let r = Strand::random(len, &mut rng);
+            let c = model.corrupt(&r, &mut rng);
+            errors += levenshtein(r.as_bases(), c.as_bases());
+        }
+        errors as f64 / (len * trials) as f64
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let model = ParametricModel::new(0.0, SpatialDistribution::Uniform);
+        let mut rng = seeded(1);
+        let r = Strand::random(80, &mut rng);
+        assert_eq!(model.corrupt(&r, &mut rng), r);
+    }
+
+    #[test]
+    fn shapes_preserve_aggregate_rate() {
+        for shape in [
+            SpatialDistribution::Uniform,
+            SpatialDistribution::AShaped,
+            SpatialDistribution::VShaped,
+            SpatialDistribution::nanopore_terminal(),
+        ] {
+            let model = ParametricModel::new(0.15, shape.clone());
+            let rate = empirical_rate(&model, 300, 7);
+            assert!(
+                (rate - 0.15).abs() < 0.02,
+                "{shape}: empirical rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_rates_track_parameter() {
+        for p in [0.03, 0.09, 0.15] {
+            let model = ParametricModel::new(p, SpatialDistribution::Uniform);
+            let rate = empirical_rate(&model, 300, 11);
+            assert!((rate - p).abs() < 0.015, "p={p}: empirical {rate}");
+        }
+    }
+
+    #[test]
+    fn a_shape_places_errors_in_middle() {
+        let model = ParametricModel::new(0.3, SpatialDistribution::AShaped);
+        let mut rng = seeded(3);
+        // Substitution-only mix to keep positions aligned.
+        let model = ParametricModel::with_kind_mix(
+            model.total_rate(),
+            [1.0, 0.0, 0.0],
+            SpatialDistribution::AShaped,
+        );
+        let mut mid = 0usize;
+        let mut ends = 0usize;
+        for _ in 0..300 {
+            let r = Strand::random(99, &mut rng);
+            let c = model.corrupt(&r, &mut rng);
+            for i in 0..99 {
+                if r[i] != c[i] {
+                    if (33..66).contains(&i) {
+                        mid += 1;
+                    } else if !(11..88).contains(&i) {
+                        ends += 1;
+                    }
+                }
+            }
+        }
+        assert!(mid > 2 * ends, "mid {mid} vs ends {ends}");
+    }
+
+    #[test]
+    fn v_shape_places_errors_at_ends() {
+        let model = ParametricModel::with_kind_mix(
+            0.3,
+            [1.0, 0.0, 0.0],
+            SpatialDistribution::VShaped,
+        );
+        let mut rng = seeded(4);
+        let mut mid = 0usize;
+        let mut ends = 0usize;
+        for _ in 0..300 {
+            let r = Strand::random(99, &mut rng);
+            let c = model.corrupt(&r, &mut rng);
+            for i in 0..99 {
+                if r[i] != c[i] {
+                    if (33..66).contains(&i) {
+                        mid += 1;
+                    } else if !(11..88).contains(&i) {
+                        ends += 1;
+                    }
+                }
+            }
+        }
+        assert!(ends > 2 * mid, "ends {ends} vs mid {mid}");
+    }
+
+    #[test]
+    fn kind_mix_is_respected() {
+        // Deletion-only model strictly shortens.
+        let model =
+            ParametricModel::with_kind_mix(0.2, [0.0, 1.0, 0.0], SpatialDistribution::Uniform);
+        let mut rng = seeded(5);
+        let r = Strand::random(300, &mut rng);
+        let c = model.corrupt(&r, &mut rng);
+        assert!(c.len() < r.len());
+        // Insertion-only model strictly lengthens.
+        let model =
+            ParametricModel::with_kind_mix(0.2, [0.0, 0.0, 1.0], SpatialDistribution::Uniform);
+        let c = model.corrupt(&r, &mut rng);
+        assert!(c.len() > r.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1]")]
+    fn rejects_invalid_rate() {
+        let _ = ParametricModel::new(1.5, SpatialDistribution::Uniform);
+    }
+}

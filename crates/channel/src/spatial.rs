@@ -1,0 +1,259 @@
+//! Spatial (positional) error distributions.
+//!
+//! The paper's central insight is that *where* errors fall within a strand
+//! is a first-class channel parameter: real Nanopore data concentrates
+//! errors at the terminal positions (with the strand end roughly twice as
+//! error-prone as the start), and reconstruction algorithms respond very
+//! differently to different shapes. A [`SpatialDistribution`] produces
+//! per-position multipliers with mean 1.0, so changing the shape never
+//! changes the aggregate error rate — exactly the controlled comparison the
+//! sensitivity analysis (§3.4) requires.
+
+use std::fmt;
+
+/// A shape for distributing a fixed aggregate error budget over strand
+/// positions.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_channel::SpatialDistribution;
+///
+/// let m = SpatialDistribution::AShaped.multipliers(101);
+/// // Peak in the middle, mean 1.0.
+/// assert!(m[50] > m[0]);
+/// let mean = m.iter().sum::<f64>() / m.len() as f64;
+/// assert!((mean - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialDistribution {
+    /// Every position equally error-prone (Heckel et al. / DNASimulator
+    /// assumption).
+    Uniform,
+    /// Errors inflated at the first and last positions of the strand, with
+    /// the end more affected than the start — the profile measured on real
+    /// Nanopore data (Fig. 3.2b).
+    TerminalSkew(TerminalSkew),
+    /// Triangular peak in the middle of the strand (the paper's A-shaped
+    /// curve: triangular with `a = 0`, `b = 2·mean`).
+    AShaped,
+    /// Inverted triangle: error-prone ends, quiet middle (V-shaped).
+    VShaped,
+    /// Arbitrary per-position weights (normalised to mean 1.0 over the
+    /// strand; cycled/clamped if shorter than the strand).
+    Custom(Vec<f64>),
+}
+
+/// Parameters for [`SpatialDistribution::TerminalSkew`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TerminalSkew {
+    /// How many leading positions are inflated (paper: 2 — positions 0, 1).
+    pub head_positions: usize,
+    /// Multiplier applied to the leading positions (relative to interior).
+    pub head_multiplier: f64,
+    /// How many trailing positions are inflated (paper: 1 — the last).
+    pub tail_positions: usize,
+    /// Multiplier applied to the trailing positions; the paper observes the
+    /// strand end carries roughly twice the noise of the start.
+    pub tail_multiplier: f64,
+}
+
+impl Default for TerminalSkew {
+    /// The Nanopore-measured defaults: positions 0–1 at 4× and the final
+    /// position at 8× the interior error rate.
+    fn default() -> TerminalSkew {
+        TerminalSkew {
+            head_positions: 2,
+            head_multiplier: 4.0,
+            tail_positions: 1,
+            tail_multiplier: 8.0,
+        }
+    }
+}
+
+impl SpatialDistribution {
+    /// The Nanopore terminal-skew preset (see [`TerminalSkew::default`]).
+    pub fn nanopore_terminal() -> SpatialDistribution {
+        SpatialDistribution::TerminalSkew(TerminalSkew::default())
+    }
+
+    /// Produces the per-position multipliers for a strand of length `len`,
+    /// normalised to mean 1.0 (empty for `len == 0`).
+    pub fn multipliers(&self, len: usize) -> Vec<f64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let raw: Vec<f64> = match self {
+            SpatialDistribution::Uniform => vec![1.0; len],
+            SpatialDistribution::TerminalSkew(skew) => {
+                let mut v = vec![1.0; len];
+                for m in v.iter_mut().take(skew.head_positions.min(len)) {
+                    *m = skew.head_multiplier;
+                }
+                let tail_start = len.saturating_sub(skew.tail_positions);
+                for m in v.iter_mut().skip(tail_start) {
+                    *m = skew.tail_multiplier;
+                }
+                v
+            }
+            SpatialDistribution::AShaped => triangle(len, false),
+            SpatialDistribution::VShaped => triangle(len, true),
+            SpatialDistribution::Custom(weights) => {
+                if weights.is_empty() {
+                    vec![1.0; len]
+                } else {
+                    (0..len)
+                        .map(|i| weights[i * weights.len() / len].max(0.0))
+                        .collect()
+                }
+            }
+        };
+        normalize_mean_one(raw)
+    }
+}
+
+impl fmt::Display for SpatialDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialDistribution::Uniform => f.write_str("uniform"),
+            SpatialDistribution::TerminalSkew(_) => f.write_str("terminal-skew"),
+            SpatialDistribution::AShaped => f.write_str("A-shaped"),
+            SpatialDistribution::VShaped => f.write_str("V-shaped"),
+            SpatialDistribution::Custom(_) => f.write_str("custom"),
+        }
+    }
+}
+
+/// Triangular (or inverted-triangular) weights over `len` positions,
+/// peaking (or dipping) exactly at the middle. The triangular density with
+/// support `[0, 2p̄]` and mode at `p̄` corresponds to weights rising linearly
+/// from 0 at the ends to 2 at the centre.
+fn triangle(len: usize, inverted: bool) -> Vec<f64> {
+    let n = len as f64;
+    (0..len)
+        .map(|i| {
+            // Relative position in [0, 1], centre = 0.5.
+            let x = if len == 1 { 0.5 } else { i as f64 / (n - 1.0) };
+            let tri = 2.0 * (1.0 - (2.0 * x - 1.0).abs()); // 0 at ends, 2 at centre
+            if inverted {
+                2.0 - tri
+            } else {
+                tri
+            }
+        })
+        .collect()
+}
+
+fn normalize_mean_one(raw: Vec<f64>) -> Vec<f64> {
+    let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+    if mean <= 0.0 {
+        return vec![1.0; raw.len()];
+    }
+    raw.into_iter().map(|v| v / mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn all_shapes_have_mean_one() {
+        let shapes = [
+            SpatialDistribution::Uniform,
+            SpatialDistribution::nanopore_terminal(),
+            SpatialDistribution::AShaped,
+            SpatialDistribution::VShaped,
+            SpatialDistribution::Custom(vec![1.0, 5.0, 1.0]),
+        ];
+        for shape in shapes {
+            for len in [1, 2, 10, 110, 111] {
+                let m = shape.multipliers(len);
+                assert_eq!(m.len(), len);
+                assert!(
+                    (mean(&m) - 1.0).abs() < 1e-9,
+                    "{shape} at len {len}: mean {}",
+                    mean(&m)
+                );
+                assert!(m.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let m = SpatialDistribution::Uniform.multipliers(50);
+        assert!(m.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn terminal_skew_inflates_ends() {
+        let m = SpatialDistribution::nanopore_terminal().multipliers(110);
+        assert!(m[0] > m[50]);
+        assert!(m[1] > m[50]);
+        // End roughly twice the start, as measured on Nanopore data.
+        assert!(m[109] > 1.5 * m[0]);
+        // Interior is flat.
+        assert!((m[10] - m[80]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_shape_peaks_in_middle() {
+        let m = SpatialDistribution::AShaped.multipliers(101);
+        assert!(m[50] > m[0]);
+        assert!(m[50] > m[100]);
+        // Monotone toward the peak on each side.
+        assert!(m[25] < m[50] && m[25] > m[0]);
+    }
+
+    #[test]
+    fn v_shape_dips_in_middle() {
+        let m = SpatialDistribution::VShaped.multipliers(101);
+        assert!(m[50] < m[0]);
+        assert!(m[50] < m[100]);
+    }
+
+    #[test]
+    fn a_and_v_are_complementary() {
+        let a = SpatialDistribution::AShaped.multipliers(101);
+        let v = SpatialDistribution::VShaped.multipliers(101);
+        // Each shape normalises its own discrete mean, so complementarity
+        // is approximate: a + v ≈ 2 within discretisation error.
+        for i in 0..101 {
+            assert!((a[i] + v[i] - 2.0).abs() < 0.05, "position {i}: {} + {}", a[i], v[i]);
+        }
+    }
+
+    #[test]
+    fn custom_weights_stretch_over_strand() {
+        let m = SpatialDistribution::Custom(vec![0.0, 2.0]).multipliers(10);
+        // First half low, second half high.
+        assert!(m[0] < 1e-12);
+        assert!(m[9] > 1.0);
+    }
+
+    #[test]
+    fn custom_empty_falls_back_to_uniform() {
+        let m = SpatialDistribution::Custom(Vec::new()).multipliers(5);
+        assert!(m.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zero_length_is_empty() {
+        assert!(SpatialDistribution::Uniform.multipliers(0).is_empty());
+    }
+
+    #[test]
+    fn single_position_is_one() {
+        for shape in [
+            SpatialDistribution::Uniform,
+            SpatialDistribution::AShaped,
+            SpatialDistribution::VShaped,
+        ] {
+            assert_eq!(shape.multipliers(1), vec![1.0]);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the channel models: invariants that must hold
+//! for every simulator in the suite, under any strand and seed.
+
+use proptest::prelude::*;
+
+use dnasim_channel::{
+    CoverageModel, DnaSimulatorModel, ErrorModel, IdentityModel, KeoliyaModel, NaiveModel,
+    ParametricModel, Simulator, SimulatorLayer, SpatialDistribution,
+};
+use dnasim_core::rng::seeded;
+use dnasim_core::{Base, Strand};
+use dnasim_profile::{BaseErrorRates, LearnedModel, LongDeletionParams};
+
+fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
+    proptest::collection::vec(0usize..4, len).prop_map(|idx| {
+        idx.into_iter()
+            .map(|i| Base::from_index(i).expect("index < 4"))
+            .collect()
+    })
+}
+
+/// A synthetic learned model with uniform conditional rates.
+fn learned(rate: f64, strand_len: usize) -> LearnedModel {
+    let per = rate / 3.0;
+    let rates = BaseErrorRates {
+        substitution: per,
+        deletion: per,
+        insertion: per,
+    };
+    let mut substitution = [[0.0f64; 4]; 4];
+    for b in Base::ALL {
+        for t in Base::ALL {
+            if b != t {
+                substitution[b.index()][t.index()] = 1.0 / 3.0;
+            }
+        }
+    }
+    LearnedModel {
+        strand_len,
+        per_base: [rates; 4],
+        substitution,
+        long_deletion: LongDeletionParams {
+            probability: rate / 30.0,
+            length_weights: vec![0.8, 0.2],
+        },
+        spatial_multipliers: vec![1.0; strand_len],
+        second_order: Vec::new(),
+        aggregate_error_rate: rate,
+        homopolymer_boost: 1.0,
+    }
+}
+
+/// Every model in the suite, boxed.
+fn all_models(rate: f64, strand_len: usize) -> Vec<Box<dyn ErrorModel>> {
+    let mut models: Vec<Box<dyn ErrorModel>> = vec![
+        Box::new(IdentityModel),
+        Box::new(NaiveModel::with_total_rate(rate)),
+        Box::new(DnaSimulatorModel::nanopore_default()),
+        Box::new(ParametricModel::new(rate, SpatialDistribution::AShaped)),
+        Box::new(ParametricModel::new(rate, SpatialDistribution::VShaped)),
+    ];
+    for layer in SimulatorLayer::ALL {
+        models.push(Box::new(KeoliyaModel::new(learned(rate, strand_len), layer)));
+    }
+    models
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reads_have_plausible_lengths(
+        reference in strand(0..120),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.3,
+    ) {
+        let mut rng = seeded(seed);
+        for model in all_models(rate, reference.len()) {
+            let read = model.corrupt(&reference, &mut rng);
+            // Insertions at most double the strand (one insert per base).
+            prop_assert!(
+                read.len() <= reference.len() * 2 + 2,
+                "{} emitted {} bases from {}",
+                model.name(),
+                read.len(),
+                reference.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_reference_yields_empty_read(seed in any::<u64>(), rate in 0.0f64..0.3) {
+        let mut rng = seeded(seed);
+        for model in all_models(rate, 0) {
+            prop_assert!(model.corrupt(&Strand::new(), &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn corruption_is_seed_deterministic(
+        reference in strand(10..80),
+        seed in any::<u64>(),
+        rate in 0.0f64..0.3,
+    ) {
+        for model in all_models(rate, reference.len()) {
+            let a = model.corrupt(&reference, &mut seeded(seed));
+            let b = model.corrupt(&reference, &mut seeded(seed));
+            prop_assert_eq!(a, b, "{} not deterministic", model.name());
+        }
+    }
+
+    #[test]
+    fn simulator_dataset_shape(
+        refs in proptest::collection::vec(strand(20..40), 1..6),
+        coverage in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seeded(seed);
+        let sim = Simulator::new(
+            NaiveModel::with_total_rate(0.05),
+            CoverageModel::Fixed(coverage),
+        );
+        let ds = sim.simulate(&refs, &mut rng);
+        prop_assert_eq!(ds.len(), refs.len());
+        prop_assert_eq!(ds.total_reads(), refs.len() * coverage);
+        prop_assert_eq!(ds.references(), refs);
+    }
+
+    #[test]
+    fn coverage_models_are_nonnegative_and_seeded(
+        seed in any::<u64>(),
+        index in 0usize..50,
+    ) {
+        let models = [
+            CoverageModel::Fixed(7),
+            CoverageModel::Custom(vec![1, 2, 3]),
+            CoverageModel::negative_binomial(10.0, 2.0),
+            CoverageModel::Normal { mean: 8.0, std_dev: 4.0 },
+            CoverageModel::Poisson { lambda: 6.0 },
+        ];
+        for model in &models {
+            let a = model.sample(index, &mut seeded(seed));
+            let b = model.sample(index, &mut seeded(seed));
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn spatial_multipliers_mean_one_for_any_length(len in 1usize..200) {
+        for shape in [
+            SpatialDistribution::Uniform,
+            SpatialDistribution::AShaped,
+            SpatialDistribution::VShaped,
+            SpatialDistribution::nanopore_terminal(),
+        ] {
+            let m = shape.multipliers(len);
+            prop_assert_eq!(m.len(), len);
+            let mean = m.iter().sum::<f64>() / len as f64;
+            prop_assert!((mean - 1.0).abs() < 1e-9, "{shape} at {len}: mean {mean}");
+            prop_assert!(m.iter().all(|&x| x.is_finite() && x >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal command-line argument parsing.
+//!
+//! The sanctioned dependency set has no CLI parser, so this is a small
+//! hand-rolled `--flag value` scanner with typed lookups.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options (`--key` with no value stores an empty string,
+    /// acting as a boolean flag).
+    pub options: HashMap<String, String>,
+}
+
+/// Errors from argument parsing or lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A required option is missing.
+    Missing {
+        /// Option name (without `--`).
+        name: String,
+    },
+    /// An option failed to parse as the requested type.
+    Invalid {
+        /// Option name.
+        name: String,
+        /// The offending value.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::Missing { name } => write!(f, "missing required option --{name}"),
+            ArgsError::Invalid {
+                name,
+                value,
+                expected,
+            } => write!(f, "option --{name}={value} is not a valid {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (excluding the program name).
+    pub fn parse<I, S>(raw: I) -> Args
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                args.options.insert(name.to_owned(), value);
+            } else if args.command.is_none() {
+                args.command = Some(token);
+            } else {
+                args.positional.push(token);
+            }
+        }
+        args
+    }
+
+    /// Whether a boolean flag (e.g. `--full`) was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A required string option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgsError> {
+        self.get(name).ok_or_else(|| ArgsError::Missing {
+            name: name.to_owned(),
+        })
+    }
+
+    /// An optional typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(value) => value.parse().map_err(|_| ArgsError::Invalid {
+                name: name.to_owned(),
+                value: value.to_owned(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_options() {
+        let args = Args::parse(["generate", "--clusters", "100", "--seed", "7"]);
+        assert_eq!(args.command.as_deref(), Some("generate"));
+        assert_eq!(args.get("clusters"), Some("100"));
+        assert_eq!(args.get_or("seed", 0u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn parses_positional_arguments() {
+        let args = Args::parse(["experiment", "table-2.1", "--full"]);
+        assert_eq!(args.command.as_deref(), Some("experiment"));
+        assert_eq!(args.positional, vec!["table-2.1"]);
+        assert!(args.flag("full"));
+    }
+
+    #[test]
+    fn boolean_flags_have_empty_values() {
+        let args = Args::parse(["run", "--verbose", "--out", "x.txt"]);
+        assert!(args.flag("verbose"));
+        assert_eq!(args.get("out"), Some("x.txt"));
+    }
+
+    #[test]
+    fn adjacent_flags_do_not_consume_each_other() {
+        let args = Args::parse(["run", "--a", "--b", "v"]);
+        assert!(args.flag("a"));
+        assert_eq!(args.get("a"), Some(""));
+        assert_eq!(args.get("b"), Some("v"));
+    }
+
+    #[test]
+    fn missing_required_option_errors() {
+        let args = Args::parse(["run"]);
+        let err = args.require("data").unwrap_err();
+        assert!(err.to_string().contains("--data"));
+    }
+
+    #[test]
+    fn invalid_typed_option_errors() {
+        let args = Args::parse(["run", "--n", "abc"]);
+        let err = args.get_or("n", 0usize).unwrap_err();
+        assert!(err.to_string().contains("abc"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let args = Args::parse(["run"]);
+        assert_eq!(args.get_or("n", 42usize).unwrap(), 42);
+        assert!(!args.flag("full"));
+    }
+
+    #[test]
+    fn empty_input() {
+        let args = Args::parse(Vec::<String>::new());
+        assert_eq!(args.command, None);
+        assert!(args.positional.is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! `dnasim` — the command-line interface to the DNA-storage channel
+//! simulator.
+//!
+//! ```text
+//! dnasim generate    --out twin.txt [--clusters 10000] [--len 110] [--seed S]
+//! dnasim profile     --data twin.txt [--top-k 10]
+//! dnasim simulate    --data real.txt --model naive|dnasimulator|keoliya[:LAYER] --out sim.txt
+//! dnasim reconstruct --data file.txt --algo bma|divbma|iterative|iterative-twoway|majority
+//!                    [--coverage N] [--min-coverage M]
+//! dnasim evaluate    --real real.txt --sim sim.txt [--coverage N]
+//! dnasim experiment  <id> [--full]     # table-2.1, table-2.2, table-3.1, ...
+//! dnasim archive     --bytes 4096 [--imperfect]
+//! ```
+
+mod args;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use dnasim_channel::{CoverageModel, DnaSimulatorModel, KeoliyaModel, Simulator, SimulatorLayer};
+use dnasim_core::rng::seeded;
+use dnasim_core::Dataset;
+use dnasim_dataset::{read_dataset, write_dataset, NanoporeTwinConfig};
+use dnasim_pipeline::{
+    archive_round_trip, evaluate_reconstruction, fixed_coverage_protocol, ArchiveConfig,
+    Experiments,
+};
+use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
+use dnasim_reconstruct::{
+    BmaLookahead, DividerBma, Iterative, MajorityVote, TraceReconstructor, TwoWayIterative,
+};
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_deref() {
+        Some("generate") => cmd_generate(&args),
+        Some("profile") => cmd_profile(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("reconstruct") => cmd_reconstruct(&args),
+        Some("evaluate") => cmd_evaluate(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("experiment") => cmd_experiment(&args),
+        Some("archive") => cmd_archive(&args),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try 'dnasim help')").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn print_usage() {
+    println!(
+        "dnasim — DNA-storage noisy-channel simulator\n\n\
+         commands:\n\
+         \x20 generate    --out FILE [--clusters N] [--len L] [--seed S] [--small]\n\
+         \x20 profile     --data FILE [--top-k K] [--save MODEL]\n\
+         \x20 simulate    --data FILE --model MODEL --out FILE [--seed S] [--model-file MODEL]\n\
+         \x20             MODEL: naive | dnasimulator | keoliya[:naive|cond|spatial|second]\n\
+         \x20 reconstruct --data FILE --algo ALGO [--coverage N] [--min-coverage M]\n\
+         \x20             ALGO: bma | divbma | iterative | iterative-twoway | majority\n\
+         \x20 evaluate    --real FILE --sim FILE [--coverage N]\n\
+         \x20 stats       --data FILE\n\
+         \x20 experiment  ID [--full]   (table-2.1 table-2.2 table-3.1 table-3.2 fig-3.3 ext-twoway ext-layers fidelity)\n\
+         \x20 archive     [--bytes N] [--imperfect] [--seed S]"
+    );
+}
+
+fn load(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
+    Ok(read_dataset(BufReader::new(File::open(path)?))?)
+}
+
+fn parse_algorithm(name: &str) -> Result<Box<dyn TraceReconstructor>, String> {
+    match name {
+        "bma" => Ok(Box::new(BmaLookahead::default())),
+        "divbma" => Ok(Box::new(DividerBma)),
+        "iterative" => Ok(Box::new(Iterative::default())),
+        "iterative-twoway" => Ok(Box::new(TwoWayIterative::default())),
+        "majority" => Ok(Box::new(MajorityVote)),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn parse_layer(name: &str) -> Result<SimulatorLayer, String> {
+    match name {
+        "naive" => Ok(SimulatorLayer::Naive),
+        "cond" => Ok(SimulatorLayer::ConditionalLongDel),
+        "spatial" => Ok(SimulatorLayer::SpatialSkew),
+        "second" => Ok(SimulatorLayer::SecondOrder),
+        other => Err(format!("unknown layer '{other}'")),
+    }
+}
+
+fn cmd_generate(args: &Args) -> CliResult {
+    let out = args.require("out")?;
+    let mut config = if args.flag("small") {
+        NanoporeTwinConfig::small()
+    } else {
+        NanoporeTwinConfig::default()
+    };
+    config.cluster_count = args.get_or("clusters", config.cluster_count)?;
+    config.strand_len = args.get_or("len", config.strand_len)?;
+    config.seed = args.get_or("seed", config.seed)?;
+    let dataset = config.generate();
+    write_dataset(&dataset, BufWriter::new(File::create(out)?))?;
+    println!(
+        "wrote {} clusters ({} reads, mean coverage {:.2}, {} erasures) to {out}",
+        dataset.len(),
+        dataset.total_reads(),
+        dataset.mean_coverage(),
+        dataset.erasure_count(),
+    );
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> CliResult {
+    let dataset = load(args.require("data")?)?;
+    let top_k = args.get_or("top-k", 10usize)?;
+    let mut rng = seeded(args.get_or("seed", 0u64)?);
+    let stats = ErrorStats::from_dataset(&dataset, TieBreak::Random, &mut rng);
+    println!(
+        "reads: {}   aggregate error rate: {:.4}",
+        stats.read_count(),
+        stats.aggregate_error_rate()
+    );
+    println!(
+        "long deletions: p = {:.5}, mean length {:.2}",
+        stats.long_deletion_probability(),
+        stats.long_deletion_mean_length()
+    );
+    use dnasim_core::{Base, ErrorKind};
+    println!("conditional probabilities P(kind | base):");
+    for base in Base::ALL {
+        print!("  {base}:");
+        for kind in ErrorKind::ALL {
+            print!("  {kind}={:.5}", stats.conditional_probability(base, kind));
+        }
+        println!();
+    }
+    let (top, share) = stats.top_second_order(top_k);
+    println!(
+        "top {top_k} second-order errors ({:.1}% of all errors):",
+        share * 100.0
+    );
+    for (op, stat) in top {
+        println!("  {op}: {} occurrences", stat.count);
+    }
+    let model = LearnedModel::from_stats(&stats, top_k);
+    println!(
+        "spatial multipliers: start {:.2}, interior {:.2}, end {:.2}",
+        model.spatial_multiplier(0),
+        model.spatial_multiplier(model.strand_len / 2),
+        model.spatial_multiplier(model.strand_len.saturating_sub(1)),
+    );
+    if let Some(path) = args.get("save") {
+        std::fs::write(path, model.to_text())?;
+        println!("saved learned model to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> CliResult {
+    let dataset = load(args.require("data")?)?;
+    let out = args.require("out")?;
+    let model_spec = args.require("model")?;
+    let mut rng = seeded(args.get_or("seed", 1u64)?);
+
+    let simulated = if let Some(layer_name) = model_spec.strip_prefix("keoliya") {
+        let layer = match layer_name.strip_prefix(':') {
+            Some(l) => parse_layer(l)?,
+            None => SimulatorLayer::SecondOrder,
+        };
+        // Reuse a previously saved model, or learn one from the dataset.
+        let learned = match args.get("model-file") {
+            Some(path) => LearnedModel::from_text(&std::fs::read_to_string(path)?)?,
+            None => {
+                let stats = ErrorStats::from_dataset(&dataset, TieBreak::Random, &mut rng);
+                LearnedModel::from_stats(&stats, 10)
+            }
+        };
+        let model = KeoliyaModel::new(learned, layer);
+        Simulator::new(model, CoverageModel::Fixed(0)).resimulate_matching(&dataset, &mut rng)
+    } else {
+        match model_spec {
+            "naive" => {
+                let stats = ErrorStats::from_dataset(&dataset, TieBreak::Random, &mut rng);
+                let learned = LearnedModel::from_stats(&stats, 10);
+                let model = KeoliyaModel::new(learned, SimulatorLayer::Naive);
+                Simulator::new(model, CoverageModel::Fixed(0))
+                    .resimulate_matching(&dataset, &mut rng)
+            }
+            "dnasimulator" => Simulator::new(
+                DnaSimulatorModel::nanopore_default(),
+                CoverageModel::Fixed(0),
+            )
+            .resimulate_matching(&dataset, &mut rng),
+            other => return Err(format!("unknown model '{other}'").into()),
+        }
+    };
+    write_dataset(&simulated, BufWriter::new(File::create(out)?))?;
+    println!(
+        "simulated {} clusters ({} reads) with model '{model_spec}' to {out}",
+        simulated.len(),
+        simulated.total_reads()
+    );
+    Ok(())
+}
+
+fn cmd_reconstruct(args: &Args) -> CliResult {
+    let dataset = load(args.require("data")?)?;
+    let algorithm = parse_algorithm(args.require("algo")?)?;
+    let dataset = match args.get("coverage") {
+        Some(_) => {
+            let coverage = args.get_or("coverage", 5usize)?;
+            let min = args.get_or("min-coverage", 10usize)?;
+            fixed_coverage_protocol(&dataset, min, coverage)
+        }
+        None => dataset,
+    };
+    let report = evaluate_reconstruction(&dataset, &algorithm);
+    println!("{}: {report}", algorithm.name());
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> CliResult {
+    let real = load(args.require("real")?)?;
+    let sim = load(args.require("sim")?)?;
+    let prepare = |ds: &Dataset| -> Result<Dataset, args::ArgsError> {
+        Ok(match args.get("coverage") {
+            Some(_) => fixed_coverage_protocol(
+                ds,
+                args.get_or("min-coverage", 10usize)?,
+                args.get_or("coverage", 5usize)?,
+            ),
+            None => ds.clone(),
+        })
+    };
+    let real = prepare(&real)?;
+    let sim = prepare(&sim)?;
+    {
+        // §3.1 closed-form fidelity distances (lower is better).
+        let mut rng = seeded(args.get_or("seed", 0u64)?);
+        let fidelity = dnasim_pipeline::simulator_fidelity(&real, &sim, &mut rng);
+        println!("fidelity: {fidelity}");
+    }
+    println!(
+        "{:<12} {:>20} {:>20}",
+        "algorithm", "real (str%/chr%)", "sim (str%/chr%)"
+    );
+    for algorithm in [
+        parse_algorithm("bma")?,
+        parse_algorithm("divbma")?,
+        parse_algorithm("iterative")?,
+    ] {
+        let r = evaluate_reconstruction(&real, &algorithm);
+        let s = evaluate_reconstruction(&sim, &algorithm);
+        println!(
+            "{:<12} {:>9.2} /{:>8.2} {:>9.2} /{:>8.2}",
+            algorithm.name(),
+            r.per_strand_percent(),
+            r.per_char_percent(),
+            s.per_strand_percent(),
+            s.per_char_percent()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> CliResult {
+    let dataset = load(args.require("data")?)?;
+    println!("clusters:        {}", dataset.len());
+    println!("reads:           {}", dataset.total_reads());
+    println!("mean coverage:   {:.2}", dataset.mean_coverage());
+    if let Some((lo, hi)) = dataset.coverage_range() {
+        println!("coverage range:  {lo}..{hi}");
+    }
+    println!("erasures:        {}", dataset.erasure_count());
+    if let Some(len) = dataset.strand_len() {
+        println!("strand length:   {len}");
+    }
+    let hist = dataset.coverage_histogram();
+    let max = hist.iter().copied().max().unwrap_or(1).max(1);
+    println!("coverage histogram (bucketed):");
+    for (bucket, chunk) in hist.chunks(10).enumerate() {
+        let count: usize = chunk.iter().sum();
+        let bar = "#".repeat(count * 40 / (max * chunk.len().min(10)).max(1));
+        println!("  {:>3}-{:<3} {count:>6} |{bar}", bucket * 10, bucket * 10 + 9);
+    }
+    Ok(())
+}
+
+fn cmd_experiment(args: &Args) -> CliResult {
+    let id = args
+        .positional
+        .first()
+        .ok_or("experiment requires an id (e.g. table-3.1)")?;
+    let config = if args.flag("full") {
+        NanoporeTwinConfig::default()
+    } else {
+        NanoporeTwinConfig::small()
+    };
+    let experiments = Experiments::new(&config);
+    match id.as_str() {
+        "table-2.1" => println!("{}", experiments.table_2_1()),
+        "table-2.2" => println!("{}", experiments.table_2_2()),
+        "table-3.1" => println!("{}", experiments.ablation_table(5)),
+        "table-3.2" => println!("{}", experiments.ablation_table(6)),
+        "fig-3.3" => {
+            println!("Iterative accuracy vs coverage (fixed-coverage protocol):");
+            println!("{:>3} {:>10} {:>10}", "N", "strand %", "char %");
+            for (n, cell) in experiments.coverage_sweep(10) {
+                println!("{n:>3} {:>10.2} {:>10.2}", cell.per_strand, cell.per_char);
+            }
+        }
+        "ext-twoway" => println!("{}", experiments.two_way_comparison(5)),
+        "ext-layers" => println!("{}", experiments.extensions_table(5)),
+        "fidelity" => {
+            println!("§3.1 fidelity distances vs real data (lower is better):");
+            for (label, report) in experiments.fidelity_by_layer() {
+                println!("  {label:<20} {report}");
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown experiment '{other}' — the full set lives in the repro harness: \
+                 cargo run -p dnasim-bench --release --bin repro -- {other}"
+            )
+            .into())
+        }
+    }
+    Ok(())
+}
+
+fn cmd_archive(args: &Args) -> CliResult {
+    let bytes = args.get_or("bytes", 1024usize)?;
+    let mut rng = seeded(args.get_or("seed", 7u64)?);
+    let data: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+    let config = ArchiveConfig {
+        imperfect_clustering: args.flag("imperfect"),
+        ..ArchiveConfig::default()
+    };
+    let report = archive_round_trip(&data, &config, &mut rng)?;
+    let ok = report.data[..data.len()] == data[..];
+    println!(
+        "archived {bytes} bytes as {} strands, sequenced {} reads, parity recoveries: {}, \
+         round-trip {}",
+        report.strands_written,
+        report.reads_sequenced,
+        report.strands_recovered_by_parity,
+        if ok { "OK" } else { "CORRUPT" }
+    );
+    if !ok {
+        return Err("payload mismatch after round trip".into());
+    }
+    Ok(())
+}

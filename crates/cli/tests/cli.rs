@@ -1,0 +1,227 @@
+//! End-to-end CLI tests: drive the `dnasim` binary as a user would.
+
+use std::process::Command;
+
+fn dnasim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dnasim"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("dnasim-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = dnasim().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["generate", "profile", "simulate", "reconstruct", "evaluate", "experiment"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = dnasim().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_profile_simulate_reconstruct_pipeline() {
+    let twin = tmp("twin.txt");
+    let sim = tmp("sim.txt");
+
+    // generate
+    let out = dnasim()
+        .args(["generate", "--out", twin.to_str().unwrap(), "--small", "--clusters", "60"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote 60 clusters"));
+
+    // profile
+    let out = dnasim()
+        .args(["profile", "--data", twin.to_str().unwrap(), "--top-k", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("aggregate error rate"));
+    assert!(text.contains("conditional probabilities"));
+
+    // simulate (resimulate with the learned model)
+    let out = dnasim()
+        .args([
+            "simulate",
+            "--data",
+            twin.to_str().unwrap(),
+            "--model",
+            "keoliya:spatial",
+            "--out",
+            sim.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // reconstruct on both
+    for file in [&twin, &sim] {
+        let out = dnasim()
+            .args([
+                "reconstruct",
+                "--data",
+                file.to_str().unwrap(),
+                "--algo",
+                "iterative",
+                "--coverage",
+                "5",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        assert!(String::from_utf8_lossy(&out.stdout).contains("per-strand"));
+    }
+
+    // evaluate real vs simulated
+    let out = dnasim()
+        .args([
+            "evaluate",
+            "--real",
+            twin.to_str().unwrap(),
+            "--sim",
+            sim.to_str().unwrap(),
+            "--coverage",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bma") && text.contains("iterative"));
+}
+
+#[test]
+fn missing_required_option_reports_error() {
+    let out = dnasim().args(["generate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+}
+
+#[test]
+fn unknown_algorithm_reports_error() {
+    let twin = tmp("twin2.txt");
+    dnasim()
+        .args(["generate", "--out", twin.to_str().unwrap(), "--small", "--clusters", "10"])
+        .output()
+        .unwrap();
+    let out = dnasim()
+        .args(["reconstruct", "--data", twin.to_str().unwrap(), "--algo", "magic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+}
+
+#[test]
+fn archive_round_trips() {
+    let out = dnasim().args(["archive", "--bytes", "256"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("round-trip OK"));
+}
+
+#[test]
+fn stats_reports_dataset_summary() {
+    let twin = tmp("twin3.txt");
+    dnasim()
+        .args(["generate", "--out", twin.to_str().unwrap(), "--small", "--clusters", "25"])
+        .output()
+        .unwrap();
+    let out = dnasim()
+        .args(["stats", "--data", twin.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("clusters:        25"));
+    assert!(text.contains("coverage histogram"));
+}
+
+#[test]
+fn evaluate_reports_fidelity() {
+    let twin = tmp("twin4.txt");
+    let sim = tmp("sim4.txt");
+    dnasim()
+        .args(["generate", "--out", twin.to_str().unwrap(), "--small", "--clusters", "25"])
+        .output()
+        .unwrap();
+    dnasim()
+        .args([
+            "simulate",
+            "--data",
+            twin.to_str().unwrap(),
+            "--model",
+            "naive",
+            "--out",
+            sim.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = dnasim()
+        .args([
+            "evaluate",
+            "--real",
+            twin.to_str().unwrap(),
+            "--sim",
+            sim.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fidelity:"));
+    assert!(text.contains("χ²"));
+}
+
+#[test]
+fn profile_save_and_simulate_from_model_file() {
+    let twin = tmp("twin5.txt");
+    let model = tmp("model5.txt");
+    let sim = tmp("sim5.txt");
+    dnasim()
+        .args(["generate", "--out", twin.to_str().unwrap(), "--small", "--clusters", "25"])
+        .output()
+        .unwrap();
+    let out = dnasim()
+        .args([
+            "profile",
+            "--data",
+            twin.to_str().unwrap(),
+            "--save",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&model).unwrap();
+    assert!(text.starts_with("dnasim-learned-model v1"));
+
+    let out = dnasim()
+        .args([
+            "simulate",
+            "--data",
+            twin.to_str().unwrap(),
+            "--model",
+            "keoliya:second",
+            "--model-file",
+            model.to_str().unwrap(),
+            "--out",
+            sim.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(sim.exists());
+}

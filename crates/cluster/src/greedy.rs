@@ -1,0 +1,378 @@
+//! Greedy edit-distance clustering of an unordered read pool.
+//!
+//! Real sequencing yields an unordered multiset of reads that must be
+//! grouped into clusters before reconstruction. This clusterer follows the
+//! standard recipe (cf. Rashtchian et al.): a q-gram MinHash prefilter
+//! proposes candidate clusters, and a banded edit-distance test against the
+//! cluster representative confirms membership.
+
+use std::collections::HashMap;
+
+use dnasim_core::{Cluster, Dataset, Strand};
+use dnasim_metrics::levenshtein_within;
+
+use crate::signature::QGramSignature;
+
+/// Configuration for greedy clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GreedyClusterer {
+    /// Maximum edit distance to a cluster representative for membership.
+    pub distance_threshold: usize,
+    /// q-gram length for the signature prefilter.
+    pub qgram_len: usize,
+    /// Number of MinHash entries kept per signature.
+    pub sketch_len: usize,
+    /// Number of leading sketch hashes used for candidate bucketing.
+    pub bands: usize,
+}
+
+impl Default for GreedyClusterer {
+    /// Defaults tuned for ~110-base strands at Nanopore error rates.
+    fn default() -> GreedyClusterer {
+        GreedyClusterer {
+            distance_threshold: 18,
+            qgram_len: 5,
+            sketch_len: 12,
+            bands: 6,
+        }
+    }
+}
+
+impl GreedyClusterer {
+    /// Groups a pool of reads into clusters, returning read indices per
+    /// cluster.
+    ///
+    /// Single pass: each read joins the first existing cluster whose
+    /// representative is within the distance threshold (candidates proposed
+    /// by signature band collisions), or founds a new cluster.
+    pub fn cluster(&self, pool: &[Strand]) -> Vec<Vec<usize>> {
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        let mut representatives: Vec<(Strand, QGramSignature)> = Vec::new();
+        // band hash → cluster ids that expose it
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+
+        for (read_idx, read) in pool.iter().enumerate() {
+            let sig = QGramSignature::new(read, self.qgram_len, self.sketch_len);
+            let mut candidates: Vec<usize> = sig
+                .hashes()
+                .iter()
+                .take(self.bands)
+                .filter_map(|h| buckets.get(h))
+                .flatten()
+                .copied()
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+
+            let mut joined = None;
+            for &cluster_id in &candidates {
+                let (repr, _) = &representatives[cluster_id];
+                if levenshtein_within(
+                    repr.as_bases(),
+                    read.as_bases(),
+                    self.distance_threshold,
+                )
+                .is_some()
+                {
+                    joined = Some(cluster_id);
+                    break;
+                }
+            }
+            match joined {
+                Some(id) => clusters[id].push(read_idx),
+                None => {
+                    let id = clusters.len();
+                    clusters.push(vec![read_idx]);
+                    for &h in sig.hashes().iter().take(self.bands) {
+                        buckets.entry(h).or_default().push(id);
+                    }
+                    representatives.push((read.clone(), sig));
+                }
+            }
+        }
+        clusters
+    }
+
+    /// Clusters a pool and assigns each group to the nearest reference
+    /// strand, producing an evaluable [`Dataset`] (references with no
+    /// assigned group become erasures).
+    ///
+    /// Reads whose group matches no reference within the threshold are
+    /// dropped — exactly the data loss imperfect clustering causes.
+    pub fn cluster_against_references(
+        &self,
+        pool: &[Strand],
+        references: &[Strand],
+    ) -> Dataset {
+        let ref_sigs: Vec<QGramSignature> = references
+            .iter()
+            .map(|r| QGramSignature::new(r, self.qgram_len, self.sketch_len))
+            .collect();
+        let mut assigned: Vec<Vec<Strand>> = references.iter().map(|_| Vec::new()).collect();
+
+        for group in self.cluster(pool) {
+            let repr = &pool[group[0]];
+            let sig = QGramSignature::new(repr, self.qgram_len, self.sketch_len);
+            // Nearest reference by signature overlap, confirmed by banded
+            // distance.
+            let mut best: Option<(usize, usize)> = None; // (ref idx, distance)
+            for (ref_idx, reference) in references.iter().enumerate() {
+                if !sig.shares_band(&ref_sigs[ref_idx], self.bands)
+                    && sig.overlap(&ref_sigs[ref_idx]) == 0.0
+                {
+                    continue;
+                }
+                if let Some(d) = levenshtein_within(
+                    reference.as_bases(),
+                    repr.as_bases(),
+                    self.distance_threshold,
+                ) {
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((ref_idx, d));
+                    }
+                }
+            }
+            if let Some((ref_idx, _)) = best {
+                for read_idx in group {
+                    assigned[ref_idx].push(pool[read_idx].clone());
+                }
+            }
+        }
+        references
+            .iter()
+            .zip(assigned)
+            .map(|(reference, reads)| Cluster::new(reference.clone(), reads))
+            .collect()
+    }
+}
+
+impl GreedyClusterer {
+    /// A second pass over [`cluster`](GreedyClusterer::cluster)'s output
+    /// that merges groups whose representatives are within the distance
+    /// threshold of each other.
+    ///
+    /// Single-pass greedy clustering is order-dependent: a noisy early read
+    /// can found a splinter cluster that later reads of the same strand
+    /// never rejoin. Merging representative-close groups repairs most of
+    /// these splits at `O(g²)` representative comparisons (with the
+    /// signature prefilter pruning most pairs).
+    pub fn cluster_with_merge(&self, pool: &[Strand]) -> Vec<Vec<usize>> {
+        let groups = self.cluster(pool);
+        if groups.len() <= 1 {
+            return groups;
+        }
+        let representatives: Vec<(&Strand, QGramSignature)> = groups
+            .iter()
+            .map(|g| {
+                let repr = &pool[g[0]];
+                (repr, QGramSignature::new(repr, self.qgram_len, self.sketch_len))
+            })
+            .collect();
+        // Union-find over groups.
+        let mut parent: Vec<usize> = (0..groups.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                if find(&mut parent, i) == find(&mut parent, j) {
+                    continue;
+                }
+                let (repr_i, sig_i) = &representatives[i];
+                let (repr_j, sig_j) = &representatives[j];
+                if !sig_i.shares_band(sig_j, self.bands) {
+                    continue;
+                }
+                if levenshtein_within(
+                    repr_i.as_bases(),
+                    repr_j.as_bases(),
+                    self.distance_threshold,
+                )
+                .is_some()
+                {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+        let mut merged: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, group) in groups.into_iter().enumerate() {
+            merged.entry(find(&mut parent, i)).or_default().extend(group);
+        }
+        merged.into_values().collect()
+    }
+}
+
+/// Perfect (pseudo-)clustering: treats the simulator's ordered output as
+/// already clustered. This is the identity on a [`Dataset`] and exists to
+/// make the clustering choice explicit at call sites.
+pub fn perfect_clustering(dataset: Dataset) -> Dataset {
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_channel::{ErrorModel, NaiveModel};
+    use dnasim_core::rng::seeded;
+
+    #[test]
+    fn identical_reads_form_one_cluster() {
+        let read: Strand = "ACGTACGTACGTACGTACGT".parse().unwrap();
+        let pool = vec![read.clone(), read.clone(), read];
+        let clusters = GreedyClusterer::default().cluster(&pool);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn distant_reads_form_separate_clusters() {
+        let mut rng = seeded(1);
+        let a = Strand::random(60, &mut rng);
+        let b = Strand::random(60, &mut rng);
+        let pool = vec![a.clone(), b.clone(), a, b];
+        let clusters = GreedyClusterer::default().cluster(&pool);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn noisy_copies_cluster_with_their_origin() {
+        let mut rng = seeded(2);
+        let model = NaiveModel::with_total_rate(0.05);
+        let references: Vec<Strand> = (0..8).map(|_| Strand::random(110, &mut rng)).collect();
+        let mut pool = Vec::new();
+        let mut origin = Vec::new();
+        for (i, r) in references.iter().enumerate() {
+            for _ in 0..5 {
+                pool.push(model.corrupt(r, &mut rng));
+                origin.push(i);
+            }
+        }
+        let clusters = GreedyClusterer::default().cluster(&pool);
+        // Every cluster should be pure: all members share an origin.
+        for group in &clusters {
+            let first = origin[group[0]];
+            assert!(
+                group.iter().all(|&idx| origin[idx] == first),
+                "mixed cluster: {group:?}"
+            );
+        }
+        // And there should be roughly one cluster per reference.
+        assert!(clusters.len() >= 8 && clusters.len() <= 12, "{}", clusters.len());
+    }
+
+    #[test]
+    fn cluster_against_references_recovers_dataset() {
+        let mut rng = seeded(3);
+        let model = NaiveModel::with_total_rate(0.05);
+        let references: Vec<Strand> = (0..6).map(|_| Strand::random(110, &mut rng)).collect();
+        let mut pool = Vec::new();
+        for r in &references {
+            for _ in 0..4 {
+                pool.push(model.corrupt(r, &mut rng));
+            }
+        }
+        // Shuffle the pool to destroy ordering.
+        use rand::seq::SliceRandom;
+        pool.shuffle(&mut rng);
+        let dataset =
+            GreedyClusterer::default().cluster_against_references(&pool, &references);
+        assert_eq!(dataset.len(), 6);
+        // Most reads should be recovered into their clusters.
+        assert!(
+            dataset.total_reads() >= 20,
+            "only {} of 24 reads assigned",
+            dataset.total_reads()
+        );
+        for cluster in dataset.iter() {
+            assert!(!cluster.is_erasure(), "lost a reference entirely");
+        }
+    }
+
+    #[test]
+    fn unmatched_reads_are_dropped() {
+        let mut rng = seeded(4);
+        let references = vec![Strand::random(110, &mut rng)];
+        let junk = Strand::random(110, &mut rng);
+        let dataset = GreedyClusterer::default()
+            .cluster_against_references(&[junk], &references);
+        assert_eq!(dataset.len(), 1);
+        assert_eq!(dataset.total_reads(), 0);
+    }
+
+    #[test]
+    fn empty_pool_yields_erasures() {
+        let mut rng = seeded(5);
+        let references = vec![Strand::random(50, &mut rng)];
+        let dataset = GreedyClusterer::default().cluster_against_references(&[], &references);
+        assert_eq!(dataset.erasure_count(), 1);
+    }
+
+    #[test]
+    fn perfect_clustering_is_identity() {
+        let mut rng = seeded(6);
+        let r = Strand::random(20, &mut rng);
+        let ds = Dataset::from_clusters(vec![Cluster::new(r.clone(), vec![r])]);
+        assert_eq!(perfect_clustering(ds.clone()), ds);
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+    use dnasim_channel::{ErrorModel, NaiveModel};
+    use dnasim_core::rng::seeded;
+
+    #[test]
+    fn merge_repairs_splinter_clusters() {
+        // A clusterer with a tight threshold splinters heavy-noise reads;
+        // the merge pass with the same threshold rejoins groups whose
+        // representatives are mutually close.
+        let mut rng = seeded(10);
+        let model = NaiveModel::with_total_rate(0.08);
+        let references: Vec<Strand> = (0..6).map(|_| Strand::random(110, &mut rng)).collect();
+        let mut pool = Vec::new();
+        for r in &references {
+            for _ in 0..8 {
+                pool.push(model.corrupt(r, &mut rng));
+            }
+        }
+        let clusterer = GreedyClusterer {
+            distance_threshold: 22,
+            ..GreedyClusterer::default()
+        };
+        let single_pass = clusterer.cluster(&pool);
+        let merged = clusterer.cluster_with_merge(&pool);
+        assert!(merged.len() <= single_pass.len());
+        // Every read is still assigned exactly once.
+        let mut seen: Vec<usize> = merged.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..pool.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_is_identity_when_nothing_overlaps() {
+        let mut rng = seeded(11);
+        let a = Strand::random(80, &mut rng);
+        let b = Strand::random(80, &mut rng);
+        let pool = vec![a.clone(), a, b.clone(), b];
+        let clusterer = GreedyClusterer::default();
+        assert_eq!(
+            clusterer.cluster_with_merge(&pool).len(),
+            clusterer.cluster(&pool).len()
+        );
+    }
+
+    #[test]
+    fn merge_handles_trivial_pools() {
+        let clusterer = GreedyClusterer::default();
+        assert!(clusterer.cluster_with_merge(&[]).is_empty());
+        let one = vec![Strand::random(30, &mut seeded(12))];
+        assert_eq!(clusterer.cluster_with_merge(&one).len(), 1);
+    }
+}

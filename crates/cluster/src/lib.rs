@@ -1,0 +1,36 @@
+//! Read clustering for DNA-storage pipelines.
+//!
+//! Sequencing returns an unordered pool of noisy reads; before trace
+//! reconstruction, reads must be grouped into clusters of copies of the
+//! same reference. Evaluation can either use *perfect* (pseudo-)clustering
+//! — treating the simulator's ordered output as already grouped, isolating
+//! reconstruction behaviour from clustering artifacts — or run a real
+//! clusterer over the shuffled pool.
+//!
+//! * [`perfect_clustering`] — the explicit identity used by the paper's
+//!   evaluation protocol;
+//! * [`GreedyClusterer`] — single-pass greedy clustering with a
+//!   [`QGramSignature`] MinHash prefilter and banded edit-distance
+//!   confirmation.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnasim_cluster::GreedyClusterer;
+//! use dnasim_core::Strand;
+//!
+//! let a: Strand = "ACGTACGTACGTACGTACGT".parse()?;
+//! let pool = vec![a.clone(), a.clone(), a];
+//! let clusters = GreedyClusterer::default().cluster(&pool);
+//! assert_eq!(clusters.len(), 1);
+//! # Ok::<(), dnasim_core::ParseStrandError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod greedy;
+mod signature;
+
+pub use greedy::{perfect_clustering, GreedyClusterer};
+pub use signature::QGramSignature;

@@ -1,0 +1,269 @@
+//! Binary ↔ DNA transcoding.
+//!
+//! Digital payloads must be expressed over {A, C, G, T} before synthesis.
+//! Two codecs are provided:
+//!
+//! * [`TwoBitCodec`] — the trivial 2 bits/base mapping (A=00, C=01, G=10,
+//!   T=11), reaching the theoretical maximum density of 2 bits per
+//!   nucleotide but placing no constraint on homopolymers;
+//! * [`RotationCodec`] — a Goldman-style rotating ternary code that never
+//!   repeats a base (maximum homopolymer length 1) at ~1.58 bits/base,
+//!   trading density for sequencing robustness.
+
+use std::fmt;
+
+use dnasim_core::{Base, Strand};
+
+/// Error returned when DNA→binary decoding fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The strand length is not a whole number of symbols.
+    LengthNotAligned {
+        /// Offending strand length.
+        len: usize,
+        /// Required alignment in bases.
+        alignment: usize,
+    },
+    /// A homopolymer (repeated base) appeared where the rotation code
+    /// forbids one.
+    UnexpectedRepeat {
+        /// Position of the repeated base.
+        position: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::LengthNotAligned { len, alignment } => {
+                write!(f, "strand length {len} is not a multiple of {alignment}")
+            }
+            DecodeError::UnexpectedRepeat { position } => {
+                write!(f, "repeated base at position {position} breaks the rotation code")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The 2-bits-per-base codec: each byte becomes four bases.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_codec::TwoBitCodec;
+///
+/// let strand = TwoBitCodec.encode(&[0b00011011]);
+/// assert_eq!(strand.to_string(), "ACGT");
+/// assert_eq!(TwoBitCodec.decode(&strand)?, vec![0b00011011]);
+/// # Ok::<(), dnasim_codec::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwoBitCodec;
+
+impl TwoBitCodec {
+    /// Encodes bytes as a strand, four bases per byte (MSB first).
+    pub fn encode(&self, bytes: &[u8]) -> Strand {
+        let mut strand = Strand::with_capacity(bytes.len() * 4);
+        for &byte in bytes {
+            for shift in [6u8, 4, 2, 0] {
+                let bits = (byte >> shift) & 0b11;
+                strand.push(Base::from_index(bits as usize).expect("two bits"));
+            }
+        }
+        strand
+    }
+
+    /// Decodes a strand back to bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::LengthNotAligned`] if the strand length is not
+    /// a multiple of 4.
+    pub fn decode(&self, strand: &Strand) -> Result<Vec<u8>, DecodeError> {
+        if !strand.len().is_multiple_of(4) {
+            return Err(DecodeError::LengthNotAligned {
+                len: strand.len(),
+                alignment: 4,
+            });
+        }
+        let mut bytes = Vec::with_capacity(strand.len() / 4);
+        for chunk in strand.as_bases().chunks(4) {
+            let mut byte = 0u8;
+            for &b in chunk {
+                byte = (byte << 2) | b.index() as u8;
+            }
+            bytes.push(byte);
+        }
+        Ok(bytes)
+    }
+}
+
+/// A rotating ternary codec: each trit (0–2) advances the current base by
+/// 1–3 positions in the cyclic order A→C→G→T→A, so consecutive bases are
+/// never equal.
+///
+/// Six trits carry one byte (3⁵ = 243 < 256 would not fit; 3⁶ = 729 does),
+/// giving six bases per byte.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_codec::RotationCodec;
+///
+/// let strand = RotationCodec.encode(&[0xAB, 0x00, 0xFF]);
+/// assert_eq!(strand.max_homopolymer(), 1); // never two equal bases in a row
+/// assert_eq!(RotationCodec.decode(&strand)?, vec![0xAB, 0x00, 0xFF]);
+/// # Ok::<(), dnasim_codec::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RotationCodec;
+
+/// Trits per encoded byte (3⁶ = 729 ≥ 256).
+const TRITS_PER_BYTE: usize = 6;
+
+impl RotationCodec {
+    /// Encodes bytes as a homopolymer-free strand, six bases per byte.
+    pub fn encode(&self, bytes: &[u8]) -> Strand {
+        let mut strand = Strand::with_capacity(bytes.len() * TRITS_PER_BYTE);
+        let mut current = Base::A; // virtual predecessor of the first base
+        for &byte in bytes {
+            let mut value = byte as usize;
+            let mut trits = [0usize; TRITS_PER_BYTE];
+            for t in trits.iter_mut().rev() {
+                *t = value % 3;
+                value /= 3;
+            }
+            for trit in trits {
+                // Advance 1..=3 positions: never lands on `current`.
+                let next = Base::from_index((current.index() + trit + 1) % 4)
+                    .expect("index in range");
+                strand.push(next);
+                current = next;
+            }
+        }
+        strand
+    }
+
+    /// Decodes a homopolymer-free strand back to bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::LengthNotAligned`] if the length is not a multiple of
+    /// six; [`DecodeError::UnexpectedRepeat`] if two consecutive bases are
+    /// equal (corruption made the rotation ill-defined).
+    pub fn decode(&self, strand: &Strand) -> Result<Vec<u8>, DecodeError> {
+        if !strand.len().is_multiple_of(TRITS_PER_BYTE) {
+            return Err(DecodeError::LengthNotAligned {
+                len: strand.len(),
+                alignment: TRITS_PER_BYTE,
+            });
+        }
+        let mut bytes = Vec::with_capacity(strand.len() / TRITS_PER_BYTE);
+        let mut current = Base::A;
+        for (chunk_idx, chunk) in strand.as_bases().chunks(TRITS_PER_BYTE).enumerate() {
+            let mut value = 0usize;
+            for (i, &b) in chunk.iter().enumerate() {
+                let step = (b.index() + 4 - current.index()) % 4;
+                if step == 0 {
+                    return Err(DecodeError::UnexpectedRepeat {
+                        position: chunk_idx * TRITS_PER_BYTE + i,
+                    });
+                }
+                value = value * 3 + (step - 1);
+                current = b;
+            }
+            bytes.push(value.min(255) as u8);
+        }
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+    use rand::RngExt;
+
+    #[test]
+    fn two_bit_round_trips_all_bytes() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let strand = TwoBitCodec.encode(&bytes);
+        assert_eq!(strand.len(), 1024);
+        assert_eq!(TwoBitCodec.decode(&strand).unwrap(), bytes);
+    }
+
+    #[test]
+    fn two_bit_known_mapping() {
+        assert_eq!(TwoBitCodec.encode(&[0b00011011]).to_string(), "ACGT");
+        assert_eq!(TwoBitCodec.encode(&[0xFF]).to_string(), "TTTT");
+        assert_eq!(TwoBitCodec.encode(&[0x00]).to_string(), "AAAA");
+    }
+
+    #[test]
+    fn two_bit_rejects_misaligned() {
+        let strand: Strand = "ACG".parse().unwrap();
+        assert_eq!(
+            TwoBitCodec.decode(&strand),
+            Err(DecodeError::LengthNotAligned { len: 3, alignment: 4 })
+        );
+    }
+
+    #[test]
+    fn two_bit_empty() {
+        assert_eq!(TwoBitCodec.encode(&[]).len(), 0);
+        assert_eq!(TwoBitCodec.decode(&Strand::new()).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rotation_round_trips_all_bytes() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let strand = RotationCodec.encode(&bytes);
+        assert_eq!(RotationCodec.decode(&strand).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rotation_never_repeats_bases() {
+        let mut rng = seeded(1);
+        for _ in 0..20 {
+            let bytes: Vec<u8> = (0..64).map(|_| rng.random()).collect();
+            let strand = RotationCodec.encode(&bytes);
+            assert_eq!(strand.max_homopolymer(), 1);
+        }
+    }
+
+    #[test]
+    fn rotation_rejects_repeat() {
+        let strand: Strand = "AACGTC".parse().unwrap();
+        assert!(matches!(
+            RotationCodec.decode(&strand),
+            Err(DecodeError::UnexpectedRepeat { .. })
+        ));
+    }
+
+    #[test]
+    fn rotation_rejects_misaligned() {
+        let strand: Strand = "ACGTC".parse().unwrap();
+        assert!(matches!(
+            RotationCodec.decode(&strand),
+            Err(DecodeError::LengthNotAligned { .. })
+        ));
+    }
+
+    #[test]
+    fn density_comparison() {
+        // 2-bit: 4 bases/byte; rotation: 6 bases/byte.
+        let bytes = [0u8; 100];
+        assert_eq!(TwoBitCodec.encode(&bytes).len(), 400);
+        assert_eq!(RotationCodec.encode(&bytes).len(), 600);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeError::LengthNotAligned { len: 5, alignment: 4 };
+        assert!(e.to_string().contains('5'));
+        let e = DecodeError::UnexpectedRepeat { position: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

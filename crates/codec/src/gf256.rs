@@ -1,0 +1,218 @@
+//! Arithmetic over GF(2⁸), the symbol field of the Reed–Solomon code.
+//!
+//! Uses the conventional primitive polynomial `x⁸ + x⁴ + x³ + x² + 1`
+//! (0x11d) with generator α = 2, and log/antilog tables built at first use.
+
+/// A field element of GF(2⁸).
+pub type Gf = u8;
+
+/// The log/antilog tables for GF(2⁸).
+#[derive(Debug)]
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        #[allow(clippy::needless_range_loop)] // i is both table index and exponent
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        // Duplicate so exp[i + 255] == exp[i], avoiding a mod in mul.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Addition in GF(2⁸) (XOR).
+///
+/// ```
+/// use dnasim_codec::gf256::add;
+/// assert_eq!(add(0x53, 0xca), 0x99);
+/// assert_eq!(add(7, 7), 0);
+/// ```
+#[inline]
+pub fn add(a: Gf, b: Gf) -> Gf {
+    a ^ b
+}
+
+/// Multiplication in GF(2⁸).
+///
+/// ```
+/// use dnasim_codec::gf256::mul;
+/// assert_eq!(mul(0, 17), 0);
+/// assert_eq!(mul(1, 17), 17);
+/// ```
+#[inline]
+pub fn mul(a: Gf, b: Gf) -> Gf {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if `a == 0` (zero has no inverse).
+#[inline]
+pub fn inv(a: Gf) -> Gf {
+    assert!(a != 0, "zero has no multiplicative inverse");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division in GF(2⁸).
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: Gf, b: Gf) -> Gf {
+    mul(a, inv(b))
+}
+
+/// α raised to the power `n` (α = 2).
+#[inline]
+pub fn exp(n: usize) -> Gf {
+    tables().exp[n % 255]
+}
+
+/// Discrete log base α of `a`.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+#[inline]
+pub fn log(a: Gf) -> usize {
+    assert!(a != 0, "log of zero is undefined");
+    tables().log[a as usize] as usize
+}
+
+/// Evaluates a polynomial (coefficients highest-degree first) at `x`.
+pub fn poly_eval(poly: &[Gf], x: Gf) -> Gf {
+    let mut acc = 0u8;
+    for &c in poly {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+/// Multiplies two polynomials (coefficients highest-degree first).
+pub fn poly_mul(a: &[Gf], b: &[Gf]) -> Vec<Gf> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] ^= mul(x, y);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            assert_eq!(add(a, a), 0);
+            assert_eq!(add(a, 0), a);
+        }
+    }
+
+    #[test]
+    fn multiplication_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_spot() {
+        for a in [3u8, 17, 99, 200, 255] {
+            for b in [1u8, 2, 80, 254] {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn division_round_trips() {
+        for a in [5u8, 100, 255] {
+            for b in [1u8, 7, 199] {
+                assert_eq!(mul(div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_log_round_trip() {
+        for n in 0..255 {
+            assert_eq!(log(exp(n)), n);
+        }
+        assert_eq!(exp(255), exp(0)); // α^255 = 1 = α^0
+    }
+
+    #[test]
+    fn distributivity_spot() {
+        for a in [2u8, 51, 130] {
+            for b in [9u8, 77] {
+                for c in [33u8, 250] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poly_eval_constant_and_linear() {
+        assert_eq!(poly_eval(&[7], 99), 7);
+        // p(x) = x + 3 at x = 2 → 2 ^ 3 = 1
+        assert_eq!(poly_eval(&[1, 3], 2), 1);
+    }
+
+    #[test]
+    fn poly_mul_against_eval() {
+        // (x + 1)(x + 2) evaluated must equal product of evaluations.
+        let p = [1u8, 1];
+        let q = [1u8, 2];
+        let pq = poly_mul(&p, &q);
+        for x in [0u8, 1, 2, 7, 200] {
+            assert_eq!(poly_eval(&pq, x), mul(poly_eval(&p, x), poly_eval(&q, x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no multiplicative inverse")]
+    fn inv_zero_panics() {
+        let _ = inv(0);
+    }
+}

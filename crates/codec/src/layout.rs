@@ -1,0 +1,353 @@
+//! Strand layout: how a file becomes addressable, decodable strands.
+//!
+//! Following the key-value design of Bornholt et al. / Yazdi et al., every
+//! strand carries `[primer | index | payload-with-RS | primer']`:
+//!
+//! * the **primers** are fixed 20-base sequences unique to the file,
+//!   enabling PCR random access (selective amplification of one file's
+//!   strands out of the shared pool);
+//! * the **index** orders strands within the file (erasures are detected as
+//!   missing indices);
+//! * the **payload** is Reed–Solomon-protected against residual corruption
+//!   that survives trace reconstruction.
+
+use std::fmt;
+
+use dnasim_core::rng::SimRng;
+use dnasim_core::Strand;
+
+use crate::binary::{DecodeError, TwoBitCodec};
+use crate::rs::{ReedSolomon, RsError};
+
+/// Number of bases in each primer.
+pub const PRIMER_LEN: usize = 20;
+
+/// Number of bases encoding the strand index (2-bit code over a u32).
+pub const INDEX_LEN: usize = 16;
+
+/// Layout configuration for a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrandLayout {
+    /// Forward primer (the file's "key").
+    primer: Strand,
+    /// Reverse primer appended at the strand end.
+    reverse_primer: Strand,
+    /// RS code protecting each payload.
+    rs: ReedSolomon,
+}
+
+/// Errors from layout encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The strand is too short to contain primers, index, and payload.
+    StrandTooShort {
+        /// Observed length.
+        len: usize,
+        /// Minimum decodable length.
+        min: usize,
+    },
+    /// DNA→binary decoding failed.
+    Decode(DecodeError),
+    /// Reed–Solomon decoding failed.
+    ReedSolomon(RsError),
+    /// A strand index was missing after reconstruction.
+    MissingStrand {
+        /// The absent index.
+        index: u32,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::StrandTooShort { len, min } => {
+                write!(f, "strand of {len} bases is shorter than the minimum {min}")
+            }
+            LayoutError::Decode(e) => write!(f, "payload decode failed: {e}"),
+            LayoutError::ReedSolomon(e) => write!(f, "reed-solomon failed: {e}"),
+            LayoutError::MissingStrand { index } => {
+                write!(f, "strand {index} missing after reconstruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LayoutError::Decode(e) => Some(e),
+            LayoutError::ReedSolomon(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for LayoutError {
+    fn from(e: DecodeError) -> LayoutError {
+        LayoutError::Decode(e)
+    }
+}
+
+impl From<RsError> for LayoutError {
+    fn from(e: RsError) -> LayoutError {
+        LayoutError::ReedSolomon(e)
+    }
+}
+
+impl StrandLayout {
+    /// Creates a layout with freshly drawn GC-balanced primers and an
+    /// `RS(codeword_len, data_len)` payload code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RsError::InvalidParameters`] for a bad RS shape.
+    pub fn new(
+        codeword_len: usize,
+        data_len: usize,
+        rng: &mut SimRng,
+    ) -> Result<StrandLayout, RsError> {
+        Ok(StrandLayout {
+            primer: Strand::random_gc_balanced(PRIMER_LEN, rng),
+            reverse_primer: Strand::random_gc_balanced(PRIMER_LEN, rng),
+            rs: ReedSolomon::new(codeword_len, data_len)?,
+        })
+    }
+
+    /// The forward primer identifying this file.
+    pub fn primer(&self) -> &Strand {
+        &self.primer
+    }
+
+    /// Payload data bytes carried per strand.
+    pub fn payload_bytes(&self) -> usize {
+        self.rs.data_len()
+    }
+
+    /// Total designed strand length.
+    pub fn strand_len(&self) -> usize {
+        PRIMER_LEN + INDEX_LEN + self.rs.codeword_len() * 4 + PRIMER_LEN
+    }
+
+    /// Encodes a file into strands. The data is chunked into
+    /// [`payload_bytes`](StrandLayout::payload_bytes)-sized pieces (the last
+    /// chunk zero-padded), each RS-encoded and wrapped with index and
+    /// primers.
+    pub fn encode_file(&self, data: &[u8]) -> Vec<Strand> {
+        let chunk_size = self.rs.data_len();
+        let mut strands = Vec::new();
+        let mut chunks: Vec<Vec<u8>> = data.chunks(chunk_size).map(<[u8]>::to_vec).collect();
+        if chunks.is_empty() {
+            chunks.push(vec![0u8; chunk_size]);
+        }
+        if let Some(last) = chunks.last_mut() {
+            last.resize(chunk_size, 0);
+        }
+        for (index, chunk) in chunks.iter().enumerate() {
+            let mut codeword = self.rs.encode(chunk);
+            // Scramble (whiten) the codeword with an index-keyed keystream.
+            // Without this, structured payloads (runs, sequential counters,
+            // XOR parity of similar chunks) produce near-identical strands
+            // that clustering cannot tell apart — randomisation before
+            // synthesis is standard DNA-storage practice for this reason.
+            scramble(&mut codeword, index as u32);
+            let mut strand = self.primer.clone();
+            strand.extend(TwoBitCodec.encode(&(index as u32).to_be_bytes()).iter());
+            strand.extend(TwoBitCodec.encode(&codeword).iter());
+            strand.extend(self.reverse_primer.iter());
+            strands.push(strand);
+        }
+        strands
+    }
+
+    /// Decodes one reconstructed strand into `(index, payload bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// Any of the [`LayoutError`] variants for malformed or uncorrectable
+    /// strands.
+    pub fn decode_strand(&self, strand: &Strand) -> Result<(u32, Vec<u8>), LayoutError> {
+        let min = self.strand_len();
+        if strand.len() < min {
+            return Err(LayoutError::StrandTooShort {
+                len: strand.len(),
+                min,
+            });
+        }
+        let index_region = strand.substrand(PRIMER_LEN..PRIMER_LEN + INDEX_LEN);
+        let index_bytes = TwoBitCodec.decode(&index_region)?;
+        let index = u32::from_be_bytes(
+            index_bytes
+                .try_into()
+                .expect("INDEX_LEN/4 == 4 bytes"),
+        );
+        let payload_start = PRIMER_LEN + INDEX_LEN;
+        let payload_end = payload_start + self.rs.codeword_len() * 4;
+        let payload_region = strand.substrand(payload_start..payload_end);
+        let mut codeword = TwoBitCodec.decode(&payload_region)?;
+        scramble(&mut codeword, index); // XOR keystream is its own inverse
+        let data = self.rs.decode(&mut codeword)?;
+        Ok((index, data.to_vec()))
+    }
+
+    /// Reassembles the original file bytes (including any tail padding)
+    /// from reconstructed strands.
+    ///
+    /// Strands may arrive unordered; duplicates keep the first successful
+    /// decode.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::MissingStrand`] if an index in `0..max_index` never
+    /// decoded successfully.
+    pub fn decode_file(&self, strands: &[Strand]) -> Result<Vec<u8>, LayoutError> {
+        let mut chunks: std::collections::BTreeMap<u32, Vec<u8>> =
+            std::collections::BTreeMap::new();
+        for strand in strands {
+            if let Ok((index, data)) = self.decode_strand(strand) {
+                chunks.entry(index).or_insert(data);
+            }
+        }
+        let Some((&max_index, _)) = chunks.iter().next_back() else {
+            return Err(LayoutError::MissingStrand { index: 0 });
+        };
+        let mut out = Vec::with_capacity((max_index as usize + 1) * self.rs.data_len());
+        for index in 0..=max_index {
+            match chunks.get(&index) {
+                Some(data) => out.extend_from_slice(data),
+                None => return Err(LayoutError::MissingStrand { index }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// XORs `bytes` with a keystream derived from the strand index
+/// (SplitMix64 per 8-byte block). Applying it twice is the identity.
+fn scramble(bytes: &mut [u8], index: u32) {
+    for (block, chunk) in bytes.chunks_mut(8).enumerate() {
+        let mut z = (u64::from(index) << 32) ^ (block as u64) ^ 0x9e37_79b9_7f4a_7c15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        for (byte, key) in chunk.iter_mut().zip(z.to_le_bytes()) {
+            *byte ^= key;
+        }
+    }
+}
+
+impl StrandLayout {
+    /// Whether a read plausibly belongs to this file: its first bases match
+    /// the forward primer within `max_mismatches` (the selectivity rule PCR
+    /// amplification implements physically).
+    pub fn matches_primer(&self, read: &Strand, max_mismatches: usize) -> bool {
+        if read.len() < PRIMER_LEN {
+            return false;
+        }
+        let mismatches = (0..PRIMER_LEN)
+            .filter(|&i| read[i] != self.primer[i])
+            .count();
+        mismatches <= max_mismatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+
+    fn layout() -> StrandLayout {
+        let mut rng = seeded(42);
+        StrandLayout::new(24, 18, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let layout = layout();
+        let data: Vec<u8> = (0..100u8).collect();
+        let strands = layout.encode_file(&data);
+        assert_eq!(strands.len(), 100usize.div_ceil(18));
+        for s in &strands {
+            assert_eq!(s.len(), layout.strand_len());
+        }
+        let decoded = layout.decode_file(&strands).unwrap();
+        assert_eq!(&decoded[..100], &data[..]);
+        // Padding is zeros.
+        assert!(decoded[100..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn decode_survives_shuffled_strands() {
+        let layout = layout();
+        let data: Vec<u8> = (0..90u8).collect();
+        let mut strands = layout.encode_file(&data);
+        strands.reverse();
+        let decoded = layout.decode_file(&strands).unwrap();
+        assert_eq!(&decoded[..90], &data[..]);
+    }
+
+    #[test]
+    fn decode_corrects_payload_corruption() {
+        let layout = layout();
+        let data: Vec<u8> = (0..54u8).collect();
+        let mut strands = layout.encode_file(&data);
+        // Corrupt 3 payload bases of strand 0 (≤ 3 symbol errors, t = 3).
+        let mut bases = strands[0].clone().into_bases();
+        for &pos in &[PRIMER_LEN + INDEX_LEN, PRIMER_LEN + INDEX_LEN + 8, PRIMER_LEN + INDEX_LEN + 16] {
+            bases[pos] = bases[pos].complement();
+        }
+        strands[0] = Strand::from_bases(bases);
+        let decoded = layout.decode_file(&strands).unwrap();
+        assert_eq!(&decoded[..54], &data[..]);
+    }
+
+    #[test]
+    fn missing_strand_is_reported() {
+        let layout = layout();
+        let data = vec![7u8; 60];
+        let mut strands = layout.encode_file(&data);
+        assert!(strands.len() >= 2);
+        strands.remove(0);
+        match layout.decode_file(&strands) {
+            Err(LayoutError::MissingStrand { index: 0 }) => {}
+            other => panic!("expected MissingStrand(0), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_short_strand_is_rejected() {
+        let layout = layout();
+        let short: Strand = "ACGT".parse().unwrap();
+        assert!(matches!(
+            layout.decode_strand(&short),
+            Err(LayoutError::StrandTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn primer_matching_selects_file_strands() {
+        let mut rng = seeded(9);
+        let layout_a = StrandLayout::new(24, 18, &mut rng).unwrap();
+        let layout_b = StrandLayout::new(24, 18, &mut rng).unwrap();
+        let strands_a = layout_a.encode_file(&[1u8; 18]);
+        let strands_b = layout_b.encode_file(&[2u8; 18]);
+        assert!(layout_a.matches_primer(&strands_a[0], 2));
+        assert!(!layout_a.matches_primer(&strands_b[0], 2));
+        assert!(layout_b.matches_primer(&strands_b[0], 2));
+    }
+
+    #[test]
+    fn empty_file_produces_one_strand() {
+        let layout = layout();
+        let strands = layout.encode_file(&[]);
+        assert_eq!(strands.len(), 1);
+        let decoded = layout.decode_file(&strands).unwrap();
+        assert!(decoded.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn strand_len_accounts_for_all_regions() {
+        let layout = layout();
+        assert_eq!(layout.strand_len(), 20 + 16 + 24 * 4 + 20);
+        assert_eq!(layout.payload_bytes(), 18);
+    }
+}

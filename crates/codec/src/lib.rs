@@ -1,0 +1,46 @@
+//! Encoding, logical redundancy, and strand layout for DNA storage.
+//!
+//! Writing a file to DNA requires transcoding bits to bases, protecting
+//! them against both corruption and whole-strand erasure, and making the
+//! result addressable for PCR random access. This crate provides each of
+//! those substrates:
+//!
+//! * [`TwoBitCodec`] / [`RotationCodec`] — binary↔DNA transcoding at the
+//!   2 bits/base density maximum or homopolymer-free at ~1.58 bits/base;
+//! * [`ReedSolomon`] over [`gf256`] — within-strand logical redundancy
+//!   correcting residual substitution errors;
+//! * [`XorParity`] — cross-strand parity recovering single erasures per
+//!   group;
+//! * [`StrandLayout`] — `[primer | index | RS payload | primer]` strand
+//!   framing with PCR-style primer matching for random access.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnasim_codec::{ReedSolomon, TwoBitCodec};
+//!
+//! let rs = ReedSolomon::new(24, 18)?;
+//! let mut codeword = rs.encode(&[42u8; 18]);
+//! codeword[5] ^= 0x0f; // corruption surviving reconstruction
+//! let data = rs.decode(&mut codeword)?;
+//! assert_eq!(data, [42u8; 18]);
+//! let strand = TwoBitCodec.encode(data);
+//! assert_eq!(strand.len(), 18 * 4);
+//! # Ok::<(), dnasim_codec::RsError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod binary;
+pub mod gf256;
+mod layout;
+mod outer;
+mod redundancy;
+mod rs;
+
+pub use binary::{DecodeError, RotationCodec, TwoBitCodec};
+pub use layout::{LayoutError, StrandLayout, INDEX_LEN, PRIMER_LEN};
+pub use outer::{OuterCodeError, OuterRsCode};
+pub use redundancy::{ParityError, XorParity};
+pub use rs::{ReedSolomon, RsError};

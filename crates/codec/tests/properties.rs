@@ -1,0 +1,137 @@
+//! Property-based tests for the codec stack.
+
+use proptest::prelude::*;
+
+use dnasim_codec::{
+    OuterRsCode, ReedSolomon, RotationCodec, StrandLayout, TwoBitCodec, XorParity,
+};
+use dnasim_core::rng::seeded;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn two_bit_density_is_four_bases_per_byte(
+        bytes in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let strand = TwoBitCodec.encode(&bytes);
+        prop_assert_eq!(strand.len(), bytes.len() * 4);
+        prop_assert_eq!(TwoBitCodec.decode(&strand).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rotation_is_homopolymer_free_for_any_payload(
+        bytes in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let strand = RotationCodec.encode(&bytes);
+        prop_assert_eq!(strand.len(), bytes.len() * 6);
+        prop_assert!(strand.max_homopolymer() <= 1);
+        prop_assert_eq!(RotationCodec.decode(&strand).unwrap(), bytes);
+    }
+
+    #[test]
+    fn rs_parameters_and_round_trip(
+        k in 1usize..40,
+        extra in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let rs = ReedSolomon::new(n, k).unwrap();
+        prop_assert_eq!(rs.correction_capacity(), extra / 2);
+        use rand::RngExt;
+        let mut rng = seeded(seed);
+        let data: Vec<u8> = (0..k).map(|_| rng.random()).collect();
+        let mut cw = rs.encode(&data);
+        prop_assert_eq!(cw.len(), n);
+        prop_assert_eq!(rs.decode(&mut cw).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn rs_erasures_up_to_full_budget(
+        k in 2usize..20,
+        extra in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let rs = ReedSolomon::new(n, k).unwrap();
+        use rand::RngExt;
+        use rand::seq::SliceRandom;
+        let mut rng = seeded(seed);
+        let data: Vec<u8> = (0..k).map(|_| rng.random()).collect();
+        let clean = rs.encode(&data);
+        let mut positions: Vec<usize> = (0..n).collect();
+        positions.shuffle(&mut rng);
+        positions.truncate(extra);
+        let mut cw = clean.clone();
+        for &p in &positions {
+            cw[p] = 0;
+        }
+        prop_assert_eq!(rs.decode_erasures(&mut cw, &positions).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn xor_parity_layout_arithmetic(
+        payload_count in 1usize..40,
+        group in 1usize..8,
+    ) {
+        let parity = XorParity::new(group);
+        let payloads: Vec<Vec<u8>> = (0..payload_count).map(|i| vec![i as u8; 4]).collect();
+        let protected = parity.protect(&payloads);
+        prop_assert_eq!(protected.len(), parity.protected_len(payload_count));
+        // No losses: recovery is a no-op.
+        let mut received: Vec<Option<Vec<u8>>> = protected.into_iter().map(Some).collect();
+        prop_assert_eq!(parity.recover(&mut received).unwrap(), 0);
+    }
+
+    #[test]
+    fn outer_code_single_loss_anywhere(
+        payload_count in 1usize..25,
+        loss_seed in any::<u64>(),
+    ) {
+        let outer = OuterRsCode::new(6, 4).unwrap();
+        let payloads: Vec<Vec<u8>> =
+            (0..payload_count).map(|i| vec![(i * 13) as u8; 6]).collect();
+        let protected = outer.protect(&payloads);
+        prop_assert_eq!(protected.len(), outer.protected_len(payload_count));
+        let mut received: Vec<Option<Vec<u8>>> =
+            protected.iter().cloned().map(Some).collect();
+        let loss = (loss_seed as usize) % received.len();
+        let lost = received[loss].take().unwrap();
+        prop_assert_eq!(outer.recover(&mut received).unwrap(), 1);
+        prop_assert_eq!(received[loss].as_ref().unwrap(), &lost);
+    }
+
+    #[test]
+    fn layout_file_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seeded(seed);
+        let layout = StrandLayout::new(20, 12, &mut rng).unwrap();
+        let strands = layout.encode_file(&data);
+        prop_assert!(strands.iter().all(|s| s.len() == layout.strand_len()));
+        let decoded = layout.decode_file(&strands).unwrap();
+        prop_assert_eq!(&decoded[..data.len()], &data[..]);
+        prop_assert!(decoded[data.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn layout_strands_are_pairwise_distant(
+        seed in any::<u64>(),
+    ) {
+        // Scrambling must keep even structured payloads distinguishable.
+        let mut rng = seeded(seed);
+        let layout = StrandLayout::new(20, 12, &mut rng).unwrap();
+        let data = vec![0u8; 96]; // the most structured payload possible
+        let strands = layout.encode_file(&data);
+        for i in 0..strands.len() {
+            for j in (i + 1)..strands.len() {
+                let d = dnasim_metrics::levenshtein(
+                    strands[i].as_bases(),
+                    strands[j].as_bases(),
+                );
+                prop_assert!(d > 20, "strands {i} and {j} are only {d} apart");
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! The DNA alphabet: the four nucleotide bases.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::{Rng, RngExt};
+
+/// One of the four DNA nucleotide bases.
+///
+/// DNA storage encodes digital information over the alphabet
+/// Σ = {A, C, G, T}. The discriminants are chosen so a base can be used
+/// directly as an index into 4-element lookup tables (e.g. substitution
+/// matrices).
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_core::Base;
+///
+/// let b = Base::try_from('G')?;
+/// assert_eq!(b.complement(), Base::C);
+/// assert_eq!(b.index(), 2);
+/// # Ok::<(), dnasim_core::ParseBaseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in index order `[A, C, G, T]`.
+    ///
+    /// ```
+    /// use dnasim_core::Base;
+    /// assert_eq!(Base::ALL.len(), 4);
+    /// assert_eq!(Base::ALL[2], Base::G);
+    /// ```
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// The number of distinct bases.
+    pub const COUNT: usize = 4;
+
+    /// Returns the index of this base in `0..4` (A=0, C=1, G=2, T=3).
+    ///
+    /// ```
+    /// use dnasim_core::Base;
+    /// assert_eq!(Base::T.index(), 3);
+    /// ```
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Constructs a base from an index in `0..4`.
+    ///
+    /// Returns `None` if `idx >= 4`.
+    ///
+    /// ```
+    /// use dnasim_core::Base;
+    /// assert_eq!(Base::from_index(1), Some(Base::C));
+    /// assert_eq!(Base::from_index(9), None);
+    /// ```
+    #[inline]
+    pub const fn from_index(idx: usize) -> Option<Base> {
+        match idx {
+            0 => Some(Base::A),
+            1 => Some(Base::C),
+            2 => Some(Base::G),
+            3 => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Returns the Watson–Crick complement (A↔T, C↔G).
+    ///
+    /// ```
+    /// use dnasim_core::Base;
+    /// assert_eq!(Base::A.complement(), Base::T);
+    /// assert_eq!(Base::G.complement(), Base::C);
+    /// ```
+    #[inline]
+    pub const fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+
+    /// Returns the affinity partner under faulty bonding, i.e. the base this
+    /// one is most commonly confused with during sequencing (A↔G purines,
+    /// C↔T pyrimidines), per Heckel et al.'s conditional-error analysis.
+    ///
+    /// ```
+    /// use dnasim_core::Base;
+    /// assert_eq!(Base::T.transition_partner(), Base::C);
+    /// assert_eq!(Base::A.transition_partner(), Base::G);
+    /// ```
+    #[inline]
+    pub const fn transition_partner(self) -> Base {
+        match self {
+            Base::A => Base::G,
+            Base::G => Base::A,
+            Base::C => Base::T,
+            Base::T => Base::C,
+        }
+    }
+
+    /// Whether this base is G or C (used for GC-ratio computations).
+    ///
+    /// ```
+    /// use dnasim_core::Base;
+    /// assert!(Base::G.is_gc());
+    /// assert!(!Base::A.is_gc());
+    /// ```
+    #[inline]
+    pub const fn is_gc(self) -> bool {
+        matches!(self, Base::G | Base::C)
+    }
+
+    /// Returns the uppercase ASCII character for this base.
+    ///
+    /// ```
+    /// use dnasim_core::Base;
+    /// assert_eq!(Base::C.to_char(), 'C');
+    /// ```
+    #[inline]
+    pub const fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+        }
+    }
+
+    /// Draws a base uniformly at random.
+    ///
+    /// ```
+    /// use dnasim_core::{Base, rng::seeded};
+    /// let mut rng = seeded(7);
+    /// let b = Base::random(&mut rng);
+    /// assert!(Base::ALL.contains(&b));
+    /// ```
+    #[inline]
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Base {
+        Base::ALL[rng.random_range(0..Base::COUNT)]
+    }
+
+    /// Draws a base uniformly at random from the three bases *other than*
+    /// `self` — the uniform substitution model used by DNASimulator-style
+    /// baselines.
+    ///
+    /// ```
+    /// use dnasim_core::{Base, rng::seeded};
+    /// let mut rng = seeded(7);
+    /// for _ in 0..32 {
+    ///     assert_ne!(Base::A.random_other(&mut rng), Base::A);
+    /// }
+    /// ```
+    #[inline]
+    pub fn random_other<R: Rng + ?Sized>(self, rng: &mut R) -> Base {
+        let offset = rng.random_range(1..Base::COUNT);
+        Base::from_index((self.index() + offset) % Base::COUNT)
+            .expect("index is always in range")
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Base::A => "A",
+            Base::C => "C",
+            Base::G => "G",
+            Base::T => "T",
+        })
+    }
+}
+
+/// Error returned when parsing a [`Base`] (or a strand of bases) from text
+/// fails.
+///
+/// ```
+/// use dnasim_core::Base;
+/// let err = Base::try_from('x').unwrap_err();
+/// assert!(err.to_string().contains('x'));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBaseError {
+    /// The offending character.
+    pub found: char,
+}
+
+impl fmt::Display for ParseBaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid DNA base '{}', expected one of A, C, G, T",
+            self.found
+        )
+    }
+}
+
+impl std::error::Error for ParseBaseError {}
+
+impl TryFrom<char> for Base {
+    type Error = ParseBaseError;
+
+    fn try_from(c: char) -> Result<Self, Self::Error> {
+        match c {
+            'A' | 'a' => Ok(Base::A),
+            'C' | 'c' => Ok(Base::C),
+            'G' | 'g' => Ok(Base::G),
+            'T' | 't' => Ok(Base::T),
+            _ => Err(ParseBaseError { found: c }),
+        }
+    }
+}
+
+impl TryFrom<u8> for Base {
+    type Error = ParseBaseError;
+
+    fn try_from(b: u8) -> Result<Self, Self::Error> {
+        Base::try_from(b as char)
+    }
+}
+
+impl From<Base> for char {
+    fn from(b: Base) -> char {
+        b.to_char()
+    }
+}
+
+impl FromStr for Base {
+    type Err = ParseBaseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Base::try_from(c),
+            _ => Err(ParseBaseError { found: '\0' }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn index_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_index(b.index()), Some(b));
+        }
+        assert_eq!(Base::from_index(4), None);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+            assert_ne!(b.complement(), b);
+        }
+    }
+
+    #[test]
+    fn transition_partner_is_involution_and_distinct() {
+        for b in Base::ALL {
+            assert_eq!(b.transition_partner().transition_partner(), b);
+            assert_ne!(b.transition_partner(), b);
+        }
+    }
+
+    #[test]
+    fn gc_classification() {
+        assert!(Base::G.is_gc());
+        assert!(Base::C.is_gc());
+        assert!(!Base::A.is_gc());
+        assert!(!Base::T.is_gc());
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for b in Base::ALL {
+            assert_eq!(Base::try_from(b.to_char()), Ok(b));
+            assert_eq!(Base::try_from(b.to_char().to_ascii_lowercase()), Ok(b));
+        }
+    }
+
+    #[test]
+    fn invalid_chars_rejected() {
+        for c in ['N', 'x', ' ', '0', 'U'] {
+            assert!(Base::try_from(c).is_err());
+        }
+    }
+
+    #[test]
+    fn from_str_single_char_only() {
+        assert_eq!("G".parse::<Base>(), Ok(Base::G));
+        assert!("GT".parse::<Base>().is_err());
+        assert!("".parse::<Base>().is_err());
+    }
+
+    #[test]
+    fn random_other_never_returns_self() {
+        let mut rng = seeded(123);
+        for b in Base::ALL {
+            for _ in 0..100 {
+                assert_ne!(b.random_other(&mut rng), b);
+            }
+        }
+    }
+
+    #[test]
+    fn random_other_covers_all_alternatives() {
+        let mut rng = seeded(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[Base::A.random_other(&mut rng).index()] = true;
+        }
+        assert!(!seen[Base::A.index()]);
+        assert!(seen[Base::C.index()] && seen[Base::G.index()] && seen[Base::T.index()]);
+    }
+
+    #[test]
+    fn random_is_roughly_uniform() {
+        let mut rng = seeded(42);
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[Base::random(&mut rng).index()] += 1;
+        }
+        for c in counts {
+            // Each base should appear ~25% of the time; allow generous slack.
+            assert!((c as f64 / n as f64 - 0.25).abs() < 0.02, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn display_matches_char() {
+        for b in Base::ALL {
+            assert_eq!(b.to_string(), b.to_char().to_string());
+        }
+    }
+
+    #[test]
+    fn error_display_mentions_char() {
+        let e = Base::try_from('q').unwrap_err();
+        assert_eq!(e.found, 'q');
+        assert!(e.to_string().contains('q'));
+    }
+}

@@ -1,0 +1,495 @@
+//! DNA strands: owned sequences of [`Base`]s.
+
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+use rand::{Rng, RngExt};
+
+use crate::base::{Base, ParseBaseError};
+
+/// An owned DNA sequence.
+///
+/// A `Strand` represents both *reference strands* (the designed sequences of
+/// fixed length `L` handed to synthesis) and *noisy reads* (the
+/// variable-length sequences coming back from the sequencer): the noisy
+/// channel maps `(Σ_L)^N → (Σ*)^M`, so both sides share one representation.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_core::Strand;
+///
+/// let s: Strand = "GCTA".parse()?;
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.to_string(), "GCTA");
+/// assert!((s.gc_ratio() - 0.5).abs() < 1e-9);
+/// # Ok::<(), dnasim_core::ParseStrandError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Strand {
+    bases: Vec<Base>,
+}
+
+impl Strand {
+    /// Creates an empty strand.
+    ///
+    /// ```
+    /// use dnasim_core::Strand;
+    /// assert!(Strand::new().is_empty());
+    /// ```
+    pub fn new() -> Strand {
+        Strand { bases: Vec::new() }
+    }
+
+    /// Creates an empty strand with room for `capacity` bases.
+    pub fn with_capacity(capacity: usize) -> Strand {
+        Strand {
+            bases: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a strand from a vector of bases.
+    ///
+    /// ```
+    /// use dnasim_core::{Base, Strand};
+    /// let s = Strand::from_bases(vec![Base::A, Base::T]);
+    /// assert_eq!(s.to_string(), "AT");
+    /// ```
+    pub fn from_bases(bases: Vec<Base>) -> Strand {
+        Strand { bases }
+    }
+
+    /// Generates a strand of length `len` with bases drawn uniformly at
+    /// random.
+    ///
+    /// ```
+    /// use dnasim_core::{Strand, rng::seeded};
+    /// let mut rng = seeded(1);
+    /// let s = Strand::random(110, &mut rng);
+    /// assert_eq!(s.len(), 110);
+    /// ```
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Strand {
+        Strand {
+            bases: (0..len).map(|_| Base::random(rng)).collect(),
+        }
+    }
+
+    /// Generates a random strand whose GC-ratio is exactly 50% (when `len`
+    /// is even; otherwise as close as possible), mirroring the GC-balance
+    /// constraint synthesis providers impose for strand stability.
+    ///
+    /// ```
+    /// use dnasim_core::{Strand, rng::seeded};
+    /// let mut rng = seeded(2);
+    /// let s = Strand::random_gc_balanced(100, &mut rng);
+    /// assert!((s.gc_ratio() - 0.5).abs() < 1e-9);
+    /// ```
+    pub fn random_gc_balanced<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Strand {
+        use rand::seq::SliceRandom;
+        let half = len / 2;
+        let mut bases: Vec<Base> = Vec::with_capacity(len);
+        for i in 0..len {
+            let b = if i < half {
+                // GC half.
+                if rng.random::<bool>() {
+                    Base::G
+                } else {
+                    Base::C
+                }
+            } else if rng.random::<bool>() {
+                Base::A
+            } else {
+                Base::T
+            };
+            bases.push(b);
+        }
+        bases.shuffle(rng);
+        Strand { bases }
+    }
+
+    /// Number of bases in the strand.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the strand has no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Returns the base at `pos`, or `None` if out of bounds.
+    ///
+    /// ```
+    /// use dnasim_core::{Base, Strand};
+    /// let s: Strand = "ACGT".parse().unwrap();
+    /// assert_eq!(s.get(2), Some(Base::G));
+    /// assert_eq!(s.get(9), None);
+    /// ```
+    #[inline]
+    pub fn get(&self, pos: usize) -> Option<Base> {
+        self.bases.get(pos).copied()
+    }
+
+    /// A view of the strand as a slice of bases.
+    #[inline]
+    pub fn as_bases(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// Consumes the strand and returns the underlying base vector.
+    pub fn into_bases(self) -> Vec<Base> {
+        self.bases
+    }
+
+    /// Appends one base.
+    #[inline]
+    pub fn push(&mut self, base: Base) {
+        self.bases.push(base);
+    }
+
+    /// Removes and returns the last base.
+    pub fn pop(&mut self) -> Option<Base> {
+        self.bases.pop()
+    }
+
+    /// Truncates the strand to at most `len` bases.
+    pub fn truncate(&mut self, len: usize) {
+        self.bases.truncate(len);
+    }
+
+    /// Iterates over the bases.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Base>> {
+        self.bases.iter().copied()
+    }
+
+    /// Returns a new strand with the bases in reverse order.
+    ///
+    /// Two-way reconstruction algorithms run once on the cluster and once on
+    /// every read reversed; this is the primitive they use.
+    ///
+    /// ```
+    /// use dnasim_core::Strand;
+    /// let s: Strand = "AAGT".parse().unwrap();
+    /// assert_eq!(s.reversed().to_string(), "TGAA");
+    /// ```
+    pub fn reversed(&self) -> Strand {
+        let mut bases = self.bases.clone();
+        bases.reverse();
+        Strand { bases }
+    }
+
+    /// Returns the reverse complement (reverse order, each base
+    /// complemented), as produced when sequencing the antisense strand.
+    ///
+    /// ```
+    /// use dnasim_core::Strand;
+    /// let s: Strand = "AAGT".parse().unwrap();
+    /// assert_eq!(s.reverse_complement().to_string(), "ACTT");
+    /// ```
+    pub fn reverse_complement(&self) -> Strand {
+        Strand {
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+        }
+    }
+
+    /// Returns a sub-strand covering `range` (clamped to the strand length).
+    ///
+    /// ```
+    /// use dnasim_core::Strand;
+    /// let s: Strand = "ACGTAC".parse().unwrap();
+    /// assert_eq!(s.substrand(1..4).to_string(), "CGT");
+    /// assert_eq!(s.substrand(4..100).to_string(), "AC");
+    /// ```
+    pub fn substrand(&self, range: std::ops::Range<usize>) -> Strand {
+        let start = range.start.min(self.bases.len());
+        let end = range.end.min(self.bases.len()).max(start);
+        Strand {
+            bases: self.bases[start..end].to_vec(),
+        }
+    }
+
+    /// The GC-ratio: fraction of bases that are G or C.
+    ///
+    /// Extreme GC-ratios destabilise strands (self-looping secondary
+    /// structures), so encoders aim for ~0.5. Returns 0.0 for an empty
+    /// strand.
+    ///
+    /// ```
+    /// use dnasim_core::Strand;
+    /// let s: Strand = "GGCA".parse().unwrap();
+    /// assert!((s.gc_ratio() - 0.75).abs() < 1e-9);
+    /// ```
+    pub fn gc_ratio(&self) -> f64 {
+        if self.bases.is_empty() {
+            return 0.0;
+        }
+        let gc = self.bases.iter().filter(|b| b.is_gc()).count();
+        gc as f64 / self.bases.len() as f64
+    }
+
+    /// The length of the longest homopolymer run (consecutive repeats of the
+    /// same base). Sequencers are particularly error-prone on homopolymers,
+    /// so encodings bound this.
+    ///
+    /// ```
+    /// use dnasim_core::Strand;
+    /// let s: Strand = "AACGGGT".parse().unwrap();
+    /// assert_eq!(s.max_homopolymer(), 3);
+    /// assert_eq!(Strand::new().max_homopolymer(), 0);
+    /// ```
+    pub fn max_homopolymer(&self) -> usize {
+        let mut best = 0;
+        let mut run = 0;
+        let mut prev: Option<Base> = None;
+        for &b in &self.bases {
+            if Some(b) == prev {
+                run += 1;
+            } else {
+                run = 1;
+                prev = Some(b);
+            }
+            best = best.max(run);
+        }
+        best
+    }
+
+    /// Concatenates two strands into a new one.
+    ///
+    /// ```
+    /// use dnasim_core::Strand;
+    /// let a: Strand = "AC".parse().unwrap();
+    /// let b: Strand = "GT".parse().unwrap();
+    /// assert_eq!(a.concat(&b).to_string(), "ACGT");
+    /// ```
+    pub fn concat(&self, other: &Strand) -> Strand {
+        let mut bases = Vec::with_capacity(self.len() + other.len());
+        bases.extend_from_slice(&self.bases);
+        bases.extend_from_slice(&other.bases);
+        Strand { bases }
+    }
+
+    /// Whether `prefix` is a prefix of this strand.
+    pub fn starts_with(&self, prefix: &Strand) -> bool {
+        self.bases.starts_with(&prefix.bases)
+    }
+}
+
+impl Index<usize> for Strand {
+    type Output = Base;
+
+    fn index(&self, pos: usize) -> &Base {
+        &self.bases[pos]
+    }
+}
+
+impl fmt::Display for Strand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bases {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`Strand`] from text fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseStrandError {
+    /// Byte position of the offending character.
+    pub position: usize,
+    /// The underlying base parse error.
+    pub source: ParseBaseError,
+}
+
+impl fmt::Display for ParseStrandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at position {}", self.source, self.position)
+    }
+}
+
+impl std::error::Error for ParseStrandError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl FromStr for Strand {
+    type Err = ParseStrandError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bases = Vec::with_capacity(s.len());
+        for (position, c) in s.chars().enumerate() {
+            let base =
+                Base::try_from(c).map_err(|source| ParseStrandError { position, source })?;
+            bases.push(base);
+        }
+        Ok(Strand { bases })
+    }
+}
+
+impl FromIterator<Base> for Strand {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> Strand {
+        Strand {
+            bases: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Base> for Strand {
+    fn extend<I: IntoIterator<Item = Base>>(&mut self, iter: I) {
+        self.bases.extend(iter);
+    }
+}
+
+impl From<Vec<Base>> for Strand {
+    fn from(bases: Vec<Base>) -> Strand {
+        Strand { bases }
+    }
+}
+
+impl From<Strand> for Vec<Base> {
+    fn from(s: Strand) -> Vec<Base> {
+        s.bases
+    }
+}
+
+impl<'a> IntoIterator for &'a Strand {
+    type Item = Base;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Base>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for Strand {
+    type Item = Base;
+    type IntoIter = std::vec::IntoIter<Base>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bases.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let text = "ACGTACGTTTGCA";
+        let s: Strand = text.parse().unwrap();
+        assert_eq!(s.to_string(), text);
+        assert_eq!(s.len(), text.len());
+    }
+
+    #[test]
+    fn parse_lowercase() {
+        let s: Strand = "acgt".parse().unwrap();
+        assert_eq!(s.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = "ACXGT".parse::<Strand>().unwrap_err();
+        assert_eq!(err.position, 2);
+        assert_eq!(err.source.found, 'X');
+        assert!(err.to_string().contains("position 2"));
+    }
+
+    #[test]
+    fn empty_strand() {
+        let s = Strand::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.to_string(), "");
+        assert_eq!(s.gc_ratio(), 0.0);
+        assert_eq!(s.max_homopolymer(), 0);
+    }
+
+    #[test]
+    fn reversed_is_involution() {
+        let s: Strand = "AACGT".parse().unwrap();
+        assert_eq!(s.reversed().reversed(), s);
+        assert_eq!(s.reversed().to_string(), "TGCAA");
+    }
+
+    #[test]
+    fn reverse_complement_is_involution() {
+        let s: Strand = "AACGT".parse().unwrap();
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn gc_ratio_extremes() {
+        let all_gc: Strand = "GCGC".parse().unwrap();
+        assert!((all_gc.gc_ratio() - 1.0).abs() < 1e-12);
+        let no_gc: Strand = "ATAT".parse().unwrap();
+        assert!(no_gc.gc_ratio().abs() < 1e-12);
+    }
+
+    #[test]
+    fn homopolymer_runs() {
+        let s: Strand = "AAAAA".parse().unwrap();
+        assert_eq!(s.max_homopolymer(), 5);
+        let s: Strand = "ACGT".parse().unwrap();
+        assert_eq!(s.max_homopolymer(), 1);
+        let s: Strand = "ACCGGGT".parse().unwrap();
+        assert_eq!(s.max_homopolymer(), 3);
+    }
+
+    #[test]
+    fn random_has_requested_length() {
+        let mut rng = seeded(3);
+        for len in [0, 1, 17, 110] {
+            assert_eq!(Strand::random(len, &mut rng).len(), len);
+        }
+    }
+
+    #[test]
+    fn random_gc_balanced_is_balanced() {
+        let mut rng = seeded(4);
+        for _ in 0..10 {
+            let s = Strand::random_gc_balanced(110, &mut rng);
+            assert_eq!(s.len(), 110);
+            assert!((s.gc_ratio() - 0.5).abs() < 0.01, "gc={}", s.gc_ratio());
+        }
+    }
+
+    #[test]
+    fn substrand_clamps() {
+        let s: Strand = "ACGTAC".parse().unwrap();
+        assert_eq!(s.substrand(0..6), s);
+        assert_eq!(s.substrand(2..4).to_string(), "GT");
+        assert_eq!(s.substrand(10..20).len(), 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: Strand = Base::ALL.into_iter().collect();
+        assert_eq!(s.to_string(), "ACGT");
+        let mut t = s.clone();
+        t.extend(Base::ALL);
+        assert_eq!(t.to_string(), "ACGTACGT");
+    }
+
+    #[test]
+    fn index_access() {
+        let s: Strand = "ACGT".parse().unwrap();
+        assert_eq!(s[0], Base::A);
+        assert_eq!(s[3], Base::T);
+    }
+
+    #[test]
+    fn concat_and_starts_with() {
+        let a: Strand = "AC".parse().unwrap();
+        let b: Strand = "GT".parse().unwrap();
+        let c = a.concat(&b);
+        assert!(c.starts_with(&a));
+        assert!(!c.starts_with(&b));
+        assert_eq!(c.len(), 4);
+    }
+}

@@ -1,0 +1,103 @@
+//! Survey constants for DNA sequencing technologies (paper Table 1.1).
+//!
+//! These are reference data, not simulation parameters: the harness prints
+//! them to regenerate Table 1.1, and channel presets cite them when choosing
+//! default error rates.
+
+use std::fmt;
+
+/// One generation of sequencing technology with its cost/error envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencingTech {
+    /// Human-readable name, e.g. `"3rd Gen. (Nanopore)"`.
+    pub name: &'static str,
+    /// Cost per kilobase in USD, `(low, high)`.
+    pub cost_per_kb_usd: (f64, f64),
+    /// Error rate as a fraction, `(low, high)`.
+    pub error_rate: (f64, f64),
+    /// Typical sequencing length in base pairs, `(low, high)`.
+    pub sequencing_length_bp: (u64, u64),
+    /// Read speed per kilobase in hours, `(low, high)`.
+    pub read_speed_h_per_kb: (f64, f64),
+}
+
+impl fmt::Display for SequencingTech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: cost ${:.0e}-{:.0e}/Kb, error {:.3}%-{:.3}%, length {}-{} bp",
+            self.name,
+            self.cost_per_kb_usd.0,
+            self.cost_per_kb_usd.1,
+            self.error_rate.0 * 100.0,
+            self.error_rate.1 * 100.0,
+            self.sequencing_length_bp.0,
+            self.sequencing_length_bp.1,
+        )
+    }
+}
+
+/// First-generation (Sanger) sequencing.
+pub const SANGER: SequencingTech = SequencingTech {
+    name: "1st Gen. (Sanger)",
+    cost_per_kb_usd: (1.0, 2.0),
+    error_rate: (0.000_01, 0.000_1),
+    sequencing_length_bp: (500, 500),
+    read_speed_h_per_kb: (0.1, 0.1),
+};
+
+/// Second-generation (Illumina) sequencing.
+pub const ILLUMINA: SequencingTech = SequencingTech {
+    name: "2nd Gen. (Illumina)",
+    cost_per_kb_usd: (1e-5, 1e-3),
+    error_rate: (0.001, 0.01),
+    sequencing_length_bp: (25, 150),
+    read_speed_h_per_kb: (1e-7, 1e-4),
+};
+
+/// Third-generation (Nanopore) sequencing.
+pub const NANOPORE: SequencingTech = SequencingTech {
+    name: "3rd Gen. (Nanopore)",
+    cost_per_kb_usd: (1e-4, 1e-3),
+    error_rate: (0.10, 0.10),
+    sequencing_length_bp: (100_000, 100_000),
+    read_speed_h_per_kb: (1e-7, 1e-6),
+};
+
+/// The full survey, in generation order (Table 1.1 columns).
+pub const SURVEY: [&SequencingTech; 3] = [&SANGER, &ILLUMINA, &NANOPORE];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_is_generation_ordered_by_error_rate() {
+        // The paper's motivating trend: newer technology, higher error rate.
+        assert!(SANGER.error_rate.1 < ILLUMINA.error_rate.0);
+        assert!(ILLUMINA.error_rate.1 < NANOPORE.error_rate.0);
+    }
+
+    #[test]
+    fn nanopore_has_highest_error_and_longest_reads() {
+        assert_eq!(NANOPORE.error_rate.0, 0.10);
+        assert!(NANOPORE.sequencing_length_bp.0 > ILLUMINA.sequencing_length_bp.1);
+    }
+
+    #[test]
+    fn display_includes_name() {
+        for tech in SURVEY {
+            assert!(tech.to_string().contains(tech.name));
+        }
+    }
+
+    #[test]
+    fn ranges_are_ordered() {
+        for tech in SURVEY {
+            assert!(tech.cost_per_kb_usd.0 <= tech.cost_per_kb_usd.1);
+            assert!(tech.error_rate.0 <= tech.error_rate.1);
+            assert!(tech.sequencing_length_bp.0 <= tech.sequencing_length_bp.1);
+            assert!(tech.read_speed_h_per_kb.0 <= tech.read_speed_h_per_kb.1);
+        }
+    }
+}

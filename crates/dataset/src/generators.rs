@@ -1,0 +1,119 @@
+//! Reference-strand generators.
+//!
+//! Encoders in practice constrain designed strands — balanced GC-ratio for
+//! chemical stability, bounded homopolymers for sequencer accuracy. These
+//! generators produce reference pools under each regime so experiments can
+//! control for sequence composition.
+
+use dnasim_core::rng::SimRng;
+use dnasim_core::{Base, Strand};
+
+/// How reference strands are sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferenceStyle {
+    /// Uniform i.i.d. bases.
+    Uniform,
+    /// Exactly 50% GC content (shuffled).
+    GcBalanced,
+    /// Uniform, but homopolymer runs capped at the given length.
+    HomopolymerLimited(usize),
+}
+
+/// Generates `count` reference strands of length `len` in the given style.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_core::rng::seeded;
+/// use dnasim_dataset::{generate_references, ReferenceStyle};
+///
+/// let mut rng = seeded(1);
+/// let refs = generate_references(10, 110, ReferenceStyle::HomopolymerLimited(3), &mut rng);
+/// assert_eq!(refs.len(), 10);
+/// assert!(refs.iter().all(|r| r.max_homopolymer() <= 3));
+/// ```
+pub fn generate_references(
+    count: usize,
+    len: usize,
+    style: ReferenceStyle,
+    rng: &mut SimRng,
+) -> Vec<Strand> {
+    (0..count)
+        .map(|_| match style {
+            ReferenceStyle::Uniform => Strand::random(len, rng),
+            ReferenceStyle::GcBalanced => Strand::random_gc_balanced(len, rng),
+            ReferenceStyle::HomopolymerLimited(max_run) => {
+                homopolymer_limited(len, max_run.max(1), rng)
+            }
+        })
+        .collect()
+}
+
+fn homopolymer_limited(len: usize, max_run: usize, rng: &mut SimRng) -> Strand {
+    let mut strand = Strand::with_capacity(len);
+    let mut run = 0usize;
+    let mut prev: Option<Base> = None;
+    for _ in 0..len {
+        let base = if run >= max_run {
+            prev.expect("run > 0 implies prev").random_other(rng)
+        } else {
+            Base::random(rng)
+        };
+        if Some(base) == prev {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(base);
+        }
+        strand.push(base);
+    }
+    strand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+
+    #[test]
+    fn uniform_generates_requested_shape() {
+        let mut rng = seeded(1);
+        let refs = generate_references(20, 110, ReferenceStyle::Uniform, &mut rng);
+        assert_eq!(refs.len(), 20);
+        assert!(refs.iter().all(|r| r.len() == 110));
+        // Distinct strands with overwhelming probability.
+        assert_ne!(refs[0], refs[1]);
+    }
+
+    #[test]
+    fn gc_balanced_is_balanced() {
+        let mut rng = seeded(2);
+        for r in generate_references(10, 100, ReferenceStyle::GcBalanced, &mut rng) {
+            assert!((r.gc_ratio() - 0.5).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn homopolymer_cap_is_respected() {
+        let mut rng = seeded(3);
+        for cap in [1usize, 2, 3] {
+            for r in
+                generate_references(10, 200, ReferenceStyle::HomopolymerLimited(cap), &mut rng)
+            {
+                assert!(
+                    r.max_homopolymer() <= cap,
+                    "cap {cap} violated: {}",
+                    r.max_homopolymer()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_count_and_zero_len() {
+        let mut rng = seeded(4);
+        assert!(generate_references(0, 10, ReferenceStyle::Uniform, &mut rng).is_empty());
+        let refs = generate_references(2, 0, ReferenceStyle::Uniform, &mut rng);
+        assert!(refs.iter().all(Strand::is_empty));
+    }
+}

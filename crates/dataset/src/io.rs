@@ -1,0 +1,227 @@
+//! Cluster-file text I/O.
+//!
+//! The on-disk format mirrors the Microsoft Nanopore cluster files the
+//! paper works with: each cluster is the reference strand on a `>`-prefixed
+//! line followed by one read per line, clusters separated by blank lines.
+//!
+//! ```text
+//! >ACGTACGTAC
+//! ACGTACTAC
+//! ACGGTACGTAC
+//!
+//! >TTGACCAGTA
+//! TTGACCAGTA
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use dnasim_core::{Cluster, Dataset, ParseStrandError, Strand};
+
+/// Errors from reading a cluster file.
+#[derive(Debug)]
+pub enum ReadDatasetError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line failed to parse as a strand.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The parse failure.
+        source: ParseStrandError,
+    },
+    /// A read line appeared before any `>` reference line.
+    ReadBeforeReference {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ReadDatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadDatasetError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadDatasetError::Parse { line, source } => {
+                write!(f, "line {line}: {source}")
+            }
+            ReadDatasetError::ReadBeforeReference { line } => {
+                write!(f, "line {line}: read appears before any '>' reference line")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadDatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadDatasetError::Io(e) => Some(e),
+            ReadDatasetError::Parse { source, .. } => Some(source),
+            ReadDatasetError::ReadBeforeReference { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadDatasetError {
+    fn from(e: io::Error) -> ReadDatasetError {
+        ReadDatasetError::Io(e)
+    }
+}
+
+/// Reads a dataset from cluster-file text.
+///
+/// # Errors
+///
+/// Any [`ReadDatasetError`] variant for malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_dataset::read_dataset;
+///
+/// let text = ">ACGT\nACG\nACGT\n\n>TTTT\n";
+/// let ds = read_dataset(text.as_bytes())?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.clusters()[0].coverage(), 2);
+/// assert!(ds.clusters()[1].is_erasure());
+/// # Ok::<(), dnasim_dataset::ReadDatasetError>(())
+/// ```
+pub fn read_dataset<R: BufRead>(reader: R) -> Result<Dataset, ReadDatasetError> {
+    let mut dataset = Dataset::new();
+    let mut current: Option<Cluster> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            if let Some(cluster) = current.take() {
+                dataset.push(cluster);
+            }
+            continue;
+        }
+        if let Some(reference_text) = trimmed.strip_prefix('>') {
+            if let Some(cluster) = current.take() {
+                dataset.push(cluster);
+            }
+            let reference: Strand = reference_text
+                .trim()
+                .parse()
+                .map_err(|source| ReadDatasetError::Parse {
+                    line: line_no,
+                    source,
+                })?;
+            current = Some(Cluster::erasure(reference));
+        } else {
+            let read: Strand = trimmed.parse().map_err(|source| ReadDatasetError::Parse {
+                line: line_no,
+                source,
+            })?;
+            match current.as_mut() {
+                Some(cluster) => cluster.push_read(read),
+                None => return Err(ReadDatasetError::ReadBeforeReference { line: line_no }),
+            }
+        }
+    }
+    if let Some(cluster) = current.take() {
+        dataset.push(cluster);
+    }
+    Ok(dataset)
+}
+
+/// Writes a dataset in cluster-file text format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_dataset<W: Write>(dataset: &Dataset, mut writer: W) -> io::Result<()> {
+    for (i, cluster) in dataset.iter().enumerate() {
+        if i > 0 {
+            writeln!(writer)?;
+        }
+        writeln!(writer, ">{}", cluster.reference())?;
+        for read in cluster.reads() {
+            writeln!(writer, "{read}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+
+    fn sample() -> Dataset {
+        let mut rng = seeded(1);
+        let mut ds = Dataset::new();
+        for _ in 0..5 {
+            let reference = Strand::random(20, &mut rng);
+            let reads = (0..3).map(|_| Strand::random(18, &mut rng)).collect();
+            ds.push(Cluster::new(reference, reads));
+        }
+        ds.push(Cluster::erasure(Strand::random(20, &mut rng)));
+        ds
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn empty_input_is_empty_dataset() {
+        let ds = read_dataset("".as_bytes()).unwrap();
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn trailing_cluster_without_blank_line() {
+        let ds = read_dataset(">AC\nAC\nAG".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.clusters()[0].coverage(), 2);
+    }
+
+    #[test]
+    fn multiple_blank_lines_are_tolerated() {
+        let ds = read_dataset(">AC\nAC\n\n\n\n>GT\nGT\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = read_dataset(">AC\nAX\n".as_bytes()).unwrap_err();
+        match err {
+            ReadDatasetError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn read_before_reference_is_rejected() {
+        let err = read_dataset("ACGT\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            ReadDatasetError::ReadBeforeReference { line: 1 }
+        ));
+    }
+
+    #[test]
+    fn whitespace_around_lines_is_trimmed() {
+        let ds = read_dataset("  >ACGT  \n  AC  \n".as_bytes()).unwrap();
+        assert_eq!(ds.clusters()[0].reference().to_string(), "ACGT");
+        assert_eq!(ds.clusters()[0].reads()[0].to_string(), "AC");
+    }
+
+    #[test]
+    fn erasure_round_trips() {
+        let mut ds = Dataset::new();
+        ds.push(Cluster::erasure("ACGT".parse().unwrap()));
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(back.erasure_count(), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the twin generator and dataset I/O.
+
+use proptest::prelude::*;
+
+use dnasim_core::rng::seeded;
+use dnasim_dataset::{
+    generate_references, read_dataset, write_dataset, GroundTruthChannel, NanoporeTwinConfig,
+    ReferenceStyle, TwinProfile,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn twin_respects_configuration(
+        clusters in 1usize..40,
+        strand_len in 20usize..120,
+        seed in any::<u64>(),
+    ) {
+        let config = NanoporeTwinConfig {
+            cluster_count: clusters,
+            strand_len,
+            erasure_count: clusters.min(2),
+            seed,
+            ..NanoporeTwinConfig::default()
+        };
+        let ds = config.generate();
+        prop_assert_eq!(ds.len(), clusters);
+        prop_assert_eq!(ds.strand_len(), Some(strand_len));
+        prop_assert!(ds.erasure_count() >= clusters.min(2));
+        let (_, hi) = ds.coverage_range().unwrap();
+        prop_assert!(hi <= config.max_coverage);
+        // Determinism.
+        prop_assert_eq!(config.generate(), ds);
+    }
+
+    #[test]
+    fn channel_reads_have_plausible_lengths(
+        strand_len in 10usize..150,
+        seed in any::<u64>(),
+        rate in 0.0f64..0.2,
+    ) {
+        use dnasim_channel::ErrorModel;
+        use dnasim_core::Strand;
+        for profile in [TwinProfile::nanopore(), TwinProfile::high_error_variant()] {
+            let channel = GroundTruthChannel::with_profile(rate, strand_len, profile);
+            let mut rng = seeded(seed);
+            let reference = Strand::random(strand_len, &mut rng);
+            let read = channel.corrupt(&reference, &mut rng);
+            prop_assert!(read.len() <= strand_len * 2 + 2);
+        }
+    }
+
+    #[test]
+    fn io_round_trips_any_twin(clusters in 1usize..20, seed in any::<u64>()) {
+        let config = NanoporeTwinConfig {
+            cluster_count: clusters,
+            erasure_count: 1.min(clusters),
+            seed,
+            ..NanoporeTwinConfig::small()
+        };
+        let ds = config.generate();
+        let mut buffer = Vec::new();
+        write_dataset(&ds, &mut buffer).unwrap();
+        prop_assert_eq!(read_dataset(buffer.as_slice()).unwrap(), ds);
+    }
+
+    #[test]
+    fn reference_generators_respect_style(
+        count in 0usize..10,
+        len in 2usize..80,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seeded(seed);
+        let uniform = generate_references(count, len, ReferenceStyle::Uniform, &mut rng);
+        prop_assert_eq!(uniform.len(), count);
+        prop_assert!(uniform.iter().all(|r| r.len() == len));
+
+        let balanced =
+            generate_references(count, len, ReferenceStyle::GcBalanced, &mut rng);
+        for r in &balanced {
+            prop_assert!((r.gc_ratio() - 0.5).abs() <= 0.5 / len as f64 + 1e-9);
+        }
+
+        for cap in [1usize, 2, 4] {
+            let limited = generate_references(
+                count,
+                len,
+                ReferenceStyle::HomopolymerLimited(cap),
+                &mut rng,
+            );
+            prop_assert!(limited.iter().all(|r| r.max_homopolymer() <= cap));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! χ² distance between frequency histograms.
+//!
+//! One of the candidate simulator-fidelity criteria (§3.1): compare the
+//! error-type frequency histogram of simulated data against real data.
+
+/// The χ² distance `½ · Σ (aᵢ − bᵢ)² / (aᵢ + bᵢ)` between two frequency
+/// histograms, skipping bins where both are zero.
+///
+/// Histograms of different lengths are compared as if the shorter were
+/// zero-padded.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_metrics::chi_square_distance;
+///
+/// assert_eq!(chi_square_distance(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+/// assert!(chi_square_distance(&[1.0, 0.0], &[0.0, 1.0]) > 0.0);
+/// ```
+pub fn chi_square_distance(a: &[f64], b: &[f64]) -> f64 {
+    let len = a.len().max(b.len());
+    let mut sum = 0.0;
+    for i in 0..len {
+        let x = a.get(i).copied().unwrap_or(0.0);
+        let y = b.get(i).copied().unwrap_or(0.0);
+        let denom = x + y;
+        if denom > 0.0 {
+            sum += (x - y).powi(2) / denom;
+        }
+    }
+    0.5 * sum
+}
+
+/// Normalises a histogram of counts into a probability distribution.
+/// Returns all-zeros if the histogram sums to zero.
+///
+/// ```
+/// use dnasim_metrics::normalize_histogram;
+/// assert_eq!(normalize_histogram(&[2, 2]), vec![0.5, 0.5]);
+/// assert_eq!(normalize_histogram(&[0, 0]), vec![0.0, 0.0]);
+/// ```
+pub fn normalize_histogram(counts: &[usize]) -> Vec<f64> {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_histograms_have_zero_distance() {
+        assert_eq!(chi_square_distance(&[0.2, 0.8], &[0.2, 0.8]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_distance_one() {
+        // ½·[(1-0)²/1 + (0-1)²/1] = 1 for unit-mass disjoint histograms.
+        assert!((chi_square_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.1, 0.4, 0.5];
+        let b = [0.3, 0.3, 0.4];
+        assert!((chi_square_distance(&a, &b) - chi_square_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_zero_pads() {
+        let d1 = chi_square_distance(&[0.5, 0.5], &[0.5, 0.5, 0.0]);
+        assert_eq!(d1, 0.0);
+        let d2 = chi_square_distance(&[0.5, 0.5], &[0.5, 0.25, 0.25]);
+        assert!(d2 > 0.0);
+    }
+
+    #[test]
+    fn empty_histograms() {
+        assert_eq!(chi_square_distance(&[], &[]), 0.0);
+        assert_eq!(chi_square_distance(&[0.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let h = normalize_histogram(&[1, 2, 3, 4]);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_distribution_has_smaller_distance() {
+        let real = [0.6, 0.3, 0.1];
+        let close = [0.55, 0.33, 0.12];
+        let far = [0.1, 0.2, 0.7];
+        assert!(chi_square_distance(&real, &close) < chi_square_distance(&real, &far));
+    }
+}

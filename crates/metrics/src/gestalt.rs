@@ -1,0 +1,269 @@
+//! Gestalt pattern matching (Ratcliff–Obershelp).
+//!
+//! Given two strings, the number of *matching characters* `K_m` is the
+//! length of their longest common substring (LCS) plus, recursively, the
+//! matching characters on either side of the LCS. The gestalt score is
+//! `2·K_m / (|S1| + |S2|)`.
+//!
+//! Beyond the score, the algorithm yields the *matching blocks* — the
+//! aligned portions of the two strings. In DNA-storage evaluation this
+//! effectively re-aligns a noisy read (or a reconstructed strand) to its
+//! reference, correcting the positional shift that insertions/deletions
+//! cause: the reference positions *not* covered by any block are the
+//! *sources* of misalignment, which is exactly what the paper's
+//! "gestalt-aligned" error profiles plot.
+
+use dnasim_core::Strand;
+
+/// A maximal aligned run shared by two sequences.
+///
+/// `a[a_start .. a_start+len] == b[b_start .. b_start+len]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchingBlock {
+    /// Start of the run in the first sequence.
+    pub a_start: usize,
+    /// Start of the run in the second sequence.
+    pub b_start: usize,
+    /// Length of the run.
+    pub len: usize,
+}
+
+/// Finds the longest common substring of `a[a_lo..a_hi]` and `b[b_lo..b_hi]`.
+///
+/// Ties break toward the earliest start in `a`, then in `b` (mirroring
+/// difflib's deterministic choice).
+#[allow(clippy::needless_range_loop)] // windowed DP over two subranges reads clearer with indices
+fn longest_match<T: PartialEq>(
+    a: &[T],
+    b: &[T],
+    a_lo: usize,
+    a_hi: usize,
+    b_lo: usize,
+    b_hi: usize,
+) -> MatchingBlock {
+    let mut best = MatchingBlock {
+        a_start: a_lo,
+        b_start: b_lo,
+        len: 0,
+    };
+    // lengths[j] = length of the common suffix ending at (i-1, j-1) from the
+    // previous row of the DP.
+    let width = b_hi - b_lo;
+    let mut prev = vec![0usize; width + 1];
+    let mut cur = vec![0usize; width + 1];
+    for i in a_lo..a_hi {
+        for j in b_lo..b_hi {
+            let jj = j - b_lo + 1;
+            if a[i] == b[j] {
+                let run = prev[jj - 1] + 1;
+                cur[jj] = run;
+                if run > best.len {
+                    best = MatchingBlock {
+                        a_start: i + 1 - run,
+                        b_start: j + 1 - run,
+                        len: run,
+                    };
+                }
+            } else {
+                cur[jj] = 0;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.iter_mut().for_each(|v| *v = 0);
+    }
+    best
+}
+
+/// Computes the matching blocks of two sequences under Ratcliff–Obershelp,
+/// ordered by position.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_metrics::matching_blocks;
+///
+/// // WIKIMEDIA vs WIKIMANIA: blocks "WIKIM", then "IA" (paper Fig. 3.1
+/// // merges "WIKI" with the following "M" of "WIKIMEDIA"/"WIKIMANIA").
+/// let blocks = matching_blocks(b"WIKIMEDIA", b"WIKIMANIA");
+/// let matched: usize = blocks.iter().map(|m| m.len).sum();
+/// assert_eq!(matched, 7);
+/// ```
+pub fn matching_blocks<T: PartialEq>(a: &[T], b: &[T]) -> Vec<MatchingBlock> {
+    let mut blocks = Vec::new();
+    // Explicit work stack of (a_lo, a_hi, b_lo, b_hi) subproblems.
+    let mut stack = vec![(0usize, a.len(), 0usize, b.len())];
+    while let Some((a_lo, a_hi, b_lo, b_hi)) = stack.pop() {
+        if a_lo >= a_hi || b_lo >= b_hi {
+            continue;
+        }
+        let m = longest_match(a, b, a_lo, a_hi, b_lo, b_hi);
+        if m.len == 0 {
+            continue;
+        }
+        blocks.push(m);
+        stack.push((a_lo, m.a_start, b_lo, m.b_start));
+        stack.push((m.a_start + m.len, a_hi, m.b_start + m.len, b_hi));
+    }
+    blocks.sort_by_key(|m| (m.a_start, m.b_start));
+    blocks
+}
+
+/// The gestalt (Ratcliff–Obershelp) similarity score `2·K_m/(|a|+|b|)`,
+/// in `[0, 1]`. Two empty sequences score `1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_metrics::gestalt_score;
+///
+/// assert_eq!(gestalt_score(b"ACGT", b"ACGT"), 1.0);
+/// assert_eq!(gestalt_score(b"AAAA", b"TTTT"), 0.0);
+/// let s = gestalt_score(b"WIKIMEDIA", b"WIKIMANIA");
+/// assert!((s - 14.0 / 18.0).abs() < 1e-12);
+/// ```
+pub fn gestalt_score<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let matched: usize = matching_blocks(a, b).iter().map(|m| m.len).sum();
+    2.0 * matched as f64 / (a.len() + b.len()) as f64
+}
+
+/// Reference positions *not* covered by any matching block when aligning
+/// `read` against `reference` — the sources of misalignment.
+///
+/// For reference `AGTC` and read `ATC` the only gestalt-aligned error is
+/// position 1 (the deleted `G`), even though Hamming comparison flags
+/// positions 1–3.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_metrics::gestalt_error_positions;
+/// use dnasim_core::Strand;
+///
+/// let r: Strand = "AGTC".parse()?;
+/// let c: Strand = "ATC".parse()?;
+/// assert_eq!(gestalt_error_positions(&r, &c), vec![1]);
+/// # Ok::<(), dnasim_core::ParseStrandError>(())
+/// ```
+pub fn gestalt_error_positions(reference: &Strand, read: &Strand) -> Vec<usize> {
+    let blocks = matching_blocks(reference.as_bases(), read.as_bases());
+    let mut covered = vec![false; reference.len()];
+    for m in &blocks {
+        for c in covered.iter_mut().skip(m.a_start).take(m.len) {
+            *c = true;
+        }
+    }
+    covered
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &c)| (!c).then_some(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> Strand {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_score_one() {
+        assert_eq!(gestalt_score(b"GATTACA", b"GATTACA"), 1.0);
+        let blocks = matching_blocks(b"GATTACA", b"GATTACA");
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len, 7);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        assert_eq!(gestalt_score::<u8>(&[], &[]), 1.0);
+        assert_eq!(gestalt_score(b"ACGT", &[]), 0.0);
+        assert!(matching_blocks(b"ACGT", &[]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_sequences_score_zero() {
+        assert_eq!(gestalt_score(b"AAAA", b"TTTT"), 0.0);
+    }
+
+    #[test]
+    fn wikimedia_example() {
+        // From Ratcliff & Metzener / paper Fig 3.1: WIKIMEDIA vs WIKIMANIA.
+        let blocks = matching_blocks(b"WIKIMEDIA", b"WIKIMANIA");
+        let total: usize = blocks.iter().map(|m| m.len) .sum();
+        assert_eq!(total, 7); // WIKIM + IA
+        assert!((gestalt_score(b"WIKIMEDIA", b"WIKIMANIA") - 14.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocks_are_consistent_runs() {
+        let a = b"ACGTTACGGA";
+        let b = b"ACTTACGTGA";
+        for m in matching_blocks(a, b) {
+            assert_eq!(
+                &a[m.a_start..m.a_start + m.len],
+                &b[m.b_start..m.b_start + m.len]
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_are_ordered_and_disjoint() {
+        let a = b"ACGTTACGGATTC";
+        let b = b"AGTTACCGATC";
+        let blocks = matching_blocks(a, b);
+        for w in blocks.windows(2) {
+            assert!(w[0].a_start + w[0].len <= w[1].a_start);
+            assert!(w[0].b_start + w[0].len <= w[1].b_start);
+        }
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let pairs: [(&[u8], &[u8]); 3] = [
+            (b"ACGTACGT", b"AGTACG"),
+            (b"GATTACA", b"GCAT"),
+            (b"AAAA", b"AATA"),
+        ];
+        for (a, b) in pairs {
+            assert!((gestalt_score(a, b) - gestalt_score(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_deletion_example() {
+        // ref AGTC, read ATC: only position 1 (G) is a gestalt error.
+        assert_eq!(gestalt_error_positions(&s("AGTC"), &s("ATC")), vec![1]);
+    }
+
+    #[test]
+    fn substitution_is_single_gestalt_error() {
+        assert_eq!(gestalt_error_positions(&s("ACGT"), &s("ATGT")), vec![1]);
+    }
+
+    #[test]
+    fn insertion_causes_no_reference_gap() {
+        // read has an extra base; every reference position still aligns.
+        assert_eq!(gestalt_error_positions(&s("ACGT"), &s("ACGGT")), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn identity_has_no_errors() {
+        assert!(gestalt_error_positions(&s("ACGTACGT"), &s("ACGTACGT")).is_empty());
+    }
+
+    #[test]
+    fn gestalt_errors_never_exceed_hamming_errors() {
+        use crate::hamming::hamming;
+        let pairs = [("AGTC", "ATC"), ("ACGTACGT", "ACTTACG"), ("AAAA", "TT")];
+        for (a, b) in pairs {
+            let g = gestalt_error_positions(&s(a), &s(b)).len();
+            let h = hamming(&s(a), &s(b));
+            assert!(g <= h, "{a} vs {b}: gestalt {g} > hamming {h}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Levenshtein (edit) distance, full and banded.
+
+/// Computes the Levenshtein distance between two sequences: the minimum
+/// number of insertions, deletions and substitutions transforming `a` into
+/// `b`.
+///
+/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_metrics::levenshtein;
+/// use dnasim_core::Strand;
+///
+/// let a: Strand = "AGCG".parse()?;
+/// let b: Strand = "AGG".parse()?;
+/// assert_eq!(levenshtein(a.as_bases(), b.as_bases()), 1);
+/// # Ok::<(), dnasim_core::ParseStrandError>(())
+/// ```
+pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    // Keep the shorter sequence as the DP row.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, lx) in long.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, sx) in short.iter().enumerate() {
+            let cost = if lx == sx { 0 } else { 1 };
+            let next = (diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Levenshtein distance normalised to `[0, 1]` by the longer sequence's
+/// length. Two empty sequences have distance `0.0`.
+///
+/// ```
+/// use dnasim_metrics::normalized_levenshtein;
+/// assert_eq!(normalized_levenshtein(b"ACGT", b"ACGT"), 0.0);
+/// assert_eq!(normalized_levenshtein(b"AAAA", b""), 1.0);
+/// ```
+pub fn normalized_levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    let longest = a.len().max(b.len());
+    if longest == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / longest as f64
+}
+
+/// Computes the Levenshtein distance if it is at most `limit`, and `None`
+/// otherwise, using Ukkonen's band to prune the DP.
+///
+/// Clustering uses this to reject dissimilar pairs early: a full DP over
+/// every candidate pair would dominate runtime.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_metrics::levenshtein_within;
+/// assert_eq!(levenshtein_within(b"ACGT", b"AGGT", 2), Some(1));
+/// assert_eq!(levenshtein_within(b"AAAA", b"TTTT", 2), None);
+/// ```
+pub fn levenshtein_within<T: PartialEq>(a: &[T], b: &[T], limit: usize) -> Option<usize> {
+    if a.len().abs_diff(b.len()) > limit {
+        return None;
+    }
+    const INF: usize = usize::MAX / 2;
+    let m = b.len();
+    // Cells farther than `limit` off the diagonal can never contribute to a
+    // path of cost ≤ limit, so only the band is ever filled.
+    let mut prev: Vec<usize> = (0..=m).map(|j| if j <= limit { j } else { INF }).collect();
+    let mut cur = vec![INF; m + 1];
+    for (i, ax) in a.iter().enumerate() {
+        let row = i + 1;
+        let lo = row.saturating_sub(limit);
+        let hi = (row + limit).min(m);
+        cur.iter_mut().for_each(|v| *v = INF);
+        if lo == 0 {
+            cur[0] = row;
+        }
+        let mut best = cur[0];
+        for j in lo.max(1)..=hi {
+            let cost = if ax == &b[j - 1] { 0 } else { 1 };
+            let val = (prev[j - 1].saturating_add(cost))
+                .min(prev[j].saturating_add(1))
+                .min(cur[j - 1].saturating_add(1));
+            cur[j] = val;
+            best = best.min(val);
+        }
+        if best > limit {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[m];
+    (d <= limit).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"flaw", b"lawn"), 2);
+        assert_eq!(levenshtein(b"", b""), 0);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b"abc"), 0);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(levenshtein(b"ACGT", b"AGGT"), 1); // substitution
+        assert_eq!(levenshtein(b"ACGT", b"ACT"), 1); // deletion
+        assert_eq!(levenshtein(b"ACGT", b"ACGGT"), 1); // insertion
+    }
+
+    #[test]
+    fn symmetric() {
+        let pairs: [(&[u8], &[u8]); 3] =
+            [(b"ACGT", b"TGCA"), (b"AAAA", b"AA"), (b"GATTACA", b"GCAT")];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_levenshtein::<u8>(&[], &[]), 0.0);
+        assert!((normalized_levenshtein(b"AAAA", b"TTTT") - 1.0).abs() < 1e-12);
+        let x = normalized_levenshtein(b"ACGT", b"ACTT");
+        assert!(x > 0.0 && x < 1.0);
+    }
+
+    #[test]
+    fn within_matches_full_when_under_limit() {
+        let cases: [(&[u8], &[u8]); 5] = [
+            (b"kitten", b"sitting"),
+            (b"ACGTACGT", b"ACTTACG"),
+            (b"", b"AC"),
+            (b"AC", b""),
+            (b"GATTACA", b"GATTACA"),
+        ];
+        for (a, b) in cases {
+            let full = levenshtein(a, b);
+            for limit in full..full + 3 {
+                assert_eq!(levenshtein_within(a, b, limit), Some(full), "{a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn within_rejects_over_limit() {
+        assert_eq!(levenshtein_within(b"kitten", b"sitting", 2), None);
+        assert_eq!(levenshtein_within(b"AAAAAAAA", b"TTTTTTTT", 7), None);
+        assert_eq!(levenshtein_within(b"AAAA", b"AAAATTTT", 3), None); // length gap
+    }
+
+    #[test]
+    fn within_limit_zero_is_equality() {
+        assert_eq!(levenshtein_within(b"ACGT", b"ACGT", 0), Some(0));
+        assert_eq!(levenshtein_within(b"ACGT", b"ACGA", 0), None);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let xs: [&[u8]; 4] = [b"ACGTACGT", b"ACTTAG", b"TTTT", b""];
+        for a in xs {
+            for b in xs {
+                for c in xs {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Similarity metrics and accuracy evaluation for DNA-storage simulation.
+//!
+//! The paper evaluates simulator fidelity by how closely reconstruction
+//! accuracy on simulated data tracks real data, and visualises error
+//! behaviour through positional profiles. This crate provides:
+//!
+//! * [`levenshtein`] / [`levenshtein_within`] — edit distance, full and
+//!   banded (used by clustering and the profiler);
+//! * [`hamming`] / [`hamming_error_positions`] — position-wise comparison,
+//!   where indels propagate (the "Hamming" figures);
+//! * [`gestalt_score`] / [`matching_blocks`] / [`gestalt_error_positions`] —
+//!   Ratcliff–Obershelp gestalt pattern matching, which re-aligns strands
+//!   and exposes only the *sources* of misalignment (the "gestalt-aligned"
+//!   figures);
+//! * [`AccuracyReport`] — per-strand and per-character accuracy, the
+//!   paper's headline metrics;
+//! * [`PositionalProfile`] — per-position error histograms behind every
+//!   figure;
+//! * [`chi_square_distance`] — χ² distance between error histograms.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnasim_core::Strand;
+//! use dnasim_metrics::{gestalt_score, hamming, levenshtein};
+//!
+//! let reference: Strand = "AGTC".parse()?;
+//! let read: Strand = "ATC".parse()?;
+//! assert_eq!(levenshtein(reference.as_bases(), read.as_bases()), 1);
+//! assert_eq!(hamming(&reference, &read), 3);
+//! assert!(gestalt_score(reference.as_bases(), read.as_bases()) > 0.8);
+//! # Ok::<(), dnasim_core::ParseStrandError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accuracy;
+mod chi2;
+mod gestalt;
+mod hamming;
+mod levenshtein;
+mod profiles;
+
+pub use accuracy::AccuracyReport;
+pub use chi2::{chi_square_distance, normalize_histogram};
+pub use gestalt::{gestalt_error_positions, gestalt_score, matching_blocks, MatchingBlock};
+pub use hamming::{hamming, hamming_error_positions, positional_matches};
+pub use levenshtein::{levenshtein, levenshtein_within, normalized_levenshtein};
+pub use profiles::{PositionalProfile, ProfileKind};

@@ -1,0 +1,269 @@
+//! Positional error profiles: the data behind the paper's Hamming and
+//! gestalt-aligned figures.
+//!
+//! A profile counts, per strand position, how many compared pairs exhibited
+//! an error at that position. Comparing *reads* against references yields
+//! the pre-reconstruction noise profile (Fig. 3.2); comparing
+//! *reconstructed* strands yields the post-reconstruction profiles
+//! (Figs. 3.4–3.10).
+
+use std::fmt;
+
+use dnasim_core::Strand;
+
+use crate::gestalt::gestalt_error_positions;
+use crate::hamming::hamming_error_positions;
+
+/// How error positions are attributed when comparing two strands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileKind {
+    /// Position-by-position comparison; an early indel corrupts every
+    /// later position (linear error propagation).
+    Hamming,
+    /// Gestalt-aligned comparison; only the *sources* of misalignment
+    /// count, positions re-aligned by matching blocks do not.
+    GestaltAligned,
+}
+
+/// A per-position error histogram across many strand comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_metrics::{PositionalProfile, ProfileKind};
+/// use dnasim_core::Strand;
+///
+/// let r: Strand = "AGTC".parse()?;
+/// let c: Strand = "ATC".parse()?;
+/// let mut profile = PositionalProfile::new(ProfileKind::GestaltAligned, 4);
+/// profile.record(&r, &c);
+/// assert_eq!(profile.counts(), &[0, 1, 0, 0]);
+/// # Ok::<(), dnasim_core::ParseStrandError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionalProfile {
+    kind: ProfileKind,
+    counts: Vec<usize>,
+    comparisons: usize,
+}
+
+impl PositionalProfile {
+    /// Creates an empty profile of `len` positions.
+    ///
+    /// Positions at or beyond `len` (possible under Hamming comparison of an
+    /// over-long read) are accumulated into the last bucket if `len > 0`.
+    pub fn new(kind: ProfileKind, len: usize) -> PositionalProfile {
+        PositionalProfile {
+            kind,
+            counts: vec![0; len],
+            comparisons: 0,
+        }
+    }
+
+    /// The attribution rule used by this profile.
+    pub fn kind(&self) -> ProfileKind {
+        self.kind
+    }
+
+    /// Records the comparison of one (reference, candidate) pair.
+    pub fn record(&mut self, reference: &Strand, candidate: &Strand) {
+        self.comparisons += 1;
+        let positions = match self.kind {
+            ProfileKind::Hamming => hamming_error_positions(reference, candidate),
+            ProfileKind::GestaltAligned => gestalt_error_positions(reference, candidate),
+        };
+        for p in positions {
+            if let Some(slot) = self.counts.get_mut(p) {
+                *slot += 1;
+            } else if let Some(last) = self.counts.last_mut() {
+                *last += 1;
+            }
+        }
+    }
+
+    /// Raw error counts per position.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Number of pairs recorded.
+    pub fn comparisons(&self) -> usize {
+        self.comparisons
+    }
+
+    /// Total errors across all positions.
+    pub fn total_errors(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Error *rate* per position: `counts[i] / comparisons` (all zeros if
+    /// nothing was recorded).
+    pub fn rates(&self) -> Vec<f64> {
+        if self.comparisons == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.comparisons as f64)
+            .collect()
+    }
+
+    /// Merges another profile of the same kind and length into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kinds or lengths differ.
+    pub fn merge(&mut self, other: &PositionalProfile) {
+        assert_eq!(self.kind, other.kind, "cannot merge profiles of different kinds");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge profiles of different lengths"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.comparisons += other.comparisons;
+    }
+
+    /// A coarse shape summary: mean error rate over the first, middle and
+    /// last thirds of the strand. Useful for asserting "A-shaped" /
+    /// "V-shaped" / "linear" behaviour in tests and experiment summaries.
+    pub fn thirds(&self) -> (f64, f64, f64) {
+        let rates = self.rates();
+        let n = rates.len();
+        if n == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let third = (n / 3).max(1);
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        (
+            mean(&rates[..third.min(n)]),
+            mean(&rates[third.min(n)..(2 * third).min(n).max(third.min(n))]),
+            mean(&rates[(2 * third).min(n)..]),
+        )
+    }
+
+    /// Renders the profile as a small ASCII chart, one row per bucket of
+    /// positions — handy for eyeballing figure shapes in harness output.
+    pub fn ascii_chart(&self, buckets: usize) -> String {
+        let rates = self.rates();
+        if rates.is_empty() || buckets == 0 {
+            return String::new();
+        }
+        let per = rates.len().div_ceil(buckets);
+        let grouped: Vec<f64> = rates
+            .chunks(per)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        let max = grouped.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        let mut out = String::new();
+        for (i, g) in grouped.iter().enumerate() {
+            let bar = "#".repeat(((g / max) * 50.0).round() as usize);
+            out.push_str(&format!(
+                "{:>4}-{:<4} {:>8.5} |{}\n",
+                i * per,
+                ((i + 1) * per - 1).min(rates.len() - 1),
+                g,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for PositionalProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b, c) = self.thirds();
+        write!(
+            f,
+            "{:?} profile over {} comparisons: thirds [{:.4}, {:.4}, {:.4}]",
+            self.kind, self.comparisons, a, b, c
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> Strand {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn hamming_profile_records_propagation() {
+        let mut p = PositionalProfile::new(ProfileKind::Hamming, 4);
+        p.record(&s("AGTC"), &s("ATC"));
+        assert_eq!(p.counts(), &[0, 1, 1, 1]);
+        assert_eq!(p.total_errors(), 3);
+    }
+
+    #[test]
+    fn gestalt_profile_records_sources_only() {
+        let mut p = PositionalProfile::new(ProfileKind::GestaltAligned, 4);
+        p.record(&s("AGTC"), &s("ATC"));
+        assert_eq!(p.counts(), &[0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn overlong_reads_clamp_to_last_bucket() {
+        let mut p = PositionalProfile::new(ProfileKind::Hamming, 4);
+        p.record(&s("ACGT"), &s("ACGTAA"));
+        // Positions 4 and 5 spill into the final bucket.
+        assert_eq!(p.counts(), &[0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn rates_divide_by_comparisons() {
+        let mut p = PositionalProfile::new(ProfileKind::Hamming, 2);
+        p.record(&s("AC"), &s("AC"));
+        p.record(&s("AC"), &s("AT"));
+        assert_eq!(p.comparisons(), 2);
+        assert_eq!(p.rates(), vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PositionalProfile::new(ProfileKind::Hamming, 2);
+        a.record(&s("AC"), &s("AT"));
+        let mut b = PositionalProfile::new(ProfileKind::Hamming, 2);
+        b.record(&s("AC"), &s("TC"));
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1]);
+        assert_eq!(a.comparisons(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn merge_rejects_kind_mismatch() {
+        let mut a = PositionalProfile::new(ProfileKind::Hamming, 2);
+        let b = PositionalProfile::new(ProfileKind::GestaltAligned, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn thirds_summarise_shape() {
+        let mut p = PositionalProfile::new(ProfileKind::Hamming, 9);
+        // Linear increase toward the end.
+        p.record(&s("AAAAAAAAA"), &s("AAAAAATTT"));
+        let (first, _, last) = p.thirds();
+        assert!(last > first);
+    }
+
+    #[test]
+    fn ascii_chart_has_requested_buckets() {
+        let mut p = PositionalProfile::new(ProfileKind::Hamming, 10);
+        p.record(&s("AAAAAAAAAA"), &s("TAAAAAAAAT"));
+        let chart = p.ascii_chart(5);
+        assert_eq!(chart.lines().count(), 5);
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    fn empty_profile_rates() {
+        let p = PositionalProfile::new(ProfileKind::Hamming, 3);
+        assert_eq!(p.rates(), vec![0.0; 3]);
+        assert_eq!(p.total_errors(), 0);
+    }
+}

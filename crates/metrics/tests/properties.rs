@@ -1,0 +1,131 @@
+//! Property-based tests for the metric axioms.
+
+use proptest::prelude::*;
+
+use dnasim_core::{Base, Strand};
+use dnasim_metrics::{
+    chi_square_distance, gestalt_error_positions, gestalt_score, hamming,
+    hamming_error_positions, levenshtein, levenshtein_within, matching_blocks,
+    normalize_histogram, normalized_levenshtein, positional_matches,
+};
+
+fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
+    proptest::collection::vec(0usize..4, len).prop_map(|idx| {
+        idx.into_iter()
+            .map(|i| Base::from_index(i).expect("index < 4"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn levenshtein_bounded_by_length_difference_and_max_len(
+        a in strand(0..70),
+        b in strand(0..70),
+    ) {
+        let d = levenshtein(a.as_bases(), b.as_bases());
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+        prop_assert!(d <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn normalized_levenshtein_in_unit_interval(a in strand(0..50), b in strand(0..50)) {
+        let d = normalized_levenshtein(a.as_bases(), b.as_bases());
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn levenshtein_within_none_means_above_limit(
+        a in strand(0..40),
+        b in strand(0..40),
+        limit in 0usize..20,
+    ) {
+        let full = levenshtein(a.as_bases(), b.as_bases());
+        match levenshtein_within(a.as_bases(), b.as_bases(), limit) {
+            Some(d) => {
+                prop_assert_eq!(d, full);
+                prop_assert!(d <= limit);
+            }
+            None => prop_assert!(full > limit),
+        }
+    }
+
+    #[test]
+    fn hamming_positions_count_matches_distance(a in strand(0..60), b in strand(0..60)) {
+        prop_assert_eq!(hamming_error_positions(&a, &b).len(), hamming(&a, &b));
+    }
+
+    #[test]
+    fn positional_matches_plus_hamming_covers_longer_strand(
+        a in strand(0..60),
+        b in strand(0..60),
+    ) {
+        // Every position of the longer strand is either a positional match
+        // or a Hamming error.
+        prop_assert_eq!(
+            positional_matches(&a, &b) + hamming(&a, &b),
+            a.len().max(b.len())
+        );
+    }
+
+    #[test]
+    fn matching_blocks_are_valid_and_monotone(a in strand(0..50), b in strand(0..50)) {
+        let blocks = matching_blocks(a.as_bases(), b.as_bases());
+        let mut last_a = 0usize;
+        let mut last_b = 0usize;
+        for m in &blocks {
+            prop_assert!(m.len > 0);
+            prop_assert!(m.a_start >= last_a);
+            prop_assert!(m.b_start >= last_b);
+            prop_assert_eq!(
+                &a.as_bases()[m.a_start..m.a_start + m.len],
+                &b.as_bases()[m.b_start..m.b_start + m.len]
+            );
+            last_a = m.a_start + m.len;
+            last_b = m.b_start + m.len;
+        }
+    }
+
+    #[test]
+    fn gestalt_errors_bounded_by_reference_length(a in strand(0..50), b in strand(0..50)) {
+        let errors = gestalt_error_positions(&a, &b);
+        prop_assert!(errors.len() <= a.len());
+        prop_assert!(errors.iter().all(|&p| p < a.len()));
+        // Sorted ascending, no duplicates.
+        prop_assert!(errors.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn gestalt_score_and_errors_are_consistent(a in strand(1..50)) {
+        // Identity: score 1, no error positions.
+        prop_assert_eq!(gestalt_score(a.as_bases(), a.as_bases()), 1.0);
+        prop_assert!(gestalt_error_positions(&a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn chi_square_is_nonnegative_and_symmetric(
+        xs in proptest::collection::vec(0.0f64..1.0, 0..12),
+        ys in proptest::collection::vec(0.0f64..1.0, 0..12),
+    ) {
+        let d = chi_square_distance(&xs, &ys);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - chi_square_distance(&ys, &xs)).abs() < 1e-12);
+        prop_assert!(chi_square_distance(&xs, &xs) < 1e-12);
+    }
+
+    #[test]
+    fn normalize_histogram_is_a_distribution(
+        counts in proptest::collection::vec(0usize..1000, 1..16),
+    ) {
+        let h = normalize_histogram(&counts);
+        let total: f64 = h.iter().sum();
+        if counts.iter().sum::<usize>() == 0 {
+            prop_assert!(total.abs() < 1e-12);
+        } else {
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(h.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}

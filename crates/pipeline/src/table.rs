@@ -1,0 +1,157 @@
+//! Result tables: the data structures the experiment runners emit and the
+//! harness prints.
+
+use std::fmt;
+
+use dnasim_metrics::AccuracyReport;
+
+/// One (per-strand %, per-char %) accuracy pair — a table cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyCell {
+    /// Per-strand accuracy in percent.
+    pub per_strand: f64,
+    /// Per-character accuracy in percent.
+    pub per_char: f64,
+}
+
+impl From<AccuracyReport> for AccuracyCell {
+    fn from(report: AccuracyReport) -> AccuracyCell {
+        AccuracyCell {
+            per_strand: report.per_strand_percent(),
+            per_char: report.per_char_percent(),
+        }
+    }
+}
+
+impl fmt::Display for AccuracyCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:6.2} / {:6.2}", self.per_strand, self.per_char)
+    }
+}
+
+/// One labelled row of accuracy cells, keyed by algorithm name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Row label (dataset / simulator name).
+    pub label: String,
+    /// `(algorithm, cell)` pairs in column order.
+    pub cells: Vec<(String, AccuracyCell)>,
+}
+
+impl TableRow {
+    /// The cell for `algorithm`, if present.
+    pub fn cell(&self, algorithm: &str) -> Option<AccuracyCell> {
+        self.cells
+            .iter()
+            .find(|(name, _)| name == algorithm)
+            .map(|(_, c)| *c)
+    }
+}
+
+/// A titled accuracy table (one of the paper's Tables 2.1–3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title, e.g. `"Table 3.1 (N = 5)"`.
+    pub title: String,
+    /// Rows in presentation order.
+    pub rows: Vec<TableRow>,
+}
+
+impl Table {
+    /// The row with the given label, if present.
+    pub fn row(&self, label: &str) -> Option<&TableRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        // Column header from the first row.
+        if let Some(first) = self.rows.first() {
+            write!(f, "{:<24}", "data")?;
+            for (algo, _) in &first.cells {
+                write!(f, " | {algo:^17}")?;
+            }
+            writeln!(f)?;
+            write!(f, "{:<24}", "")?;
+            for _ in &first.cells {
+                write!(f, " | {:^17}", "strand% / char%")?;
+            }
+            writeln!(f)?;
+        }
+        for row in &self.rows {
+            write!(f, "{:<24}", row.label)?;
+            for (_, cell) in &row.cells {
+                write!(f, " | {cell:^17}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(s: f64, c: f64) -> AccuracyCell {
+        AccuracyCell {
+            per_strand: s,
+            per_char: c,
+        }
+    }
+
+    #[test]
+    fn cell_from_report() {
+        use dnasim_core::Strand;
+        let r: Strand = "ACGT".parse().unwrap();
+        let mut report = AccuracyReport::new();
+        report.record(&r, &r.clone());
+        let c: AccuracyCell = report.into();
+        assert_eq!(c.per_strand, 100.0);
+        assert_eq!(c.per_char, 100.0);
+    }
+
+    #[test]
+    fn row_lookup() {
+        let row = TableRow {
+            label: "Nanopore".into(),
+            cells: vec![("bma".into(), cell(29.0, 87.7))],
+        };
+        assert!(row.cell("bma").is_some());
+        assert!(row.cell("iterative").is_none());
+    }
+
+    #[test]
+    fn table_display_contains_everything() {
+        let table = Table {
+            title: "Table X".into(),
+            rows: vec![TableRow {
+                label: "Nanopore".into(),
+                cells: vec![
+                    ("bma".into(), cell(29.04, 87.74)),
+                    ("iterative".into(), cell(66.70, 90.32)),
+                ],
+            }],
+        };
+        let text = table.to_string();
+        assert!(text.contains("Table X"));
+        assert!(text.contains("Nanopore"));
+        assert!(text.contains("29.04"));
+        assert!(text.contains("iterative"));
+    }
+
+    #[test]
+    fn table_row_lookup() {
+        let table = Table {
+            title: "t".into(),
+            rows: vec![TableRow {
+                label: "a".into(),
+                cells: vec![],
+            }],
+        };
+        assert!(table.row("a").is_some());
+        assert!(table.row("b").is_none());
+    }
+}

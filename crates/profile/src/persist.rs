@@ -1,0 +1,324 @@
+//! Plain-text persistence for [`LearnedModel`].
+//!
+//! Profiling a large dataset is the expensive step of the workflow; saving
+//! the distilled model lets the CLI (and downstream tools) resimulate many
+//! times without re-profiling. The format is a simple line-oriented
+//! `key value…` text — human-inspectable, diff-able, and dependency-free.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use dnasim_core::{Base, EditOp};
+
+use crate::model::{BaseErrorRates, LearnedModel, LongDeletionParams, SecondOrderError};
+
+/// Error returned when parsing a persisted [`LearnedModel`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError {
+    /// 1-based line number of the failure (0 for end-of-input).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+/// The format header; bump the version on breaking changes.
+const HEADER: &str = "dnasim-learned-model v1";
+
+impl LearnedModel {
+    /// Serialises the model to the line-oriented text format.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnasim_core::{rng::seeded, Cluster, Dataset, Strand};
+    /// use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
+    ///
+    /// let reference: Strand = "ACGTACGT".parse()?;
+    /// let cluster = Cluster::new(reference.clone(), vec!["ACGTACG".parse()?]);
+    /// let dataset = Dataset::from_clusters(vec![cluster]);
+    /// let mut rng = seeded(1);
+    /// let stats = ErrorStats::from_dataset(&dataset, TieBreak::Random, &mut rng);
+    /// let model = LearnedModel::from_stats(&stats, 10);
+    ///
+    /// let text = model.to_text();
+    /// let back = LearnedModel::from_text(&text)?;
+    /// assert_eq!(back, model);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "strand_len {}", self.strand_len);
+        let _ = writeln!(out, "aggregate_error_rate {}", self.aggregate_error_rate);
+        let _ = writeln!(out, "homopolymer_boost {}", self.homopolymer_boost);
+        for base in Base::ALL {
+            let r = self.per_base[base.index()];
+            let _ = writeln!(
+                out,
+                "per_base {base} {} {} {}",
+                r.substitution, r.deletion, r.insertion
+            );
+        }
+        for orig in Base::ALL {
+            let row = self.substitution[orig.index()];
+            let _ = writeln!(
+                out,
+                "substitution {orig} {} {} {} {}",
+                row[0], row[1], row[2], row[3]
+            );
+        }
+        let _ = write!(out, "long_deletion {}", self.long_deletion.probability);
+        for w in &self.long_deletion.length_weights {
+            let _ = write!(out, " {w}");
+        }
+        out.push('\n');
+        let _ = write!(out, "spatial");
+        for m in &self.spatial_multipliers {
+            let _ = write!(out, " {m}");
+        }
+        out.push('\n');
+        for so in &self.second_order {
+            let _ = write!(out, "second_order {} {}", op_token(so.op), so.share);
+            for m in &so.positional_multipliers {
+                let _ = write!(out, " {m}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a model previously written by [`to_text`](LearnedModel::to_text).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseModelError`] for a missing/foreign header, malformed line, or
+    /// missing required field.
+    pub fn from_text(text: &str) -> Result<LearnedModel, ParseModelError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header.trim() == HEADER => {}
+            Some((_, other)) => {
+                return Err(ParseModelError {
+                    line: 1,
+                    message: format!("unexpected header '{other}', expected '{HEADER}'"),
+                })
+            }
+            None => {
+                return Err(ParseModelError {
+                    line: 0,
+                    message: "empty input".to_owned(),
+                })
+            }
+        }
+
+        let mut strand_len: Option<usize> = None;
+        let mut aggregate: Option<f64> = None;
+        let mut homopolymer_boost = 1.0f64;
+        let mut per_base = [BaseErrorRates::default(); 4];
+        let mut substitution = [[0.0f64; 4]; 4];
+        let mut long_deletion = LongDeletionParams::default();
+        let mut spatial: Vec<f64> = Vec::new();
+        let mut second_order: Vec<SecondOrderError> = Vec::new();
+
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let key = fields.next().expect("non-empty line has a first token");
+            let err = |message: String| ParseModelError {
+                line: line_no,
+                message,
+            };
+            match key {
+                "strand_len" => {
+                    strand_len = Some(parse_next(&mut fields).map_err(err)?);
+                }
+                "aggregate_error_rate" => {
+                    aggregate = Some(parse_next(&mut fields).map_err(err)?);
+                }
+                "homopolymer_boost" => {
+                    homopolymer_boost = parse_next(&mut fields).map_err(err)?;
+                }
+                "per_base" => {
+                    let base: Base = parse_next(&mut fields).map_err(err)?;
+                    per_base[base.index()] = BaseErrorRates {
+                        substitution: parse_next(&mut fields).map_err(err)?,
+                        deletion: parse_next(&mut fields).map_err(err)?,
+                        insertion: parse_next(&mut fields).map_err(err)?,
+                    };
+                }
+                "substitution" => {
+                    let orig: Base = parse_next(&mut fields).map_err(err)?;
+                    for slot in substitution[orig.index()].iter_mut() {
+                        *slot = parse_next(&mut fields).map_err(err)?;
+                    }
+                }
+                "long_deletion" => {
+                    long_deletion.probability = parse_next(&mut fields).map_err(err)?;
+                    long_deletion.length_weights = parse_rest(&mut fields).map_err(err)?;
+                }
+                "spatial" => {
+                    spatial = parse_rest(&mut fields).map_err(err)?;
+                }
+                "second_order" => {
+                    let op_text = fields
+                        .next()
+                        .ok_or_else(|| err("missing op token".to_owned()))?;
+                    let op = parse_op(op_text)
+                        .ok_or_else(|| err(format!("invalid op token '{op_text}'")))?;
+                    let share: f64 = parse_next(&mut fields).map_err(err)?;
+                    let positional_multipliers = parse_rest(&mut fields).map_err(err)?;
+                    second_order.push(SecondOrderError {
+                        op,
+                        share,
+                        positional_multipliers,
+                    });
+                }
+                other => return Err(err(format!("unknown key '{other}'"))),
+            }
+        }
+
+        Ok(LearnedModel {
+            strand_len: strand_len.ok_or(ParseModelError {
+                line: 0,
+                message: "missing strand_len".to_owned(),
+            })?,
+            per_base,
+            substitution,
+            long_deletion,
+            spatial_multipliers: spatial,
+            second_order,
+            aggregate_error_rate: aggregate.ok_or(ParseModelError {
+                line: 0,
+                message: "missing aggregate_error_rate".to_owned(),
+            })?,
+            homopolymer_boost,
+        })
+    }
+}
+
+fn parse_next<'a, T: FromStr, I: Iterator<Item = &'a str>>(
+    fields: &mut I,
+) -> Result<T, String> {
+    let token = fields.next().ok_or("missing field")?;
+    token
+        .parse()
+        .map_err(|_| format!("invalid value '{token}'"))
+}
+
+fn parse_rest<'a, I: Iterator<Item = &'a str>>(fields: &mut I) -> Result<Vec<f64>, String> {
+    fields
+        .map(|t| t.parse().map_err(|_| format!("invalid value '{t}'")))
+        .collect()
+}
+
+/// Compact token for a specific error op (`-A`, `+G`, `T>C`).
+fn op_token(op: EditOp) -> String {
+    op.to_string()
+}
+
+fn parse_op(token: &str) -> Option<EditOp> {
+    let chars: Vec<char> = token.chars().collect();
+    match chars.as_slice() {
+        ['-', b] => Base::try_from(*b).ok().map(EditOp::Delete),
+        ['+', b] => Base::try_from(*b).ok().map(EditOp::Insert),
+        [orig, '>', new] => {
+            let orig = Base::try_from(*orig).ok()?;
+            let new = Base::try_from(*new).ok()?;
+            Some(EditOp::Subst { orig, new })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ErrorStats, TieBreak};
+    use dnasim_channel::{ErrorModel, NaiveModel};
+    use dnasim_core::rng::seeded;
+    use dnasim_core::Strand;
+
+    fn learned_from_noise(seed: u64) -> LearnedModel {
+        let model = NaiveModel::with_total_rate(0.08);
+        let mut rng = seeded(seed);
+        let mut stats = ErrorStats::new();
+        for _ in 0..40 {
+            let reference = Strand::random(60, &mut rng);
+            for _ in 0..3 {
+                let read = model.corrupt(&reference, &mut rng);
+                stats.record_pair(&reference, &read, TieBreak::Random, &mut rng);
+            }
+        }
+        LearnedModel::from_stats(&stats, 8)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let model = learned_from_noise(1);
+        let text = model.to_text();
+        let back = LearnedModel::from_text(&text).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn op_tokens_round_trip() {
+        for op in [
+            EditOp::Delete(Base::A),
+            EditOp::Insert(Base::T),
+            EditOp::Subst {
+                orig: Base::G,
+                new: Base::C,
+            },
+        ] {
+            assert_eq!(parse_op(&op_token(op)), Some(op));
+        }
+        assert_eq!(parse_op("=A"), None);
+        assert_eq!(parse_op("junk"), None);
+    }
+
+    #[test]
+    fn rejects_foreign_header() {
+        let err = LearnedModel::from_text("something else\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unexpected header"));
+        assert!(LearnedModel::from_text("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_location() {
+        let model = learned_from_noise(2);
+        let mut text = model.to_text();
+        text.push_str("per_base X 0.1 0.1 0.1\n");
+        let lines = text.trim_end().lines().count();
+        let err = LearnedModel::from_text(&text).unwrap_err();
+        assert_eq!(err.line, lines);
+    }
+
+    #[test]
+    fn missing_required_fields_are_reported() {
+        let err = LearnedModel::from_text("dnasim-learned-model v1\n").unwrap_err();
+        assert!(err.message.contains("strand_len"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let model = learned_from_noise(3);
+        let mut text = String::from("dnasim-learned-model v1\n\n# a comment\n");
+        text.push_str(model.to_text().split_once('\n').unwrap().1);
+        let back = LearnedModel::from_text(&text).unwrap();
+        assert_eq!(back, model);
+    }
+
+}

@@ -1,0 +1,267 @@
+//! Shared consensus primitives: per-position voting and the one-way
+//! look-ahead scan that BMA and Iterative reconstruction build on.
+
+use dnasim_core::{Base, Strand};
+
+/// A per-position vote tally over the four bases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct VoteTally {
+    counts: [usize; 4],
+}
+
+impl VoteTally {
+    pub(crate) fn new() -> VoteTally {
+        VoteTally::default()
+    }
+
+    pub(crate) fn vote(&mut self, base: Base) {
+        self.counts[base.index()] += 1;
+    }
+
+    pub(crate) fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    pub(crate) fn count(&self, base: Base) -> usize {
+        self.counts[base.index()]
+    }
+
+    /// The winning base (ties break toward alphabet order), or `None` if no
+    /// votes were cast.
+    pub(crate) fn winner(&self) -> Option<Base> {
+        let max = *self.counts.iter().max().expect("four entries");
+        if max == 0 {
+            return None;
+        }
+        Base::ALL
+            .into_iter()
+            .find(|b| self.counts[b.index()] == max)
+    }
+}
+
+/// Plain per-position majority vote over unaligned reads — the simplest
+/// possible reconstructor and the column rule other algorithms reuse.
+///
+/// Position `j` of the output is the majority of `reads[t][j]` over all
+/// reads long enough; positions no read covers fall back to `A`.
+pub fn positional_majority(reads: &[Strand], strand_len: usize) -> Strand {
+    let mut out = Strand::with_capacity(strand_len);
+    for j in 0..strand_len {
+        let mut tally = VoteTally::new();
+        for read in reads {
+            if let Some(b) = read.get(j) {
+                tally.vote(b);
+            }
+        }
+        out.push(tally.winner().unwrap_or(Base::A));
+    }
+    out
+}
+
+/// One-way Bitwise Majority Alignment with a look-ahead window.
+///
+/// Scans output positions left to right keeping a pointer into every read.
+/// Each column takes the majority of the pointed-at symbols; reads that
+/// disagree are classified as substitution / deletion / insertion by
+/// scoring their next `lookahead` symbols against the *future majority*
+/// (the majority of the other reads' upcoming symbols), and their pointer
+/// is advanced accordingly. Errors therefore propagate only forward — the
+/// linear error profile the paper measures for one-way algorithms.
+pub fn one_way_bma(reads: &[Strand], strand_len: usize, lookahead: usize) -> Strand {
+    anchored_one_way_bma(reads, None, 0, strand_len, lookahead)
+}
+
+/// [`one_way_bma`] with an optional *anchor*: a previous estimate whose
+/// base at each output position casts `anchor_weight` extra votes.
+///
+/// Re-scanning with the last estimate as anchor stabilises pointer drift:
+/// reads that lost sync re-lock onto the anchor's context, while genuine
+/// anchor errors are outvoted by the reads. Iterative reconstruction
+/// alternates this with alignment-based refinement.
+pub fn anchored_one_way_bma(
+    reads: &[Strand],
+    anchor: Option<&Strand>,
+    anchor_weight: usize,
+    strand_len: usize,
+    lookahead: usize,
+) -> Strand {
+    let mut out = Strand::with_capacity(strand_len);
+    let mut ptrs: Vec<usize> = vec![0; reads.len()];
+    for j in 0..strand_len {
+        // Column majority (the anchor, when present, casts weighted votes).
+        let mut tally = VoteTally::new();
+        for (read, &ptr) in reads.iter().zip(&ptrs) {
+            if let Some(b) = read.get(ptr) {
+                tally.vote(b);
+            }
+        }
+        if let (Some(anchor), true) = (anchor, anchor_weight > 0) {
+            if let Some(b) = anchor.get(j) {
+                for _ in 0..anchor_weight {
+                    tally.vote(b);
+                }
+            }
+        }
+        let Some(majority) = tally.winner() else {
+            // Every read exhausted: fall back to unaligned column majority
+            // for the remaining positions.
+            let j = out.len();
+            let mut fallback = VoteTally::new();
+            for read in reads {
+                if let Some(b) = read.get(j) {
+                    fallback.vote(b);
+                }
+            }
+            out.push(fallback.winner().unwrap_or(Base::A));
+            continue;
+        };
+        out.push(majority);
+
+        // Future majority over the look-ahead window, computed from the
+        // reads that *agreed* with this column's majority (their pointers
+        // are most likely in sync; drifted reads would pollute the window).
+        let mut future: Vec<VoteTally> = vec![VoteTally::new(); lookahead];
+        for (read, &ptr) in reads.iter().zip(&ptrs) {
+            if read.get(ptr) != Some(majority) {
+                continue;
+            }
+            for (k, tally) in future.iter_mut().enumerate() {
+                if let Some(b) = read.get(ptr + 1 + k) {
+                    tally.vote(b);
+                }
+            }
+        }
+        if let (Some(anchor), true) = (anchor, anchor_weight > 0) {
+            for (k, tally) in future.iter_mut().enumerate() {
+                if let Some(b) = anchor.get(j + 1 + k) {
+                    for _ in 0..anchor_weight {
+                        tally.vote(b);
+                    }
+                }
+            }
+        }
+        let future_majority: Vec<Option<Base>> =
+            future.iter().map(|t| t.winner()).collect();
+
+        for (read, ptr) in reads.iter().zip(&mut ptrs) {
+            match read.get(*ptr) {
+                None => {} // exhausted
+                Some(b) if b == majority => *ptr += 1,
+                Some(_) => {
+                    // Hypothesis windows: where would the next symbols sit
+                    // if this column's mismatch were a substitution (skip
+                    // one), a deletion in the read (skip none), or an
+                    // insertion in the read (skip two)?
+                    let score = |offset: usize| -> usize {
+                        future_majority
+                            .iter()
+                            .enumerate()
+                            .filter(|(k, fm)| {
+                                fm.is_some() && read.get(*ptr + offset + k) == **fm
+                            })
+                            .count()
+                    };
+                    let sub = score(1);
+                    let del = score(0);
+                    let ins = score(2);
+                    // Ties prefer substitution (keeps the pointer in sync).
+                    if sub >= del && sub >= ins {
+                        *ptr += 1;
+                    } else if del >= ins {
+                        // Read is missing the majority base: don't advance.
+                    } else {
+                        *ptr += 2;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(text: &str) -> Strand {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn tally_winner_breaks_ties_alphabetically() {
+        let mut t = VoteTally::new();
+        t.vote(Base::T);
+        t.vote(Base::C);
+        assert_eq!(t.winner(), Some(Base::C));
+        assert_eq!(t.total(), 2);
+        assert_eq!(t.count(Base::T), 1);
+    }
+
+    #[test]
+    fn tally_empty_has_no_winner() {
+        assert_eq!(VoteTally::new().winner(), None);
+    }
+
+    #[test]
+    fn majority_on_identical_reads() {
+        let reads = vec![s("ACGT"), s("ACGT"), s("ACGT")];
+        assert_eq!(positional_majority(&reads, 4), s("ACGT"));
+    }
+
+    #[test]
+    fn majority_outvotes_single_substitution() {
+        let reads = vec![s("ACGT"), s("AAGT"), s("ACGT")];
+        assert_eq!(positional_majority(&reads, 4), s("ACGT"));
+    }
+
+    #[test]
+    fn majority_fills_uncovered_positions_with_a() {
+        let reads = vec![s("GG")];
+        assert_eq!(positional_majority(&reads, 4), s("GGAA"));
+    }
+
+    #[test]
+    fn one_way_bma_recovers_clean_cluster() {
+        let reads = vec![s("ACGTACGTAC"); 5];
+        assert_eq!(one_way_bma(&reads, 10, 3), s("ACGTACGTAC"));
+    }
+
+    #[test]
+    fn one_way_bma_corrects_deletion() {
+        // One read lost the G at position 2; majority + resync recovers it.
+        let reads = vec![s("ACGTACGTAC"), s("ACTACGTAC"), s("ACGTACGTAC")];
+        assert_eq!(one_way_bma(&reads, 10, 3), s("ACGTACGTAC"));
+    }
+
+    #[test]
+    fn one_way_bma_corrects_insertion() {
+        let reads = vec![s("ACGTACGTAC"), s("ACTGTACGTAC"), s("ACGTACGTAC")];
+        assert_eq!(one_way_bma(&reads, 10, 3), s("ACGTACGTAC"));
+    }
+
+    #[test]
+    fn one_way_bma_corrects_substitution() {
+        let reads = vec![s("ACGTACGTAC"), s("ACATACGTAC"), s("ACGTACGTAC")];
+        assert_eq!(one_way_bma(&reads, 10, 3), s("ACGTACGTAC"));
+    }
+
+    #[test]
+    fn one_way_bma_handles_exhausted_reads() {
+        let reads = vec![s("AC"), s("AC")];
+        let out = one_way_bma(&reads, 5, 3);
+        assert_eq!(out.len(), 5);
+        assert!(out.starts_with(&s("AC")));
+    }
+
+    #[test]
+    fn one_way_bma_empty_cluster_yields_filler() {
+        let out = one_way_bma(&[], 4, 3);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn one_way_bma_output_length_is_exact() {
+        let reads = vec![s("ACGTACG"), s("ACGTACGTACGTACG")];
+        assert_eq!(one_way_bma(&reads, 10, 3).len(), 10);
+    }
+}

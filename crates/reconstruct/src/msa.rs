@@ -1,0 +1,220 @@
+//! Multiple-sequence-alignment (star-MSA) reconstruction.
+//!
+//! The classic trace-reconstruction family the paper's §1.1.2 cites (Yazdi
+//! et al.): pick a *centre* read, align every other read against it,
+//! project all reads into the centre's coordinate system, and take
+//! column-wise votes including insertion columns. Unlike the scanning
+//! algorithms, MSA is direction-symmetric — included both as a stronger
+//! baseline and as a shape contrast for the profile figures.
+
+use dnasim_core::rng::seeded;
+use dnasim_core::{Base, EditOp, Strand};
+use dnasim_profile::{edit_script, TieBreak};
+
+use crate::algorithms::TraceReconstructor;
+use crate::consensus::{positional_majority, VoteTally};
+
+/// Star-MSA reconstruction: centre-read alignment plus column voting.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_core::Strand;
+/// use dnasim_reconstruct::{MsaReconstructor, TraceReconstructor};
+///
+/// let reference: Strand = "ACGTACGTACGTACGTACGT".parse()?;
+/// let reads = vec![
+///     reference.clone(),
+///     "ACGTACTACGTACGTACGT".parse()?, // deletion
+///     "ACGTACGGTACGTACGTACGT".parse()?, // insertion
+/// ];
+/// let msa = MsaReconstructor::default();
+/// assert_eq!(msa.reconstruct(&reads, 20), reference);
+/// # Ok::<(), dnasim_core::ParseStrandError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsaReconstructor;
+
+impl MsaReconstructor {
+    /// Chooses the centre read: the one minimising total edit distance to
+    /// the other reads (the star-MSA medoid).
+    fn centre_index(reads: &[Strand]) -> usize {
+        if reads.len() <= 2 {
+            return 0;
+        }
+        let mut best = (0usize, usize::MAX);
+        for (i, candidate) in reads.iter().enumerate() {
+            let total: usize = reads
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, other)| {
+                    dnasim_metrics::levenshtein(candidate.as_bases(), other.as_bases())
+                })
+                .sum();
+            if total < best.1 {
+                best = (i, total);
+            }
+        }
+        best.0
+    }
+}
+
+impl TraceReconstructor for MsaReconstructor {
+    fn reconstruct(&self, reads: &[Strand], strand_len: usize) -> Strand {
+        if reads.is_empty() {
+            return positional_majority(reads, strand_len);
+        }
+        let centre_idx = MsaReconstructor::centre_index(reads);
+        let centre = &reads[centre_idx];
+        let centre_len = centre.len();
+
+        // Column votes in centre coordinates: matches/substitutions vote at
+        // the centre position, deletions vote "absent", insertions vote in
+        // the gap before a centre position.
+        let mut column_votes: Vec<VoteTally> = vec![VoteTally::new(); centre_len];
+        let mut absent_votes: Vec<usize> = vec![0; centre_len];
+        let mut gap_votes: Vec<VoteTally> = vec![VoteTally::new(); centre_len + 1];
+        let mut rng = seeded(0); // deterministic tie-break ignores the RNG
+        for (j, read) in reads.iter().enumerate() {
+            if j == centre_idx {
+                for (p, b) in centre.iter().enumerate() {
+                    column_votes[p].vote(b);
+                }
+                continue;
+            }
+            let script = edit_script(centre, read, TieBreak::PreferSubstitution, &mut rng);
+            let mut p = 0usize;
+            for &op in script.ops() {
+                match op {
+                    EditOp::Equal(b) => column_votes[p].vote(b),
+                    EditOp::Subst { new, .. } => column_votes[p].vote(new),
+                    EditOp::Delete(_) => absent_votes[p] += 1,
+                    EditOp::Insert(b) => gap_votes[p].vote(b),
+                }
+                p += op.reference_advance();
+            }
+        }
+
+        let half = reads.len() / 2;
+        let mut out = Strand::with_capacity(strand_len);
+        for p in 0..centre_len {
+            if let Some(winner) = gap_votes[p].winner() {
+                if gap_votes[p].count(winner) > half {
+                    out.push(winner);
+                }
+            }
+            if absent_votes[p] > column_votes[p].total() {
+                continue; // most reads lack this centre base
+            }
+            out.push(column_votes[p].winner().unwrap_or(centre[p]));
+        }
+        if let Some(winner) = gap_votes[centre_len].winner() {
+            if gap_votes[centre_len].count(winner) > half {
+                out.push(winner);
+            }
+        }
+
+        // Enforce the design length, padding from unaligned tail majority.
+        out.truncate(strand_len);
+        while out.len() < strand_len {
+            let j = out.len();
+            let mut tally = VoteTally::new();
+            for read in reads {
+                if let Some(b) = read.get(j) {
+                    tally.vote(b);
+                }
+            }
+            out.push(tally.winner().unwrap_or(Base::A));
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        "msa".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_channel::{ErrorModel, NaiveModel};
+    use dnasim_core::rng::seeded as seed_rng;
+
+    fn s(text: &str) -> Strand {
+        text.parse().unwrap()
+    }
+
+    #[test]
+    fn clean_cluster_reconstructs_exactly() {
+        let reference = s("ACGTACGTACGTACGTACGT");
+        let reads = vec![reference.clone(); 4];
+        assert_eq!(MsaReconstructor.reconstruct(&reads, 20), reference);
+    }
+
+    #[test]
+    fn empty_cluster_yields_filler() {
+        assert_eq!(MsaReconstructor.reconstruct(&[], 6).len(), 6);
+    }
+
+    #[test]
+    fn single_read_is_returned_cropped() {
+        let read = s("ACGTACGT");
+        let out = MsaReconstructor.reconstruct(std::slice::from_ref(&read), 8);
+        assert_eq!(out, read);
+        assert_eq!(MsaReconstructor.reconstruct(&[read], 4).len(), 4);
+    }
+
+    #[test]
+    fn centre_is_the_medoid() {
+        // Two noisy copies and one outlier: the medoid is a noisy copy.
+        let reads = vec![
+            s("ACGTACGTACGTACGT"),
+            s("ACGTACGTACGTACGA"),
+            s("TTTTTTTTTTTTTTTT"),
+        ];
+        assert!(MsaReconstructor::centre_index(&reads) < 2);
+    }
+
+    #[test]
+    fn corrects_mixed_errors() {
+        let reference = s("ACGTACGTACGTACGTACGTACGTACGTAC");
+        let reads = vec![
+            reference.clone(),
+            s("ACGTACTTACGTACGTACGTACGTACGTAC"),  // sub
+            s("ACGTACGTACGTACGACGTACGTACGTAC"),   // del
+            s("ACGTACGTACGGTACGTACGTACGTACGTAC"), // ins
+            reference.clone(),
+        ];
+        assert_eq!(MsaReconstructor.reconstruct(&reads, 30), reference);
+    }
+
+    #[test]
+    fn length_is_always_exact() {
+        let reads = vec![s("ACG"), s("ACGTACGTACGTACG"), s("A")];
+        for len in [2usize, 8, 20] {
+            assert_eq!(MsaReconstructor.reconstruct(&reads, len).len(), len);
+        }
+    }
+
+    #[test]
+    fn accuracy_is_competitive_on_uniform_noise() {
+        let model = NaiveModel::with_total_rate(0.059);
+        let mut rng = seed_rng(7);
+        let mut exact = 0usize;
+        let trials = 60;
+        for _ in 0..trials {
+            let reference = Strand::random(110, &mut rng);
+            let reads: Vec<Strand> = (0..6).map(|_| model.corrupt(&reference, &mut rng)).collect();
+            if MsaReconstructor.reconstruct(&reads, 110) == reference {
+                exact += 1;
+            }
+        }
+        assert!(exact > trials / 2, "msa exact only {exact}/{trials}");
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(MsaReconstructor.name(), "msa");
+    }
+}

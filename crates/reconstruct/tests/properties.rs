@@ -1,0 +1,128 @@
+//! Property-based tests for the reconstruction suite: invariants every
+//! algorithm must satisfy on arbitrary clusters.
+
+use proptest::prelude::*;
+
+use dnasim_channel::{ErrorModel, NaiveModel};
+use dnasim_core::rng::seeded;
+use dnasim_core::{Base, Strand};
+use dnasim_reconstruct::{
+    BmaLookahead, DividerBma, Iterative, MajorityVote, MsaReconstructor, OneWayBma,
+    TraceReconstructor, TwoWayIterative, WeightedIterative,
+};
+
+fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
+    proptest::collection::vec(0usize..4, len).prop_map(|idx| {
+        idx.into_iter()
+            .map(|i| Base::from_index(i).expect("index < 4"))
+            .collect()
+    })
+}
+
+fn suite() -> Vec<Box<dyn TraceReconstructor>> {
+    vec![
+        Box::new(MajorityVote),
+        Box::new(BmaLookahead::default()),
+        Box::new(OneWayBma::default()),
+        Box::new(DividerBma),
+        Box::new(Iterative::default()),
+        Box::new(TwoWayIterative::default()),
+        Box::new(WeightedIterative::default()),
+        Box::new(MsaReconstructor),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn output_length_always_matches_design_length(
+        reads in proptest::collection::vec(strand(0..60), 0..7),
+        len in 1usize..60,
+    ) {
+        for algo in suite() {
+            prop_assert_eq!(
+                algo.reconstruct(&reads, len).len(),
+                len,
+                "{} wrong length",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unanimous_clusters_reconstruct_exactly(
+        reference in strand(5..60),
+        coverage in 1usize..7,
+    ) {
+        let reads = vec![reference.clone(); coverage];
+        for algo in suite() {
+            prop_assert_eq!(
+                algo.reconstruct(&reads, reference.len()),
+                reference.clone(),
+                "{} failed a unanimous cluster",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_deterministic(
+        reference in strand(20..60),
+        seed in any::<u64>(),
+    ) {
+        let model = NaiveModel::with_total_rate(0.1);
+        let mut rng = seeded(seed);
+        let reads: Vec<Strand> =
+            (0..5).map(|_| model.corrupt(&reference, &mut rng)).collect();
+        for algo in suite() {
+            let a = algo.reconstruct(&reads, reference.len());
+            let b = algo.reconstruct(&reads, reference.len());
+            prop_assert_eq!(a, b, "{} not deterministic", algo.name());
+        }
+    }
+
+    #[test]
+    fn single_substitution_is_outvoted(
+        reference in strand(10..50),
+        position_seed in any::<u64>(),
+    ) {
+        // Three clean copies against one single-substitution copy: every
+        // algorithm that uses majority information must recover exactly.
+        let pos = (position_seed as usize) % reference.len();
+        let mut corrupted = reference.clone().into_bases();
+        corrupted[pos] = corrupted[pos].complement();
+        let reads = vec![
+            reference.clone(),
+            Strand::from_bases(corrupted),
+            reference.clone(),
+            reference.clone(),
+        ];
+        for algo in suite() {
+            prop_assert_eq!(
+                algo.reconstruct(&reads, reference.len()),
+                reference.clone(),
+                "{} failed to outvote a single substitution",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn read_order_does_not_change_majority_vote(
+        reference in strand(10..40),
+        seed in any::<u64>(),
+    ) {
+        // MajorityVote is order-invariant by construction; check it as the
+        // representative (alignment-based algorithms may tie-break by
+        // order, which is allowed).
+        let model = NaiveModel::with_total_rate(0.05);
+        let mut rng = seeded(seed);
+        let mut reads: Vec<Strand> =
+            (0..5).map(|_| model.corrupt(&reference, &mut rng)).collect();
+        let forward = MajorityVote.reconstruct(&reads, reference.len());
+        reads.reverse();
+        let reversed = MajorityVote.reconstruct(&reads, reference.len());
+        prop_assert_eq!(forward, reversed);
+    }
+}

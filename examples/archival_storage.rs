@@ -1,0 +1,68 @@
+//! Archival storage end to end: store a document in simulated DNA for a
+//! century and read it back.
+//!
+//! Exercises every substrate: strand layout (primers + index + RS),
+//! XOR-parity erasure protection, the composable multi-stage channel
+//! (synthesis → decay → PCR → sequencing), clustering, trace
+//! reconstruction, and decoding.
+//!
+//! ```text
+//! cargo run --release --example archival_storage
+//! ```
+
+use dnasim::core::rng::seeded;
+use dnasim::pipeline::{archive_round_trip, ArchiveConfig};
+
+fn main() {
+    let document = concat!(
+        "DNA storage offers extreme density (up to 17 EB/gram) and ",
+        "durability measured in centuries, making it a candidate medium ",
+        "for archival data. This document survives a simulated century ",
+        "of storage, PCR amplification bias, and Nanopore-grade ",
+        "sequencing noise."
+    )
+    .as_bytes()
+    .to_vec();
+
+    let mut rng = seeded(2026);
+    for (label, config) in [
+        (
+            "perfect clustering, 100 years",
+            ArchiveConfig::default(),
+        ),
+        (
+            "greedy clustering, 100 years",
+            ArchiveConfig {
+                imperfect_clustering: true,
+                ..ArchiveConfig::default()
+            },
+        ),
+        (
+            "perfect clustering, 1000 years",
+            ArchiveConfig {
+                storage_years: 1000.0,
+                ..ArchiveConfig::default()
+            },
+        ),
+    ] {
+        match archive_round_trip(&document, &config, &mut rng) {
+            Ok(report) => {
+                let ok = report.data[..document.len()] == document[..];
+                println!(
+                    "{label}: {} strands written, {} reads sequenced, {} parity \
+                     recoveries → {}",
+                    report.strands_written,
+                    report.reads_sequenced,
+                    report.strands_recovered_by_parity,
+                    if ok { "RECOVERED" } else { "CORRUPT" }
+                );
+                assert!(ok, "payload corrupted");
+            }
+            Err(e) => println!("{label}: FAILED ({e})"),
+        }
+    }
+    println!(
+        "\nrecovered text: {}...",
+        String::from_utf8_lossy(&document[..60])
+    );
+}

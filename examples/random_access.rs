@@ -1,0 +1,53 @@
+//! Random access in a shared DNA pool (§1.1.1): store several files in one
+//! container and read back just one via primer-selective PCR amplification.
+//!
+//! ```text
+//! cargo run --release --example random_access
+//! ```
+
+use dnasim::core::rng::seeded;
+use dnasim::pipeline::{FilePool, PoolConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded(2026);
+    let mut pool = FilePool::new(PoolConfig::default());
+
+    let files: Vec<(&str, Vec<u8>)> = vec![
+        ("readme", b"DNA pools are key-value stores: the primer is the key.".to_vec()),
+        ("ledger", (0u8..=255).cycle().take(400).collect()),
+        ("photo", (0u8..=255).rev().cycle().take(300).collect()),
+    ];
+    for (name, data) in &files {
+        pool.store(name, data.clone(), &mut rng)?;
+        println!(
+            "stored '{name}' ({} bytes) — pool now holds {} molecule species",
+            data.len(),
+            pool.species_count()
+        );
+    }
+
+    // Without amplification, each file is a small fraction of the pool.
+    for (name, _) in &files {
+        println!(
+            "baseline share of '{name}' in the pool: {:.1}%",
+            pool.baseline_share(name)? * 100.0
+        );
+    }
+
+    // Random access: amplify + sequence + reconstruct + decode one file.
+    for (name, data) in &files {
+        let recovered = pool.retrieve(name, &mut rng)?;
+        let ok = &recovered[..] == &data[..];
+        println!(
+            "retrieve '{name}': {} ({} bytes)",
+            if ok { "OK" } else { "CORRUPT" },
+            recovered.len()
+        );
+        assert!(ok);
+    }
+    println!(
+        "\nEvery file was recovered from the shared container without sequencing \
+         the other files\nat depth — the PCR primer did the addressing."
+    );
+    Ok(())
+}

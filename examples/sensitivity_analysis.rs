@@ -1,0 +1,56 @@
+//! Sensitivity analysis (§3.4): how the *spatial placement* of a fixed
+//! error budget changes reconstruction accuracy.
+//!
+//! Generates datasets at the same aggregate error rate under uniform,
+//! A-shaped, V-shaped and Nanopore-terminal spatial distributions, and
+//! compares BMA, Iterative and Two-Way Iterative on each.
+//!
+//! ```text
+//! cargo run --release --example sensitivity_analysis
+//! ```
+
+use dnasim::prelude::*;
+
+fn main() {
+    let mut rng = seeded(31);
+    let references: Vec<Strand> = (0..250).map(|_| Strand::random(110, &mut rng)).collect();
+    let shapes = [
+        SpatialDistribution::Uniform,
+        SpatialDistribution::AShaped,
+        SpatialDistribution::VShaped,
+        SpatialDistribution::nanopore_terminal(),
+    ];
+    let algorithms: Vec<Box<dyn TraceReconstructor>> = vec![
+        Box::new(BmaLookahead::default()),
+        Box::new(Iterative::default()),
+        Box::new(TwoWayIterative::default()),
+    ];
+
+    println!("aggregate error rate fixed at p̄ = 0.10, coverage N = 6\n");
+    println!(
+        "{:<16} {:>18} {:>18} {:>18}",
+        "distribution", "bma", "iterative", "iterative-twoway"
+    );
+    println!("{:<16} {:>18} {:>18} {:>18}", "", "str% / chr%", "str% / chr%", "str% / chr%");
+    for shape in &shapes {
+        let model = ParametricModel::new(0.10, shape.clone());
+        let dataset =
+            Simulator::new(model, CoverageModel::Fixed(6)).simulate(&references, &mut rng);
+        print!("{:<16}", shape.to_string());
+        for algo in &algorithms {
+            let report = evaluate_reconstruction(&dataset, algo);
+            print!(
+                " {:>8.2} /{:>7.2}",
+                report.per_strand_percent(),
+                report.per_char_percent()
+            );
+        }
+        println!();
+    }
+    println!(
+        "\nExpected shape (the paper's findings): BMA prefers A-shaped error \
+         (it folds errors\ninto the middle anyway) and suffers on V-shaped; \
+         one-way Iterative is the most\nsensitive to error at the strand ends, \
+         and two-way execution recovers most of that loss."
+    );
+}
