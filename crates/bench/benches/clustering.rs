@@ -3,14 +3,15 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dnasim_testkit::bench::Criterion;
+use dnasim_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dnasim_channel::{ErrorModel, NaiveModel};
 use dnasim_cluster::{GreedyClusterer, QGramSignature};
 use dnasim_core::rng::seeded;
 use dnasim_core::Strand;
-use rand::seq::SliceRandom;
+use dnasim_core::rng::SliceRandom;
 
 fn pool(references: usize, coverage: usize, seed: u64) -> (Vec<Strand>, Vec<Strand>) {
     let mut rng = seeded(seed);

@@ -3,12 +3,13 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dnasim_testkit::bench::Criterion;
+use dnasim_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dnasim_codec::{OuterRsCode, ReedSolomon, RotationCodec, StrandLayout, TwoBitCodec, XorParity};
 use dnasim_core::rng::seeded;
-use rand::RngExt;
+use dnasim_core::rng::RngExt;
 
 fn bench_reed_solomon(c: &mut Criterion) {
     let rs = ReedSolomon::new(255, 223).unwrap();

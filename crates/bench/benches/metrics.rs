@@ -3,7 +3,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dnasim_testkit::bench::{BenchmarkId, Criterion};
+use dnasim_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dnasim_channel::{ErrorModel, NaiveModel};

@@ -3,7 +3,8 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dnasim_testkit::bench::Criterion;
+use dnasim_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dnasim_channel::{ErrorModel, NaiveModel};

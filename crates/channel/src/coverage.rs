@@ -8,7 +8,7 @@
 //! coverage (mirror a real dataset cluster-by-cluster).
 
 use dnasim_core::rng::SimRng;
-use rand::RngExt;
+use dnasim_core::rng::RngExt;
 
 /// A model for drawing per-cluster sequencing coverage.
 ///

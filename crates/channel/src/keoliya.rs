@@ -19,7 +19,7 @@
 use dnasim_core::rng::SimRng;
 use dnasim_core::{Base, EditOp, ErrorKind, Strand};
 use dnasim_profile::LearnedModel;
-use rand::RngExt;
+use dnasim_core::rng::RngExt;
 
 use crate::baseline::sample_weighted_index;
 use crate::model::ErrorModel;

@@ -4,7 +4,7 @@
 
 use dnasim_core::rng::SimRng;
 use dnasim_core::{Base, Strand};
-use rand::RngExt;
+use dnasim_core::rng::RngExt;
 
 use crate::model::ErrorModel;
 use crate::spatial::SpatialDistribution;

@@ -12,7 +12,7 @@
 
 use dnasim_core::rng::SimRng;
 use dnasim_core::{Cluster, Dataset, Strand};
-use rand::RngExt;
+use dnasim_core::rng::RngExt;
 
 use crate::baseline::sample_weighted_index;
 use crate::model::ErrorModel;

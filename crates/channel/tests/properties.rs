@@ -1,7 +1,7 @@
 //! Property-based tests for the channel models: invariants that must hold
 //! for every simulator in the suite, under any strand and seed.
 
-use proptest::prelude::*;
+use dnasim_testkit::prelude::*;
 
 use dnasim_channel::{
     CoverageModel, DnaSimulatorModel, ErrorModel, IdentityModel, KeoliyaModel, NaiveModel,
@@ -12,7 +12,7 @@ use dnasim_core::{Base, Strand};
 use dnasim_profile::{BaseErrorRates, LearnedModel, LongDeletionParams};
 
 fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
-    proptest::collection::vec(0usize..4, len).prop_map(|idx| {
+    dnasim_testkit::collection::vec(0usize..4, len).prop_map(|idx| {
         idx.into_iter()
             .map(|i| Base::from_index(i).expect("index < 4"))
             .collect()
@@ -111,7 +111,7 @@ proptest! {
 
     #[test]
     fn simulator_dataset_shape(
-        refs in proptest::collection::vec(strand(20..40), 1..6),
+        refs in dnasim_testkit::collection::vec(strand(20..40), 1..6),
         coverage in 0usize..6,
         seed in any::<u64>(),
     ) {

@@ -278,7 +278,7 @@ mod tests {
             }
         }
         // Shuffle the pool to destroy ordering.
-        use rand::seq::SliceRandom;
+        use dnasim_core::rng::SliceRandom;
         pool.shuffle(&mut rng);
         let dataset =
             GreedyClusterer::default().cluster_against_references(&pool, &references);

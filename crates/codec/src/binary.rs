@@ -184,7 +184,7 @@ impl RotationCodec {
 mod tests {
     use super::*;
     use dnasim_core::rng::seeded;
-    use rand::RngExt;
+    use dnasim_core::rng::RngExt;
 
     #[test]
     fn two_bit_round_trips_all_bytes() {

@@ -390,7 +390,7 @@ fn berlekamp_massey(syndromes: &[Gf]) -> Vec<Gf> {
 mod tests {
     use super::*;
     use dnasim_core::rng::seeded;
-    use rand::RngExt;
+    use dnasim_core::rng::RngExt;
 
     #[test]
     fn construction_validates_parameters() {
@@ -519,7 +519,7 @@ mod tests {
             let data: Vec<u8> = (0..10).map(|_| rng.random()).collect();
             let clean = rs.encode(&data);
             let mut erased: Vec<usize> = (0..16).collect();
-            use rand::seq::SliceRandom;
+            use dnasim_core::rng::SliceRandom;
             erased.shuffle(&mut rng);
             erased.truncate(6);
             let mut cw = clean.clone();

@@ -1,6 +1,6 @@
 //! Property-based tests for the codec stack.
 
-use proptest::prelude::*;
+use dnasim_testkit::prelude::*;
 
 use dnasim_codec::{
     OuterRsCode, ReedSolomon, RotationCodec, StrandLayout, TwoBitCodec, XorParity,
@@ -12,7 +12,7 @@ proptest! {
 
     #[test]
     fn two_bit_density_is_four_bases_per_byte(
-        bytes in proptest::collection::vec(any::<u8>(), 0..100),
+        bytes in dnasim_testkit::collection::vec(any::<u8>(), 0..100),
     ) {
         let strand = TwoBitCodec.encode(&bytes);
         prop_assert_eq!(strand.len(), bytes.len() * 4);
@@ -21,7 +21,7 @@ proptest! {
 
     #[test]
     fn rotation_is_homopolymer_free_for_any_payload(
-        bytes in proptest::collection::vec(any::<u8>(), 1..100),
+        bytes in dnasim_testkit::collection::vec(any::<u8>(), 1..100),
     ) {
         let strand = RotationCodec.encode(&bytes);
         prop_assert_eq!(strand.len(), bytes.len() * 6);
@@ -38,7 +38,7 @@ proptest! {
         let n = k + extra;
         let rs = ReedSolomon::new(n, k).unwrap();
         prop_assert_eq!(rs.correction_capacity(), extra / 2);
-        use rand::RngExt;
+        use dnasim_core::rng::RngExt;
         let mut rng = seeded(seed);
         let data: Vec<u8> = (0..k).map(|_| rng.random()).collect();
         let mut cw = rs.encode(&data);
@@ -54,8 +54,8 @@ proptest! {
     ) {
         let n = k + extra;
         let rs = ReedSolomon::new(n, k).unwrap();
-        use rand::RngExt;
-        use rand::seq::SliceRandom;
+        use dnasim_core::rng::RngExt;
+        use dnasim_core::rng::SliceRandom;
         let mut rng = seeded(seed);
         let data: Vec<u8> = (0..k).map(|_| rng.random()).collect();
         let clean = rs.encode(&data);
@@ -103,7 +103,7 @@ proptest! {
 
     #[test]
     fn layout_file_round_trip(
-        data in proptest::collection::vec(any::<u8>(), 0..200),
+        data in dnasim_testkit::collection::vec(any::<u8>(), 0..200),
         seed in any::<u64>(),
     ) {
         let mut rng = seeded(seed);

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use rand::{Rng, RngExt};
+use crate::rng::{Rng, RngExt};
 
 /// One of the four DNA nucleotide bases.
 ///

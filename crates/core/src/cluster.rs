@@ -1,7 +1,7 @@
 //! Clusters: a reference strand together with its noisy copies.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::SliceRandom;
+use crate::rng::Rng;
 
 use crate::strand::Strand;
 

@@ -1,7 +1,7 @@
 //! Datasets: ordered collections of clusters plus summary statistics.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::SliceRandom;
+use crate::rng::Rng;
 
 use crate::cluster::Cluster;
 use crate::strand::Strand;

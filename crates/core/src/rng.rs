@@ -1,21 +1,393 @@
-//! Deterministic random-number plumbing.
+//! Deterministic random-number plumbing — fully self-contained.
 //!
 //! Every stochastic component in the workspace takes an explicit `&mut R:
 //! Rng`, and experiments construct their generators through [`seeded`] /
 //! [`SeedSequence`] so that whole tables and figures are reproducible from a
 //! single seed.
+//!
+//! The generator, the [`Rng`]/[`RngExt`] traits, and the slice helpers are
+//! implemented in-tree (no crates.io dependency): the workspace builds with
+//! `CARGO_NET_OFFLINE=true` from a clean checkout. The stream produced by
+//! [`seeded`] is part of the repo's compatibility contract — golden tests
+//! pin it, and changing it invalidates every recorded experiment seed.
+//!
+//! # Seed discipline
+//!
+//! * One experiment = one root seed, fanned out through [`SeedSequence`].
+//! * Components that may be added/removed independently use
+//!   [`SeedSequence::derive`] with a stable string label, so their stream
+//!   never depends on the order other components draw in.
+//! * Loops over homogeneous units (clusters, sweep points) use
+//!   [`SeedSequence::next_seed`].
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::ops::{Range, RangeInclusive};
 
-/// The RNG used throughout the simulator: a small, fast, seedable PRNG.
-pub type SimRng = SmallRng;
+/// The RNG used throughout the simulator: xoshiro256++, a small, fast,
+/// seedable PRNG with 256 bits of state and good statistical quality.
+pub type SimRng = Xoshiro256PlusPlus;
+
+/// A xoshiro256++ pseudo-random generator (Blackman & Vigna, 2019).
+///
+/// Seeded from a single `u64` by expanding it through four rounds of
+/// SplitMix64, the standard construction that guarantees a non-degenerate
+/// (never all-zero) initial state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates a generator by expanding a 64-bit seed through SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256PlusPlus {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix64(sm)
+        };
+        Xoshiro256PlusPlus {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Creates a generator from raw state words.
+    ///
+    /// Used by the reference-vector tests; prefer [`seed_from_u64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zero (the one degenerate fixed point).
+    ///
+    /// [`seed_from_u64`]: Xoshiro256PlusPlus::seed_from_u64
+    pub fn from_state(s: [u64; 4]) -> Xoshiro256PlusPlus {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A source of random bits.
+///
+/// The one required method is [`next_u64`]; everything else (typed draws,
+/// ranges, booleans, slice operations) is layered on top via [`RngExt`] and
+/// [`SliceRandom`]. Stochastic functions take `&mut R` with `R: Rng + ?Sized`
+/// so callers can pass any generator (in practice always [`SimRng`]).
+///
+/// [`next_u64`]: Rng::next_u64
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the upper half of a 64-bit draw).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience draws on any [`Rng`]: typed values, ranges, and biased coins.
+///
+/// ```
+/// use dnasim_core::rng::{seeded, RngExt};
+///
+/// let mut rng = seeded(7);
+/// let x: f64 = rng.random();
+/// assert!((0.0..1.0).contains(&x));
+/// assert!((0..10).contains(&rng.random_range(0..10)));
+/// let _coin = rng.random_bool(0.25);
+/// ```
+pub trait RngExt: Rng {
+    /// Draws a value uniformly over the type's full domain (`[0, 1)` for
+    /// floats).
+    #[inline]
+    fn random<T: StandardRandom>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T: SampleUniform, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Types drawable uniformly over their whole domain via [`RngExt::random`].
+pub trait StandardRandom {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_random_int {
+    ($($unsigned:ty => $signed:ty),* $(,)?) => {$(
+        impl StandardRandom for $unsigned {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $unsigned
+            }
+        }
+        impl StandardRandom for $signed {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $signed
+            }
+        }
+    )*};
+}
+
+standard_random_int!(u8 => i8, u16 => i16, u32 => i32, u64 => i64, usize => isize);
+
+impl StandardRandom for u128 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardRandom for i128 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl StandardRandom for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardRandom for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardRandom for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with an unbiased bounded-uniform sampler, usable with
+/// [`RngExt::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[low, high)`, or `[low, high]` if `inclusive`.
+    fn sample_between<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Unbiased uniform draw from `[0, span)` via Lemire's multiply-shift
+/// rejection method (`span == 0` means the full 2^64 domain).
+#[inline]
+fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let mut x = rng.next_u64();
+    let mut m = u128::from(x) * u128::from(span);
+    let mut low_bits = m as u64;
+    if low_bits < span {
+        let threshold = span.wrapping_neg() % span;
+        while low_bits < threshold {
+            x = rng.next_u64();
+            m = u128::from(x) * u128::from(span);
+            low_bits = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! sample_uniform_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_between<R: Rng + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "cannot sample from an empty range");
+                } else {
+                    assert!(low < high, "cannot sample from an empty range");
+                }
+                // Width as u64; spans are computed in the unsigned domain so
+                // signed ranges (e.g. -5..5) wrap correctly.
+                let span = (high as u64)
+                    .wrapping_sub(low as u64)
+                    .wrapping_add(inclusive as u64);
+                low.wrapping_add(uniform_u64_below(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_uniform_float {
+    ($($ty:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_between<R: Rng + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    low < high || (inclusive && low == high),
+                    "cannot sample from an empty range"
+                );
+                assert!(low.is_finite() && high.is_finite());
+                let unit = <$ty as StandardRandom>::sample(rng);
+                let value = low + (high - low) * unit;
+                // Rounding can land exactly on `high`; fold it back for
+                // half-open ranges.
+                if !inclusive && value >= high {
+                    low
+                } else {
+                    value
+                }
+            }
+        }
+    )*};
+}
+
+sample_uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Random operations on slices: Fisher–Yates [`shuffle`] and uniform
+/// [`choose`].
+///
+/// ```
+/// use dnasim_core::rng::{seeded, SliceRandom};
+///
+/// let mut rng = seeded(9);
+/// let mut xs = [1, 2, 3, 4, 5];
+/// xs.shuffle(&mut rng);
+/// assert!(xs.contains(&3));
+/// assert!(xs.choose(&mut rng).is_some());
+/// ```
+///
+/// [`shuffle`]: SliceRandom::shuffle
+/// [`choose`]: SliceRandom::choose
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (unbiased Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.random_range(0..=i));
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
 
 /// Creates a deterministic [`SimRng`] from a 64-bit seed.
 ///
 /// ```
 /// use dnasim_core::rng::seeded;
-/// use rand::RngExt;
+/// use dnasim_core::rng::RngExt;
 ///
 /// let mut a = seeded(7);
 /// let mut b = seeded(7);
@@ -103,7 +475,6 @@ fn splitmix64(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
 
     #[test]
     fn seeded_is_deterministic() {
@@ -119,6 +490,114 @@ mod tests {
         let a: u64 = seeded(1).random();
         let b: u64 = seeded(2).random();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn matches_xoshiro256plusplus_reference_vector() {
+        // Reference output for state [1, 2, 3, 4] from the xoshiro authors'
+        // C implementation (prng.di.unimi.it).
+        let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expected: [u64; 10] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_next_u64_stream() {
+        let mut a = seeded(5);
+        let mut b = seeded(5);
+        let mut buf = [0u8; 20];
+        a.fill_bytes(&mut buf);
+        let w0 = b.next_u64().to_le_bytes();
+        let w1 = b.next_u64().to_le_bytes();
+        let w2 = b.next_u64().to_le_bytes();
+        assert_eq!(&buf[..8], &w0);
+        assert_eq!(&buf[8..16], &w1);
+        assert_eq!(&buf[16..], &w2[..4]);
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = seeded(11);
+        for _ in 0..2000 {
+            let x = rng.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(1..=255u32);
+            assert!((1..=255).contains(&y));
+            let z = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&z));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_range_covers_small_domain() {
+        let mut rng = seeded(13);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Inclusive single-point range is the identity.
+        assert_eq!(rng.random_range(9..=9u32), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        seeded(1).random_range(5..5usize);
+    }
+
+    #[test]
+    fn random_bool_edge_probabilities() {
+        let mut rng = seeded(17);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = seeded(19);
+        for _ in 0..2000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded(23);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // A 50-element shuffle fixing every point has probability 1/50!.
+        assert_ne!(xs, sorted);
+    }
+
+    #[test]
+    fn choose_is_none_only_for_empty() {
+        let mut rng = seeded(29);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let xs = [7u8, 8, 9];
+        assert!(xs.contains(xs.choose(&mut rng).unwrap()));
     }
 
     #[test]

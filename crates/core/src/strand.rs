@@ -4,7 +4,7 @@ use std::fmt;
 use std::ops::Index;
 use std::str::FromStr;
 
-use rand::{Rng, RngExt};
+use crate::rng::{Rng, RngExt};
 
 use crate::base::{Base, ParseBaseError};
 
@@ -86,7 +86,7 @@ impl Strand {
     /// assert!((s.gc_ratio() - 0.5).abs() < 1e-9);
     /// ```
     pub fn random_gc_balanced<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Strand {
-        use rand::seq::SliceRandom;
+        use crate::rng::SliceRandom;
         let half = len / 2;
         let mut bases: Vec<Base> = Vec::with_capacity(len);
         for i in 0..len {

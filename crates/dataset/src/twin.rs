@@ -14,7 +14,7 @@
 use dnasim_channel::{CoverageModel, ErrorModel};
 use dnasim_core::rng::{seeded, SimRng};
 use dnasim_core::{Base, Cluster, Dataset, Strand};
-use rand::RngExt;
+use dnasim_core::rng::RngExt;
 
 /// The error "personality" of a twin dataset: kind mix, terminal skew,
 /// substitution bias and burstiness.

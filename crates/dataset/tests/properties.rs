@@ -1,6 +1,6 @@
 //! Property-based tests for the twin generator and dataset I/O.
 
-use proptest::prelude::*;
+use dnasim_testkit::prelude::*;
 
 use dnasim_core::rng::seeded;
 use dnasim_dataset::{

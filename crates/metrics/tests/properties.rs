@@ -1,6 +1,6 @@
 //! Property-based tests for the metric axioms.
 
-use proptest::prelude::*;
+use dnasim_testkit::prelude::*;
 
 use dnasim_core::{Base, Strand};
 use dnasim_metrics::{
@@ -10,7 +10,7 @@ use dnasim_metrics::{
 };
 
 fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
-    proptest::collection::vec(0usize..4, len).prop_map(|idx| {
+    dnasim_testkit::collection::vec(0usize..4, len).prop_map(|idx| {
         idx.into_iter()
             .map(|i| Base::from_index(i).expect("index < 4"))
             .collect()
@@ -106,8 +106,8 @@ proptest! {
 
     #[test]
     fn chi_square_is_nonnegative_and_symmetric(
-        xs in proptest::collection::vec(0.0f64..1.0, 0..12),
-        ys in proptest::collection::vec(0.0f64..1.0, 0..12),
+        xs in dnasim_testkit::collection::vec(0.0f64..1.0, 0..12),
+        ys in dnasim_testkit::collection::vec(0.0f64..1.0, 0..12),
     ) {
         let d = chi_square_distance(&xs, &ys);
         prop_assert!(d >= 0.0);
@@ -117,7 +117,7 @@ proptest! {
 
     #[test]
     fn normalize_histogram_is_a_distribution(
-        counts in proptest::collection::vec(0usize..1000, 1..16),
+        counts in dnasim_testkit::collection::vec(0usize..1000, 1..16),
     ) {
         let h = normalize_histogram(&counts);
         let total: f64 = h.iter().sum();

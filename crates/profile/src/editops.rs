@@ -9,7 +9,7 @@
 //! over-counted (the deterministic alternative is kept for ablation).
 
 use dnasim_core::{Base, EditOp, EditScript, Strand};
-use rand::{Rng, RngExt};
+use dnasim_core::rng::{Rng, RngExt};
 
 /// Tie-breaking policy when several minimal edit paths exist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

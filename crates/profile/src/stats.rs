@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use dnasim_core::{Base, Cluster, Dataset, EditOp, EditScript, ErrorKind, Strand};
-use rand::Rng;
+use dnasim_core::rng::Rng;
 
 use crate::editops::{edit_script, TieBreak};
 
@@ -598,7 +598,7 @@ mod ablation_tests {
             // A deletion followed by an insertion elsewhere keeps the
             // length equal, making sub-vs-indel attribution ambiguous.
             let mut bases = reference.clone().into_bases();
-            use rand::RngExt;
+            use dnasim_core::rng::RngExt;
             let del_at = rng.random_range(0..bases.len());
             bases.remove(del_at);
             let ins_at = rng.random_range(0..bases.len());

@@ -1,7 +1,7 @@
 //! Property-based tests for the profiler: the Appendix-B edit-script
 //! recovery and the statistics built on it.
 
-use proptest::prelude::*;
+use dnasim_testkit::prelude::*;
 
 use dnasim_channel::{ErrorModel, NaiveModel};
 use dnasim_core::rng::seeded;
@@ -9,7 +9,7 @@ use dnasim_core::{Base, Strand};
 use dnasim_profile::{edit_script, ErrorStats, LearnedModel, TieBreak};
 
 fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
-    proptest::collection::vec(0usize..4, len).prop_map(|idx| {
+    dnasim_testkit::collection::vec(0usize..4, len).prop_map(|idx| {
         idx.into_iter()
             .map(|i| Base::from_index(i).expect("index < 4"))
             .collect()

@@ -1,7 +1,7 @@
 //! Property-based tests for the reconstruction suite: invariants every
 //! algorithm must satisfy on arbitrary clusters.
 
-use proptest::prelude::*;
+use dnasim_testkit::prelude::*;
 
 use dnasim_channel::{ErrorModel, NaiveModel};
 use dnasim_core::rng::seeded;
@@ -12,7 +12,7 @@ use dnasim_reconstruct::{
 };
 
 fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
-    proptest::collection::vec(0usize..4, len).prop_map(|idx| {
+    dnasim_testkit::collection::vec(0usize..4, len).prop_map(|idx| {
         idx.into_iter()
             .map(|i| Base::from_index(i).expect("index < 4"))
             .collect()
@@ -37,7 +37,7 @@ proptest! {
 
     #[test]
     fn output_length_always_matches_design_length(
-        reads in proptest::collection::vec(strand(0..60), 0..7),
+        reads in dnasim_testkit::collection::vec(strand(0..60), 0..7),
         len in 1usize..60,
     ) {
         for algo in suite() {

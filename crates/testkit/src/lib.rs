@@ -1,0 +1,243 @@
+//! `dnasim-testkit` — the workspace's hermetic test and benchmark substrate.
+//!
+//! The dnasim workspace builds and verifies with **zero registry
+//! dependencies** (`CARGO_NET_OFFLINE=true`). This crate supplies the two
+//! pieces of test infrastructure that used to come from crates.io, with
+//! API-compatible surfaces so suites port mechanically:
+//!
+//! * a **property-testing harness** — the [`proptest!`] macro plus
+//!   [`prop_assert!`]/[`prop_assert_eq!`], strategies ([`any`], numeric
+//!   ranges, [`collection::vec`], [`collection::hash_set`], `prop_map`),
+//!   seeded case generation, greedy input shrinking, and failure-seed
+//!   reporting (replay with `DNASIM_PROPTEST_SEED=…`);
+//! * a **benchmark harness** — [`criterion_group!`]/[`criterion_main!`],
+//!   [`bench::Criterion`] with warmup and robust median/MAD reporting, and
+//!   [`bench::black_box`].
+//!
+//! Randomness comes from `dnasim_core::rng` ([xoshiro256++ behind the
+//! workspace's `Rng` trait](dnasim_core::rng)), so test-case streams obey
+//! the same seed discipline as the simulator itself.
+//!
+//! # Writing a property
+//!
+//! ```
+//! use dnasim_testkit::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!
+//!     #[test]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+pub mod bench;
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+pub use runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use strategy::{any, Strategy};
+
+/// Everything a property-test file needs: `use dnasim_testkit::prelude::*;`.
+pub mod prelude {
+    pub use crate::runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares a block of property tests (proptest-compatible syntax).
+///
+/// Each `#[test] fn name(arg in strategy, …) { body }` item becomes a
+/// regular `#[test]` that runs the body against `cases` seeded random
+/// inputs, shrinking and reporting the replay seed on failure. An optional
+/// leading `#![proptest_config(…)]` sets the [`ProptestConfig`].
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ($($strategy,)+);
+            $crate::runner::run_property(
+                stringify!($name),
+                &config,
+                strategy,
+                |__dnasim_case| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__dnasim_case);
+                    (move || -> $crate::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                },
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body, recording a failure (instead
+/// of panicking) so the input can be shrunk.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts `left == right` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`: {}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts `left != right` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`: {}\n  both: {:?}",
+            format!($($fmt)+),
+            left
+        );
+    }};
+}
+
+/// Declares a benchmark group (criterion-compatible syntax).
+///
+/// ```ignore
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(30);
+///     targets = bench_a, bench_b
+/// }
+/// criterion_main!(benches);
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::bench::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_runnable_tests(
+            xs in crate::collection::vec(0usize..10, 0..8),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 8);
+            if flag {
+                prop_assert_eq!(xs.len(), xs.clone().len());
+            }
+            prop_assert_ne!(xs.len(), xs.len() + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_compiles(x in 0u8..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn prop_assert_failure_shrinks_to_minimal_vec() {
+        let result = std::panic::catch_unwind(|| {
+            crate::runner::run_property(
+                "vec_shorter_than_three",
+                &ProptestConfig::with_cases(64),
+                crate::collection::vec(0usize..100, 0..20),
+                |xs| {
+                    prop_assert!(xs.len() < 3, "too long: {}", xs.len());
+                    Ok(())
+                },
+            );
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        // The structural shrinker should cut the counterexample down to
+        // exactly the boundary length.
+        assert!(message.contains("too long: 3"), "{message}");
+    }
+}

@@ -1,0 +1,237 @@
+//! The property-test executor: seeded case generation, panic capture,
+//! greedy shrinking, and failure-seed reporting.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dnasim_core::rng::{seeded, SeedSequence};
+
+use crate::strategy::Strategy;
+
+/// Root seed used when `DNASIM_PROPTEST_SEED` is not set.
+///
+/// A fixed default makes every CI run reproduce the same cases; export the
+/// env var to replay a reported failure or to rotate the exploration.
+pub const DEFAULT_ROOT_SEED: u64 = 0x0d5a_51f7_7e57_5eed;
+
+/// Environment variable overriding the root seed (decimal or `0x…` hex).
+pub const SEED_ENV_VAR: &str = "DNASIM_PROPTEST_SEED";
+
+/// Configuration block accepted by the `proptest!` macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Upper bound on shrink attempts after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A failed property assertion (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type returned by property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn root_seed() -> u64 {
+    match std::env::var(SEED_ENV_VAR) {
+        Ok(raw) => {
+            let parsed = raw
+                .strip_prefix("0x")
+                .map(|hex| u64::from_str_radix(hex, 16))
+                .unwrap_or_else(|| raw.parse());
+            match parsed {
+                Ok(seed) => seed,
+                Err(_) => panic!("{SEED_ENV_VAR} must be a u64, got {raw:?}"),
+            }
+        }
+        Err(_) => DEFAULT_ROOT_SEED,
+    }
+}
+
+/// Runs one case, converting body panics into regular failures so the
+/// shrinker can keep working on them.
+fn run_case<V>(test: &impl Fn(&V) -> TestCaseResult, value: &V) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| test(value))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(error)) => Err(error.to_string()),
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "test body panicked".to_owned());
+            Err(format!("panic: {message}"))
+        }
+    }
+}
+
+/// Executes `config.cases` random cases of a property and panics with a
+/// minimal counterexample and replay instructions on the first failure.
+///
+/// Case generation is deterministic: the stream is derived from the root
+/// seed (see [`SEED_ENV_VAR`]) and the property's name, so properties are
+/// independent of each other and of execution order.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: S,
+    test: impl Fn(&S::Value) -> TestCaseResult,
+) {
+    let root = root_seed();
+    let mut stream = SeedSequence::new(SeedSequence::new(root).derive(name));
+    for case_index in 0..config.cases {
+        let case_seed = stream.next_seed();
+        let value = strategy.generate(&mut seeded(case_seed));
+        let Err(error) = run_case(&test, &value) else {
+            continue;
+        };
+        let (minimal, final_error, shrink_steps) =
+            shrink_failure(&strategy, &test, value, error, config.max_shrink_iters);
+        panic!(
+            "property `{name}` failed at case {case_index} (case seed {case_seed:#x})\n\
+             minimal input (after {shrink_steps} shrink steps): {minimal:#?}\n\
+             error: {final_error}\n\
+             replay with: {SEED_ENV_VAR}={root:#x} cargo test {name}",
+        );
+    }
+}
+
+/// Greedily simplifies a failing input: repeatedly adopts the first shrink
+/// candidate that still fails, until none fail or the iteration budget runs
+/// out.
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    test: &impl Fn(&S::Value) -> TestCaseResult,
+    mut current: S::Value,
+    mut error: String,
+    max_iters: u32,
+) -> (S::Value, String, u32) {
+    let mut iters = 0u32;
+    let mut steps = 0u32;
+    'search: while iters < max_iters {
+        for candidate in strategy.shrink(&current) {
+            iters += 1;
+            if let Err(candidate_error) = run_case(test, &candidate) {
+                current = candidate;
+                error = candidate_error;
+                steps += 1;
+                continue 'search;
+            }
+            if iters >= max_iters {
+                break 'search;
+            }
+        }
+        break;
+    }
+    (current, error, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run_property(
+            "always_true",
+            &ProptestConfig::with_cases(40),
+            0usize..100,
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 40);
+    }
+
+    #[test]
+    fn failing_property_reports_and_shrinks() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_property(
+                "fails_above_ten",
+                &ProptestConfig::with_cases(200),
+                (0usize..1000,),
+                |&(v,)| {
+                    if v > 10 {
+                        Err(TestCaseError::fail(format!("{v} is too big")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("fails_above_ten"), "{message}");
+        assert!(message.contains("replay with"), "{message}");
+        // Greedy shrinking must land on the boundary counterexample.
+        assert!(message.contains("minimal input"), "{message}");
+        assert!(message.contains("11"), "{message}");
+    }
+
+    #[test]
+    fn panicking_bodies_are_caught_and_reported() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_property(
+                "panics_always",
+                &ProptestConfig::with_cases(1),
+                0usize..10,
+                |_| panic!("boom"),
+            );
+        }));
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("panic: boom"), "{message}");
+    }
+
+    #[test]
+    fn case_stream_is_deterministic_per_name() {
+        let record = |name: &str| {
+            let values = std::cell::RefCell::new(Vec::new());
+            run_property(name, &ProptestConfig::with_cases(16), 0u64..1_000_000, |&v| {
+                values.borrow_mut().push(v);
+                Ok(())
+            });
+            values.into_inner()
+        };
+        assert_eq!(record("stream_a"), record("stream_a"));
+        assert_ne!(record("stream_a"), record("stream_b"));
+    }
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the dnasim workspace, run fully offline.
+#
+# 1. Guard: no Cargo manifest may depend on anything outside the tree.
+#    Every dependency must be `path = …` (directly or via
+#    `workspace = true` resolving to a path entry in the root manifest).
+# 2. Build the whole workspace in release mode with the network disabled.
+# 3. Run the full test suite.
+#
+# Usage: scripts/verify.sh
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== hermetic-dependency guard =="
+
+# Scan dependency sections of every manifest. A line introduces a non-path
+# dependency if it carries a bare version requirement, or a `version`,
+# `git`, or `registry` key. `workspace = true` lines are fine: the
+# workspace table itself is scanned by the same rules.
+fail=0
+while IFS= read -r manifest; do
+    bad=$(awk '
+        /^\[/ {
+            in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies([].]|$)/)
+            next
+        }
+        !in_deps { next }
+        /^[[:space:]]*(#|$)/ { next }
+        {
+            line = $0
+            sub(/#.*/, "", line)
+            # bare `name = "1.2"` version shorthand
+            if (line ~ /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*"/) { print; next }
+            # inline tables or multi-line entries with registry-ish keys
+            if (line ~ /(^|[{,[:space:]])(version|git|registry)[[:space:]]*=/) { print; next }
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "ERROR: non-path dependency in $manifest:" >&2
+        echo "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+
+if [ "$fail" -ne 0 ]; then
+    echo "The workspace must stay hermetic: in-tree path dependencies only." >&2
+    exit 1
+fi
+echo "ok: all dependencies are in-tree path crates"
+
+echo "== offline release build =="
+CARGO_NET_OFFLINE=true cargo build --release
+
+echo "== test suite =="
+CARGO_NET_OFFLINE=true cargo test -q
+
+echo "verify: OK"

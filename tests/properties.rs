@@ -1,7 +1,7 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
 //! strand, channel draw, or codeword.
 
-use proptest::prelude::*;
+use dnasim_testkit::prelude::*;
 
 use dnasim::codec::{ReedSolomon, RotationCodec, TwoBitCodec, XorParity};
 use dnasim::metrics::{gestalt_score, hamming, levenshtein, levenshtein_within};
@@ -9,7 +9,7 @@ use dnasim::prelude::*;
 
 /// Strategy: a random strand of the given length range.
 fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
-    proptest::collection::vec(0usize..4, len).prop_map(|idx| {
+    dnasim_testkit::collection::vec(0usize..4, len).prop_map(|idx| {
         idx.into_iter()
             .map(|i| Base::from_index(i).expect("index < 4"))
             .collect()
@@ -137,7 +137,7 @@ proptest! {
 
     #[test]
     fn reconstruction_length_is_exact(
-        reads in proptest::collection::vec(strand(0..60), 0..6),
+        reads in dnasim_testkit::collection::vec(strand(0..60), 0..6),
         len in 1usize..60,
     ) {
         for algo in [
@@ -152,14 +152,14 @@ proptest! {
     // ---------- codec invariants ----------
 
     #[test]
-    fn two_bit_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn two_bit_round_trip(bytes in dnasim_testkit::collection::vec(any::<u8>(), 0..64)) {
         let strand = TwoBitCodec.encode(&bytes);
         prop_assert_eq!(TwoBitCodec.decode(&strand).unwrap(), bytes);
     }
 
     #[test]
     fn rotation_round_trip_and_homopolymer_free(
-        bytes in proptest::collection::vec(any::<u8>(), 1..64),
+        bytes in dnasim_testkit::collection::vec(any::<u8>(), 1..64),
     ) {
         let strand = RotationCodec.encode(&bytes);
         prop_assert!(strand.max_homopolymer() <= 1);
@@ -168,8 +168,8 @@ proptest! {
 
     #[test]
     fn reed_solomon_corrects_within_capacity(
-        data in proptest::collection::vec(any::<u8>(), 16),
-        positions in proptest::collection::hash_set(0usize..24, 0..4),
+        data in dnasim_testkit::collection::vec(any::<u8>(), 16),
+        positions in dnasim_testkit::collection::hash_set(0usize..24, 0..4),
         flip in 1u8..=255,
     ) {
         let rs = ReedSolomon::new(24, 16).unwrap();
@@ -182,7 +182,7 @@ proptest! {
 
     #[test]
     fn xor_parity_recovers_any_single_loss(
-        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 8), 1..9),
+        payloads in dnasim_testkit::collection::vec(dnasim_testkit::collection::vec(any::<u8>(), 8), 1..9),
         group in 1usize..5,
         loss_seed in any::<u64>(),
     ) {
