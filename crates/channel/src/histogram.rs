@@ -129,7 +129,7 @@ impl ErrorModel for FullHistogramModel {
             let ins_total: f64 = table.insertion.iter().sum();
             if ins_total > 0.0 && rng.random::<f64>() < ins_total.min(0.9) {
                 let which = sample_weighted_index(&table.insertion, rng);
-                read.push(Base::from_index(which).expect("index < 4"));
+                read.push(Base::ALL[which % Base::COUNT]);
             }
             // Base-conditional substitution / deletion.
             let sub_row = &table.substitution[base.index()];
@@ -138,7 +138,7 @@ impl ErrorModel for FullHistogramModel {
             let u: f64 = rng.random();
             if u < sub_total {
                 let which = sample_weighted_index(sub_row, rng);
-                read.push(Base::from_index(which).expect("index < 4"));
+                read.push(Base::ALL[which % Base::COUNT]);
             } else if u < sub_total + del {
                 // deleted
             } else {

@@ -193,6 +193,26 @@ impl KeoliyaModel {
         }
     }
 
+    /// Builds the simulator after validating the learned parameters.
+    ///
+    /// [`new`](KeoliyaModel::new) trusts its input — appropriate for models
+    /// freshly learned by the profiler. Models loaded from disk (or any
+    /// other untrusted source) should come through here instead: a NaN rate
+    /// would silently disable error injection, and an out-of-range rate
+    /// would distort every statistic downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelValidationError`](dnasim_profile::ModelValidationError)
+    /// naming the first out-of-domain parameter.
+    pub fn try_new(
+        learned: LearnedModel,
+        layer: SimulatorLayer,
+    ) -> Result<KeoliyaModel, dnasim_profile::ModelValidationError> {
+        learned.validate()?;
+        Ok(KeoliyaModel::new(learned, layer))
+    }
+
     /// Enables the learned homopolymer modulation: positions inside runs of
     /// length ≥ 3 get the learned boost, with the rest of the strand
     /// compensated so the aggregate rate is unchanged. An extension beyond

@@ -36,6 +36,21 @@ pub enum ArgsError {
         /// Expected type description.
         expected: &'static str,
     },
+    /// The subcommand is not one dnasim knows.
+    UnknownCommand {
+        /// The unrecognised subcommand.
+        name: String,
+    },
+    /// A choice-valued argument (model, algorithm, layer, …) got a value
+    /// outside its closed set.
+    UnknownChoice {
+        /// Argument name (without `--`).
+        name: &'static str,
+        /// The offending value.
+        value: String,
+        /// The accepted values, for the error message.
+        choices: &'static str,
+    },
 }
 
 impl fmt::Display for ArgsError {
@@ -47,6 +62,14 @@ impl fmt::Display for ArgsError {
                 value,
                 expected,
             } => write!(f, "option --{name}={value} is not a valid {expected}"),
+            ArgsError::UnknownCommand { name } => {
+                write!(f, "unknown command '{name}' (try 'dnasim help')")
+            }
+            ArgsError::UnknownChoice {
+                name,
+                value,
+                choices,
+            } => write!(f, "unknown {name} '{value}' (expected one of: {choices})"),
         }
     }
 }
@@ -169,5 +192,20 @@ mod tests {
         let args = Args::parse(Vec::<String>::new());
         assert_eq!(args.command, None);
         assert!(args.positional.is_empty());
+    }
+
+    #[test]
+    fn usage_error_messages_name_the_problem() {
+        let unknown = ArgsError::UnknownCommand {
+            name: "frobnicate".to_owned(),
+        };
+        assert!(unknown.to_string().contains("frobnicate"));
+        let choice = ArgsError::UnknownChoice {
+            name: "algo",
+            value: "wrong".to_owned(),
+            choices: "bma | majority",
+        };
+        let text = choice.to_string();
+        assert!(text.contains("wrong") && text.contains("bma"));
     }
 }

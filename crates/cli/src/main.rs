@@ -9,8 +9,13 @@
 //!                    [--coverage N] [--min-coverage M]
 //! dnasim evaluate    --real real.txt --sim sim.txt [--coverage N]
 //! dnasim experiment  <id> [--full]     # table-2.1, table-2.2, table-3.1, ...
-//! dnasim archive     --bytes 4096 [--imperfect]
+//! dnasim archive     --bytes 4096 [--imperfect] [--strict|--lenient]
+//! dnasim chaos       [--smoke] [--seeds N]
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error (usage is
+//! printed to stderr), `3` archive completed degraded (lenient mode with
+//! unrecoverable strands).
 
 mod args;
 
@@ -22,16 +27,22 @@ use dnasim_channel::{CoverageModel, DnaSimulatorModel, KeoliyaModel, Simulator, 
 use dnasim_core::rng::seeded;
 use dnasim_core::Dataset;
 use dnasim_dataset::{read_dataset, write_dataset, NanoporeTwinConfig};
+use dnasim_faults::ChaosSuite;
 use dnasim_pipeline::{
     archive_round_trip, evaluate_reconstruction, fixed_coverage_protocol, ArchiveConfig,
-    Experiments,
+    ArchiveMode, Experiments,
 };
 use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
 use dnasim_reconstruct::{
     BmaLookahead, DividerBma, Iterative, MajorityVote, TraceReconstructor, TwoWayIterative,
 };
 
-use args::Args;
+use args::{Args, ArgsError};
+
+/// Exit code for usage/argument errors (usage is printed to stderr).
+const EXIT_USAGE: u8 = 2;
+/// Exit code for a lenient archive that completed with data loss.
+const EXIT_DEGRADED: u8 = 3;
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -44,62 +55,88 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args),
         Some("experiment") => cmd_experiment(&args),
         Some("archive") => cmd_archive(&args),
+        Some("chaos") => cmd_chaos(&args),
         Some("help") | None => {
-            print_usage();
-            Ok(())
+            println!("{}", usage_text());
+            Ok(CliOutcome::Ok)
         }
-        Some(other) => Err(format!("unknown command '{other}' (try 'dnasim help')").into()),
+        Some(other) => Err(ArgsError::UnknownCommand {
+            name: other.to_owned(),
+        }
+        .into()),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(CliOutcome::Ok) => ExitCode::SUCCESS,
+        Ok(CliOutcome::Degraded) => ExitCode::from(EXIT_DEGRADED),
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if e.downcast_ref::<ArgsError>().is_some() {
+                eprintln!("\n{}", usage_text());
+                ExitCode::from(EXIT_USAGE)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+/// What a successfully completed command reports back to `main`.
+enum CliOutcome {
+    /// Full success — exit 0.
+    Ok,
+    /// The command finished but with degraded results — exit 3.
+    Degraded,
+}
 
-fn print_usage() {
-    println!(
-        "dnasim — DNA-storage noisy-channel simulator\n\n\
-         commands:\n\
-         \x20 generate    --out FILE [--clusters N] [--len L] [--seed S] [--small]\n\
-         \x20 profile     --data FILE [--top-k K] [--save MODEL]\n\
-         \x20 simulate    --data FILE --model MODEL --out FILE [--seed S] [--model-file MODEL]\n\
-         \x20             MODEL: naive | dnasimulator | keoliya[:naive|cond|spatial|second]\n\
-         \x20 reconstruct --data FILE --algo ALGO [--coverage N] [--min-coverage M]\n\
-         \x20             ALGO: bma | divbma | iterative | iterative-twoway | majority\n\
-         \x20 evaluate    --real FILE --sim FILE [--coverage N]\n\
-         \x20 stats       --data FILE\n\
-         \x20 experiment  ID [--full]   (table-2.1 table-2.2 table-3.1 table-3.2 fig-3.3 ext-twoway ext-layers fidelity)\n\
-         \x20 archive     [--bytes N] [--imperfect] [--seed S]"
-    );
+type CliResult = Result<CliOutcome, Box<dyn std::error::Error>>;
+
+fn usage_text() -> &'static str {
+    "dnasim — DNA-storage noisy-channel simulator\n\n\
+     commands:\n\
+     \x20 generate    --out FILE [--clusters N] [--len L] [--seed S] [--small]\n\
+     \x20 profile     --data FILE [--top-k K] [--save MODEL]\n\
+     \x20 simulate    --data FILE --model MODEL --out FILE [--seed S] [--model-file MODEL]\n\
+     \x20             MODEL: naive | dnasimulator | keoliya[:naive|cond|spatial|second]\n\
+     \x20 reconstruct --data FILE --algo ALGO [--coverage N] [--min-coverage M]\n\
+     \x20             ALGO: bma | divbma | iterative | iterative-twoway | majority\n\
+     \x20 evaluate    --real FILE --sim FILE [--coverage N]\n\
+     \x20 stats       --data FILE\n\
+     \x20 experiment  ID [--full]   (table-2.1 table-2.2 table-3.1 table-3.2 fig-3.3 ext-twoway ext-layers fidelity)\n\
+     \x20 archive     [--bytes N] [--imperfect] [--seed S] [--reads N] [--strict|--lenient]\n\
+     \x20 chaos       [--smoke] [--seeds N]\n\n\
+     exit codes: 0 success, 1 runtime failure, 2 usage error, 3 degraded archive"
 }
 
 fn load(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
     Ok(read_dataset(BufReader::new(File::open(path)?))?)
 }
 
-fn parse_algorithm(name: &str) -> Result<Box<dyn TraceReconstructor>, String> {
+fn parse_algorithm(name: &str) -> Result<Box<dyn TraceReconstructor>, ArgsError> {
     match name {
         "bma" => Ok(Box::new(BmaLookahead::default())),
         "divbma" => Ok(Box::new(DividerBma)),
         "iterative" => Ok(Box::new(Iterative::default())),
         "iterative-twoway" => Ok(Box::new(TwoWayIterative::default())),
         "majority" => Ok(Box::new(MajorityVote)),
-        other => Err(format!("unknown algorithm '{other}'")),
+        other => Err(ArgsError::UnknownChoice {
+            name: "algorithm",
+            value: other.to_owned(),
+            choices: "bma | divbma | iterative | iterative-twoway | majority",
+        }),
     }
 }
 
-fn parse_layer(name: &str) -> Result<SimulatorLayer, String> {
+fn parse_layer(name: &str) -> Result<SimulatorLayer, ArgsError> {
     match name {
         "naive" => Ok(SimulatorLayer::Naive),
         "cond" => Ok(SimulatorLayer::ConditionalLongDel),
         "spatial" => Ok(SimulatorLayer::SpatialSkew),
         "second" => Ok(SimulatorLayer::SecondOrder),
-        other => Err(format!("unknown layer '{other}'")),
+        other => Err(ArgsError::UnknownChoice {
+            name: "layer",
+            value: other.to_owned(),
+            choices: "naive | cond | spatial | second",
+        }),
     }
 }
 
@@ -122,7 +159,7 @@ fn cmd_generate(args: &Args) -> CliResult {
         dataset.mean_coverage(),
         dataset.erasure_count(),
     );
-    Ok(())
+    Ok(CliOutcome::Ok)
 }
 
 fn cmd_profile(args: &Args) -> CliResult {
@@ -168,7 +205,7 @@ fn cmd_profile(args: &Args) -> CliResult {
         std::fs::write(path, model.to_text())?;
         println!("saved learned model to {path}");
     }
-    Ok(())
+    Ok(CliOutcome::Ok)
 }
 
 fn cmd_simulate(args: &Args) -> CliResult {
@@ -215,7 +252,7 @@ fn cmd_simulate(args: &Args) -> CliResult {
         simulated.len(),
         simulated.total_reads()
     );
-    Ok(())
+    Ok(CliOutcome::Ok)
 }
 
 fn cmd_reconstruct(args: &Args) -> CliResult {
@@ -231,7 +268,7 @@ fn cmd_reconstruct(args: &Args) -> CliResult {
     };
     let report = evaluate_reconstruction(&dataset, &algorithm);
     println!("{}: {report}", algorithm.name());
-    Ok(())
+    Ok(CliOutcome::Ok)
 }
 
 fn cmd_evaluate(args: &Args) -> CliResult {
@@ -275,7 +312,7 @@ fn cmd_evaluate(args: &Args) -> CliResult {
             s.per_char_percent()
         );
     }
-    Ok(())
+    Ok(CliOutcome::Ok)
 }
 
 fn cmd_stats(args: &Args) -> CliResult {
@@ -298,7 +335,7 @@ fn cmd_stats(args: &Args) -> CliResult {
         let bar = "#".repeat(count * 40 / (max * chunk.len().min(10)).max(1));
         println!("  {:>3}-{:<3} {count:>6} |{bar}", bucket * 10, bucket * 10 + 9);
     }
-    Ok(())
+    Ok(CliOutcome::Ok)
 }
 
 fn cmd_experiment(args: &Args) -> CliResult {
@@ -340,16 +377,33 @@ fn cmd_experiment(args: &Args) -> CliResult {
             .into())
         }
     }
-    Ok(())
+    Ok(CliOutcome::Ok)
 }
 
 fn cmd_archive(args: &Args) -> CliResult {
     let bytes = args.get_or("bytes", 1024usize)?;
     let mut rng = seeded(args.get_or("seed", 7u64)?);
     let data: Vec<u8> = (0..bytes).map(|i| (i % 251) as u8).collect();
+    if args.flag("strict") && args.flag("lenient") {
+        return Err(ArgsError::UnknownChoice {
+            name: "mode",
+            value: "--strict --lenient".to_owned(),
+            choices: "--strict | --lenient",
+        }
+        .into());
+    }
+    let mode = if args.flag("lenient") {
+        ArchiveMode::Lenient
+    } else {
+        ArchiveMode::Strict
+    };
+    let defaults = ArchiveConfig::default();
     let config = ArchiveConfig {
         imperfect_clustering: args.flag("imperfect"),
-        ..ArchiveConfig::default()
+        sequencing_reads_per_strand: args
+            .get_or("reads", defaults.sequencing_reads_per_strand)?,
+        mode,
+        ..defaults
     };
     let report = archive_round_trip(&data, &config, &mut rng)?;
     let ok = report.data[..data.len()] == data[..];
@@ -361,8 +415,40 @@ fn cmd_archive(args: &Args) -> CliResult {
         report.strands_recovered_by_parity,
         if ok { "OK" } else { "CORRUPT" }
     );
+    if report.clusters_quarantined > 0 || report.is_degraded() {
+        println!(
+            "quarantined {} strand slots (erasure budget {} per group); \
+             {} groups over budget; {} payload strands zero-filled",
+            report.clusters_quarantined,
+            report.loss_budget_per_group,
+            report.groups_exceeding_budget,
+            report.strands_unrecovered,
+        );
+    }
+    if report.is_degraded() {
+        println!("round trip DEGRADED — rerun with --strict to make this an error");
+        return Ok(CliOutcome::Degraded);
+    }
     if !ok {
         return Err("payload mismatch after round trip".into());
     }
-    Ok(())
+    Ok(CliOutcome::Ok)
+}
+
+fn cmd_chaos(args: &Args) -> CliResult {
+    let suite = if args.flag("smoke") {
+        ChaosSuite::smoke()
+    } else if args.get("seeds").is_some() {
+        ChaosSuite::new(args.get_or("seeds", 2u64)?)
+    } else {
+        ChaosSuite::from_env()
+    };
+    println!("running {} fault-injection cases…", suite.planned_cases());
+    let report = suite.run();
+    println!("{}", report.summary());
+    if report.is_clean() {
+        Ok(CliOutcome::Ok)
+    } else {
+        Err("chaos suite caught panics (see summary above)".into())
+    }
 }

@@ -23,10 +23,12 @@ fn help_lists_commands() {
 }
 
 #[test]
-fn unknown_command_fails_with_message() {
+fn unknown_command_fails_with_usage_and_exit_code_2() {
     let out = dnasim().arg("frobnicate").output().unwrap();
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("commands:"), "usage must be printed on stderr");
 }
 
 #[test]
@@ -104,10 +106,12 @@ fn generate_profile_simulate_reconstruct_pipeline() {
 }
 
 #[test]
-fn missing_required_option_reports_error() {
+fn missing_required_option_is_a_usage_error() {
     let out = dnasim().args(["generate"]).output().unwrap();
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--out"));
+    assert!(stderr.contains("commands:"), "usage must be printed on stderr");
 }
 
 #[test]
@@ -128,8 +132,48 @@ fn unknown_algorithm_reports_error() {
 #[test]
 fn archive_round_trips() {
     let out = dnasim().args(["archive", "--bytes", "256"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("round-trip OK"));
+}
+
+#[test]
+fn archive_strict_fails_when_nothing_is_sequenced() {
+    let out = dnasim()
+        .args(["archive", "--bytes", "128", "--reads", "0", "--strict"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn archive_lenient_degrades_with_exit_code_3() {
+    let out = dnasim()
+        .args(["archive", "--bytes", "128", "--reads", "0", "--lenient"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DEGRADED"));
+    assert!(stdout.contains("quarantined"));
+}
+
+#[test]
+fn archive_rejects_contradictory_modes() {
+    let out = dnasim()
+        .args(["archive", "--bytes", "64", "--strict", "--lenient"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn chaos_smoke_grid_passes() {
+    let out = dnasim().args(["chaos", "--seeds", "1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chaos:"));
+    assert!(stdout.contains("0 panicked"));
 }
 
 #[test]

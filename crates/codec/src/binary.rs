@@ -69,7 +69,7 @@ impl TwoBitCodec {
         for &byte in bytes {
             for shift in [6u8, 4, 2, 0] {
                 let bits = (byte >> shift) & 0b11;
-                strand.push(Base::from_index(bits as usize).expect("two bits"));
+                strand.push(Base::ALL[bits as usize]);
             }
         }
         strand
@@ -137,8 +137,7 @@ impl RotationCodec {
             }
             for trit in trits {
                 // Advance 1..=3 positions: never lands on `current`.
-                let next = Base::from_index((current.index() + trit + 1) % 4)
-                    .expect("index in range");
+                let next = Base::ALL[(current.index() + trit + 1) % 4];
                 strand.push(next);
                 current = next;
             }

@@ -175,11 +175,15 @@ impl StrandLayout {
         }
         let index_region = strand.substrand(PRIMER_LEN..PRIMER_LEN + INDEX_LEN);
         let index_bytes = TwoBitCodec.decode(&index_region)?;
-        let index = u32::from_be_bytes(
-            index_bytes
-                .try_into()
-                .expect("INDEX_LEN/4 == 4 bytes"),
-        );
+        let index = match <[u8; 4]>::try_from(index_bytes.as_slice()) {
+            Ok(bytes) => u32::from_be_bytes(bytes),
+            Err(_) => {
+                return Err(LayoutError::StrandTooShort {
+                    len: strand.len(),
+                    min,
+                })
+            }
+        };
         let payload_start = PRIMER_LEN + INDEX_LEN;
         let payload_end = payload_start + self.rs.codeword_len() * 4;
         let payload_region = strand.substrand(payload_start..payload_end);

@@ -42,5 +42,5 @@ mod rs;
 pub use binary::{DecodeError, RotationCodec, TwoBitCodec};
 pub use layout::{LayoutError, StrandLayout, INDEX_LEN, PRIMER_LEN};
 pub use outer::{OuterCodeError, OuterRsCode};
-pub use redundancy::{ParityError, XorParity};
+pub use redundancy::{ParityError, RecoveryOutcome, XorParity};
 pub use rs::{ReedSolomon, RsError};

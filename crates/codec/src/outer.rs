@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use crate::redundancy::RecoveryOutcome;
 use crate::rs::{ReedSolomon, RsError};
 
 /// An outer `RS(n, k)` code over groups of `k` equal-length payloads.
@@ -135,6 +136,17 @@ impl OuterRsCode {
     /// [`OuterCodeError::TooManyMissing`] if any group lost more than
     /// `n − k` strands.
     pub fn recover(&self, received: &mut [Option<Vec<u8>>]) -> Result<usize, OuterCodeError> {
+        let outcome = self.recover_lenient(received);
+        match outcome.failed_groups.first() {
+            None => Ok(outcome.recovered),
+            Some(&(group, missing)) => Err(OuterCodeError::TooManyMissing { group, missing }),
+        }
+    }
+
+    /// Best-effort variant of [`recover`](OuterRsCode::recover): a group
+    /// whose losses exceed `n − k` is reported in the [`RecoveryOutcome`]
+    /// instead of aborting, and every recoverable group is still rebuilt.
+    pub fn recover_lenient(&self, received: &mut [Option<Vec<u8>>]) -> RecoveryOutcome {
         let k = self.group_payload();
         let parity_per_group = self.loss_budget();
         // Invert protected_len: find p with p + ceil(p/k)·(n−k) ==
@@ -153,8 +165,9 @@ impl OuterRsCode {
         );
         let group_count = payload_count.div_ceil(k);
         let mut recovered = 0usize;
+        let mut failed_groups = Vec::new();
 
-        for g in 0..group_count {
+        'groups: for g in 0..group_count {
             let payload_range = (g * k)..((g + 1) * k).min(payload_count);
             let parity_range =
                 (payload_count + g * parity_per_group)..(payload_count + (g + 1) * parity_per_group);
@@ -178,10 +191,8 @@ impl OuterRsCode {
                 continue;
             }
             if missing.len() > parity_per_group {
-                return Err(OuterCodeError::TooManyMissing {
-                    group: g,
-                    missing: missing.len(),
-                });
+                failed_groups.push((g, missing.len()));
+                continue;
             }
             let len = payload_range
                 .clone()
@@ -203,13 +214,13 @@ impl OuterRsCode {
                         codeword[k + p] = payload.get(col).copied().unwrap_or(0);
                     }
                 }
-                let data = self
-                    .rs
-                    .decode_erasures(&mut codeword, &missing)
-                    .map_err(|_| OuterCodeError::TooManyMissing {
-                        group: g,
-                        missing: missing.len(),
-                    })?;
+                let data = match self.rs.decode_erasures(&mut codeword, &missing) {
+                    Ok(data) => data,
+                    Err(_) => {
+                        failed_groups.push((g, missing.len()));
+                        continue 'groups;
+                    }
+                };
                 let full = {
                     let mut cw = data.to_vec();
                     cw.extend_from_slice(&codeword[k..]);
@@ -237,7 +248,12 @@ impl OuterRsCode {
                 }
             }
         }
-        Ok(recovered)
+        let still_missing = received.iter().filter(|slot| slot.is_none()).count();
+        RecoveryOutcome {
+            recovered,
+            failed_groups,
+            still_missing,
+        }
     }
 }
 
@@ -316,6 +332,25 @@ mod tests {
         let protected = outer.protect(&payloads(3, 4));
         let mut received: Vec<Option<Vec<u8>>> = protected.into_iter().map(Some).collect();
         assert_eq!(outer.recover(&mut received).unwrap(), 0);
+    }
+
+    #[test]
+    fn lenient_recovers_surviving_groups_and_reports_failures() {
+        let outer = OuterRsCode::new(6, 4).unwrap();
+        let p = payloads(8, 10); // two groups of 4, budget 2 each
+        let protected = outer.protect(&p);
+        let mut received: Vec<Option<Vec<u8>>> = protected.into_iter().map(Some).collect();
+        received[0] = None;
+        received[1] = None;
+        received[2] = None; // group 0: 3 losses > budget 2
+        received[5] = None; // group 1: 1 loss, recoverable
+        let outcome = outer.recover_lenient(&mut received);
+        assert_eq!(outcome.recovered, 1);
+        assert_eq!(outcome.failed_groups, vec![(0, 3)]);
+        assert_eq!(outcome.still_missing, 3);
+        assert!(!outcome.is_complete());
+        assert_eq!(received[5].as_deref(), Some(&p[5][..]));
+        assert!(received[0].is_none());
     }
 
     #[test]

@@ -61,6 +61,30 @@ impl fmt::Display for ParityError {
 
 impl std::error::Error for ParityError {}
 
+/// Result of a lenient (best-effort) recovery pass.
+///
+/// Lenient recovery never fails: groups whose losses exceed the code's
+/// budget are recorded here instead of aborting the pass, and every other
+/// group is still recovered. Callers decide whether partial recovery is
+/// acceptable — the archival pipeline hands this to its degradation
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Strands rebuilt in place.
+    pub recovered: usize,
+    /// Groups left unrecovered, as `(group index, strands missing)`.
+    pub failed_groups: Vec<(usize, usize)>,
+    /// Strand slots still `None` after the pass.
+    pub still_missing: usize,
+}
+
+impl RecoveryOutcome {
+    /// True when every missing strand was rebuilt.
+    pub fn is_complete(&self) -> bool {
+        self.still_missing == 0
+    }
+}
+
 impl XorParity {
     /// Creates a parity scheme over groups of `group_size` payloads.
     ///
@@ -110,6 +134,18 @@ impl XorParity {
     /// [`ParityError::TooManyMissing`] if any group lost two or more
     /// strands (payloads or its parity).
     pub fn recover(&self, received: &mut [Option<Vec<u8>>]) -> Result<usize, ParityError> {
+        let outcome = self.recover_lenient(received);
+        match outcome.failed_groups.first() {
+            None => Ok(outcome.recovered),
+            Some(&(group, missing)) => Err(ParityError::TooManyMissing { group, missing }),
+        }
+    }
+
+    /// Best-effort variant of [`recover`](XorParity::recover): groups whose
+    /// losses exceed the single-strand budget are reported in the
+    /// [`RecoveryOutcome`] instead of aborting, and every recoverable group
+    /// is still rebuilt.
+    pub fn recover_lenient(&self, received: &mut [Option<Vec<u8>>]) -> RecoveryOutcome {
         // Invert protected_len: find the payload count p with
         // p + ceil(p / group_size) == received.len().
         let total = received.len();
@@ -120,6 +156,7 @@ impl XorParity {
         let group_count = payload_count.div_ceil(self.group_size);
         debug_assert_eq!(payload_count + group_count, total, "layout mismatch");
         let mut recovered = 0usize;
+        let mut failed_groups = Vec::new();
         for g in 0..group_count {
             let start = g * self.group_size;
             let end = ((g + 1) * self.group_size).min(payload_count);
@@ -128,10 +165,9 @@ impl XorParity {
                 .chain([parity_idx])
                 .filter(|&i| received[i].is_none())
                 .collect();
-            match missing.len() {
-                0 => {}
-                1 => {
-                    let hole = missing.pop().expect("one element");
+            match (missing.len(), missing.pop()) {
+                (0, _) => {}
+                (1, Some(hole)) => {
                     let len = (start..end)
                         .chain([parity_idx])
                         .filter_map(|i| received[i].as_ref().map(Vec::len))
@@ -151,15 +187,15 @@ impl XorParity {
                     received[hole] = Some(rebuilt);
                     recovered += 1;
                 }
-                n => {
-                    return Err(ParityError::TooManyMissing {
-                        group: g,
-                        missing: n,
-                    })
-                }
+                (n, _) => failed_groups.push((g, n)),
             }
         }
-        Ok(recovered)
+        let still_missing = received.iter().filter(|slot| slot.is_none()).count();
+        RecoveryOutcome {
+            recovered,
+            failed_groups,
+            still_missing,
+        }
     }
 }
 
@@ -253,5 +289,34 @@ mod tests {
     #[should_panic(expected = "group size must be positive")]
     fn zero_group_size_panics() {
         let _ = XorParity::new(0);
+    }
+
+    #[test]
+    fn lenient_recovers_surviving_groups_and_reports_failures() {
+        let parity = XorParity::new(2);
+        let p = payloads(4, 6); // two groups of 2
+        let protected = parity.protect(&p);
+        let mut received: Vec<Option<Vec<u8>>> = protected.into_iter().map(Some).collect();
+        received[0] = None;
+        received[1] = None; // group 0: both payloads lost, over budget
+        received[2] = None; // group 1: one payload lost, recoverable
+        let outcome = parity.recover_lenient(&mut received);
+        assert_eq!(outcome.recovered, 1);
+        assert_eq!(outcome.failed_groups, vec![(0, 2)]);
+        assert_eq!(outcome.still_missing, 2);
+        assert!(!outcome.is_complete());
+        assert_eq!(received[2].as_deref(), Some(&p[2][..]));
+        assert!(received[0].is_none());
+    }
+
+    #[test]
+    fn lenient_with_nothing_lost_is_complete() {
+        let parity = XorParity::new(3);
+        let protected = parity.protect(&payloads(6, 4));
+        let mut received: Vec<Option<Vec<u8>>> = protected.into_iter().map(Some).collect();
+        let outcome = parity.recover_lenient(&mut received);
+        assert_eq!(outcome.recovered, 0);
+        assert!(outcome.failed_groups.is_empty());
+        assert!(outcome.is_complete());
     }
 }

@@ -115,7 +115,9 @@ impl ReedSolomon {
         for &byte in data {
             let factor = byte ^ remainder[0];
             remainder.rotate_left(1);
-            *remainder.last_mut().expect("parity_len > 0") = 0;
+            if let Some(last) = remainder.last_mut() {
+                *last = 0;
+            }
             if factor != 0 {
                 for (r, &g) in remainder.iter_mut().zip(&self.generator[1..]) {
                     *r ^= gf256::mul(g, factor);

@@ -170,8 +170,7 @@ impl Base {
     #[inline]
     pub fn random_other<R: Rng + ?Sized>(self, rng: &mut R) -> Base {
         let offset = rng.random_range(1..Base::COUNT);
-        Base::from_index((self.index() + offset) % Base::COUNT)
-            .expect("index is always in range")
+        Base::ALL[(self.index() + offset) % Base::COUNT]
     }
 }
 

@@ -235,10 +235,9 @@ impl EditScript {
                         });
                     }
                     match op {
-                        EditOp::Equal(_) => out.push(b),
+                        EditOp::Equal(_) | EditOp::Insert(_) => out.push(b),
                         EditOp::Subst { new, .. } => out.push(new),
                         EditOp::Delete(_) => {}
-                        EditOp::Insert(_) => unreachable!("insert handled above"),
                     }
                     pos += 1;
                 }

@@ -1,0 +1,173 @@
+//! The workspace-level error taxonomy.
+//!
+//! Every crate in the workspace reports failures through its own precise
+//! error type (parse errors with line numbers, RS parameter errors, layout
+//! errors, …). [`DnasimError`] is the common denominator those types
+//! convert *into* at the boundaries where callers compose several
+//! subsystems — the CLI, the archival pipeline, the fault-injection
+//! harness — so that "no panic anywhere" can be stated as "every failure
+//! is a `DnasimError` or a quarantined cluster".
+//!
+//! The taxonomy follows the failure domains of the write→store→read
+//! pipeline rather than the crate graph: a caller catching
+//! [`DnasimError::Parse`] does not care whether the malformed line came
+//! from a cluster file or a learned-model file.
+
+use std::fmt;
+use std::io;
+
+/// Workspace-wide error taxonomy for the dnasim pipeline.
+///
+/// Downstream crates implement `From<TheirError> for DnasimError` so any
+/// stage's failure can be propagated with `?` through code that composes
+/// stages. The variants partition failures by *domain*:
+///
+/// | variant | domain |
+/// |---|---|
+/// | [`Io`](DnasimError::Io) | the operating system / stream layer |
+/// | [`Parse`](DnasimError::Parse) | malformed persisted artifacts (cluster files, model files) |
+/// | [`Config`](DnasimError::Config) | degenerate or out-of-range configuration |
+/// | [`Codec`](DnasimError::Codec) | encode/decode failures inside a strand |
+/// | [`Degraded`](DnasimError::Degraded) | losses beyond the redundancy budget |
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DnasimError {
+    /// An underlying I/O failure (file missing, stream truncated mid-read).
+    Io(io::Error),
+    /// A persisted artifact failed to parse.
+    Parse {
+        /// What was being parsed (`"cluster file"`, `"learned model"`, …).
+        artifact: &'static str,
+        /// 1-based line number of the failure (0 when unlocatable).
+        line: usize,
+        /// Human-readable description of the defect.
+        message: String,
+    },
+    /// A configuration value is degenerate or out of range.
+    Config {
+        /// The offending field or parameter (`"rs(n, k)"`, `"probability"`, …).
+        field: String,
+        /// Why the value was rejected.
+        message: String,
+    },
+    /// A codec-layer failure: a strand or codeword that cannot be decoded.
+    Codec {
+        /// Description of the failure.
+        message: String,
+    },
+    /// Losses exceeded the redundancy budget; the payload is not fully
+    /// recoverable. Carries the accounting so callers can report partial
+    /// results instead of aborting.
+    Degraded {
+        /// Strand slots still missing after every recovery attempt.
+        missing: usize,
+        /// Total slots the redundancy layer could have absorbed.
+        budget: usize,
+    },
+}
+
+impl DnasimError {
+    /// Convenience constructor for [`DnasimError::Config`].
+    pub fn config(field: impl Into<String>, message: impl Into<String>) -> DnasimError {
+        DnasimError::Config {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`DnasimError::Codec`].
+    pub fn codec(message: impl Into<String>) -> DnasimError {
+        DnasimError::Codec {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`DnasimError::Parse`].
+    pub fn parse(artifact: &'static str, line: usize, message: impl Into<String>) -> DnasimError {
+        DnasimError::Parse {
+            artifact,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DnasimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnasimError::Io(e) => write!(f, "i/o error: {e}"),
+            DnasimError::Parse {
+                artifact,
+                line,
+                message,
+            } => {
+                if *line > 0 {
+                    write!(f, "{artifact}: line {line}: {message}")
+                } else {
+                    write!(f, "{artifact}: {message}")
+                }
+            }
+            DnasimError::Config { field, message } => {
+                write!(f, "invalid configuration {field}: {message}")
+            }
+            DnasimError::Codec { message } => write!(f, "codec error: {message}"),
+            DnasimError::Degraded { missing, budget } => write!(
+                f,
+                "degradation budget exceeded: {missing} strand(s) unrecoverable \
+                 (redundancy budget {budget})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DnasimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DnasimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DnasimError {
+    fn from(e: io::Error) -> DnasimError {
+        DnasimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<(DnasimError, &str)> = vec![
+            (
+                DnasimError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "cut short")),
+                "i/o error",
+            ),
+            (DnasimError::parse("cluster file", 3, "bad base"), "line 3"),
+            (DnasimError::parse("learned model", 0, "empty"), "learned model"),
+            (DnasimError::config("rs(n, k)", "k >= n"), "rs(n, k)"),
+            (DnasimError::codec("too many errors"), "codec error"),
+            (
+                DnasimError::Degraded {
+                    missing: 3,
+                    budget: 2,
+                },
+                "budget exceeded",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let err: DnasimError =
+            io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -13,6 +13,7 @@
 //! * [`Strand`] — owned base sequences (references and noisy reads);
 //! * [`Cluster`] / [`Dataset`] — reads grouped per reference strand;
 //! * [`EditOp`] / [`EditScript`] — the IDS error vocabulary;
+//! * [`DnasimError`] — the workspace-wide failure taxonomy;
 //! * [`rng`] — deterministic seeding utilities;
 //! * [`tech`] — the sequencing-technology survey (paper Table 1.1).
 //!
@@ -36,6 +37,7 @@ mod base;
 mod cluster;
 mod dataset;
 mod edit;
+mod error;
 pub mod rng;
 pub mod tech;
 
@@ -45,4 +47,5 @@ pub use base::{Base, ParseBaseError};
 pub use cluster::Cluster;
 pub use dataset::Dataset;
 pub use edit::{ApplyScriptError, EditOp, EditScript, ErrorKind, Mismatch};
+pub use error::DnasimError;
 pub use strand::{ParseStrandError, Strand};

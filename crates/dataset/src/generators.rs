@@ -54,10 +54,9 @@ fn homopolymer_limited(len: usize, max_run: usize, rng: &mut SimRng) -> Strand {
     let mut run = 0usize;
     let mut prev: Option<Base> = None;
     for _ in 0..len {
-        let base = if run >= max_run {
-            prev.expect("run > 0 implies prev").random_other(rng)
-        } else {
-            Base::random(rng)
+        let base = match prev {
+            Some(p) if run >= max_run => p.random_other(rng),
+            _ => Base::random(rng),
         };
         if Some(base) == prev {
             run += 1;

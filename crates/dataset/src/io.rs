@@ -12,11 +12,26 @@
 //! >TTGACCAGTA
 //! TTGACCAGTA
 //! ```
+//!
+//! Parsing is tolerant of the byte-level variation real files arrive
+//! with: CRLF line endings, surrounding whitespace, repeated or trailing
+//! blank lines, and a final cluster with no blank line after it all parse
+//! identically to the canonical form.
+//!
+//! One extension over the Microsoft format: a read whose every base was
+//! deleted by the channel is a zero-length strand, which a bare line
+//! cannot express (an empty line already means "cluster boundary"). Such
+//! reads are written as a single `-` and parsed back to an empty read, so
+//! `write_dataset` → `read_dataset` is lossless for every dataset the
+//! simulator can produce.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use dnasim_core::{Cluster, Dataset, ParseStrandError, Strand};
+use dnasim_core::{Cluster, Dataset, DnasimError, ParseStrandError, Strand};
+
+/// Sentinel line for a zero-length read (all bases deleted).
+const EMPTY_READ_TOKEN: &str = "-";
 
 /// Errors from reading a cluster file.
 #[derive(Debug)]
@@ -67,6 +82,22 @@ impl From<io::Error> for ReadDatasetError {
     }
 }
 
+impl From<ReadDatasetError> for DnasimError {
+    fn from(e: ReadDatasetError) -> DnasimError {
+        match e {
+            ReadDatasetError::Io(io) => DnasimError::Io(io),
+            ReadDatasetError::Parse { line, source } => {
+                DnasimError::parse("cluster file", line, source.to_string())
+            }
+            ReadDatasetError::ReadBeforeReference { line } => DnasimError::parse(
+                "cluster file",
+                line,
+                "read appears before any '>' reference line",
+            ),
+        }
+    }
+}
+
 /// Reads a dataset from cluster-file text.
 ///
 /// # Errors
@@ -111,10 +142,14 @@ pub fn read_dataset<R: BufRead>(reader: R) -> Result<Dataset, ReadDatasetError> 
                 })?;
             current = Some(Cluster::erasure(reference));
         } else {
-            let read: Strand = trimmed.parse().map_err(|source| ReadDatasetError::Parse {
-                line: line_no,
-                source,
-            })?;
+            let read: Strand = if trimmed == EMPTY_READ_TOKEN {
+                Strand::new()
+            } else {
+                trimmed.parse().map_err(|source| ReadDatasetError::Parse {
+                    line: line_no,
+                    source,
+                })?
+            };
             match current.as_mut() {
                 Some(cluster) => cluster.push_read(read),
                 None => return Err(ReadDatasetError::ReadBeforeReference { line: line_no }),
@@ -139,7 +174,11 @@ pub fn write_dataset<W: Write>(dataset: &Dataset, mut writer: W) -> io::Result<(
         }
         writeln!(writer, ">{}", cluster.reference())?;
         for read in cluster.reads() {
-            writeln!(writer, "{read}")?;
+            if read.is_empty() {
+                writeln!(writer, "{EMPTY_READ_TOKEN}")?;
+            } else {
+                writeln!(writer, "{read}")?;
+            }
         }
     }
     Ok(())

@@ -1,0 +1,140 @@
+//! Regression tests for cluster-file parsing edge cases surfaced by fault
+//! injection: CRLF line endings, trailing blank lines, a final cluster with
+//! no blank line after it, and zero-length reads must all parse identically
+//! to the canonical form.
+
+use dnasim_core::rng::seeded;
+use dnasim_core::{Cluster, Dataset, Strand};
+use dnasim_dataset::{read_dataset, write_dataset};
+use dnasim_testkit::prelude::*;
+
+const CANONICAL: &str = ">ACGT\nACG\nACGT\n\n>TTTT\nTTT\n";
+
+fn parse(text: &str) -> Dataset {
+    read_dataset(text.as_bytes()).expect("parse failed")
+}
+
+#[test]
+fn crlf_parses_identically_to_lf() {
+    let crlf = CANONICAL.replace('\n', "\r\n");
+    assert_eq!(parse(&crlf), parse(CANONICAL));
+}
+
+#[test]
+fn mixed_line_endings_parse_identically() {
+    let mixed = ">ACGT\r\nACG\nACGT\r\n\n>TTTT\r\nTTT\n";
+    assert_eq!(parse(mixed), parse(CANONICAL));
+}
+
+#[test]
+fn trailing_blank_lines_parse_identically() {
+    for tail in ["\n", "\n\n\n", "\r\n\r\n", "\n \n\t\n"] {
+        let padded = format!("{CANONICAL}{tail}");
+        assert_eq!(parse(&padded), parse(CANONICAL), "tail {tail:?}");
+    }
+}
+
+#[test]
+fn missing_final_newline_parses_identically() {
+    let trimmed = CANONICAL.trim_end();
+    assert_eq!(parse(trimmed), parse(CANONICAL));
+}
+
+#[test]
+fn final_cluster_without_blank_separator_parses_identically() {
+    // The canonical text has no trailing blank line after TTTT's cluster
+    // either — this guards the combination with CRLF.
+    let crlf_no_final = CANONICAL.replace('\n', "\r\n");
+    let crlf_no_final = crlf_no_final.trim_end();
+    assert_eq!(parse(crlf_no_final), parse(CANONICAL));
+}
+
+#[test]
+fn empty_read_round_trips_via_sentinel() {
+    let reference: Strand = "ACGT".parse().unwrap();
+    let mut ds = Dataset::new();
+    ds.push(Cluster::new(
+        reference.clone(),
+        vec![Strand::new(), "AC".parse().unwrap(), Strand::new()],
+    ));
+    let mut buf = Vec::new();
+    write_dataset(&ds, &mut buf).unwrap();
+    let text = String::from_utf8(buf.clone()).unwrap();
+    assert_eq!(text, ">ACGT\n-\nAC\n-\n");
+    let back = read_dataset(buf.as_slice()).unwrap();
+    assert_eq!(back, ds);
+    // An empty read is coverage, not an erasure.
+    assert_eq!(back.clusters()[0].coverage(), 3);
+    assert_eq!(back.erasure_count(), 0);
+}
+
+#[test]
+fn empty_read_distinct_from_erasure() {
+    let ds = parse(">ACGT\n-\n\n>TTTT\n");
+    assert_eq!(ds.len(), 2);
+    assert_eq!(ds.clusters()[0].coverage(), 1);
+    assert!(ds.clusters()[0].reads()[0].is_empty());
+    assert!(ds.clusters()[1].is_erasure());
+}
+
+/// Builds a dataset exercising the representational extremes: erasure
+/// clusters, empty reads, and max-length strands.
+fn adversarial_dataset(clusters: usize, max_len: usize, seed: u64) -> Dataset {
+    let mut rng = seeded(seed);
+    let mut ds = Dataset::new();
+    for i in 0..clusters {
+        let reference = Strand::random(max_len, &mut rng);
+        match i % 3 {
+            0 => ds.push(Cluster::erasure(reference)),
+            1 => ds.push(Cluster::new(
+                reference.clone(),
+                vec![Strand::new(), reference.clone(), Strand::new()],
+            )),
+            _ => {
+                let reads = (0..3)
+                    .map(|_| Strand::random(max_len, &mut rng))
+                    .collect();
+                ds.push(Cluster::new(reference, reads));
+            }
+        }
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn write_read_round_trips_byte_identically(
+        clusters in 1usize..12,
+        max_len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let ds = adversarial_dataset(clusters, max_len, seed);
+        let mut first = Vec::new();
+        write_dataset(&ds, &mut first).expect("write");
+        let back = read_dataset(first.as_slice()).expect("read");
+        prop_assert_eq!(&back, &ds);
+        // Byte-identical fixed point: writing the re-read dataset
+        // reproduces the original bytes exactly.
+        let mut second = Vec::new();
+        write_dataset(&back, &mut second).expect("rewrite");
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn crlf_and_padding_never_change_the_parse(
+        clusters in 1usize..8,
+        max_len in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let ds = adversarial_dataset(clusters, max_len, seed);
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("ascii");
+        let crlf = text.replace('\n', "\r\n");
+        let padded = format!("{}\n\n\n", text.trim_end());
+        prop_assert_eq!(read_dataset(crlf.as_bytes()).expect("crlf"), ds.clone());
+        prop_assert_eq!(read_dataset(padded.as_bytes()).expect("padded"), ds);
+    }
+}

@@ -1,0 +1,368 @@
+//! The chaos-suite runner: sweep the fault × seed grid and classify what
+//! each injected fault did to the pipeline.
+//!
+//! The contract under test is the workspace's robustness invariant: an
+//! adversarial input may be *tolerated* (parsed and processed anyway),
+//! *rejected* with a typed error, or *quarantined* (erasure clusters
+//! handed to the outer code) — but it must never panic. Each case is
+//! wrapped in [`std::panic::catch_unwind`], so a regression shows up as a
+//! [`Verdict::Panicked`] entry naming the exact `(fault, seed)` pair to
+//! reproduce it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dnasim_channel::{CoverageModel, KeoliyaModel, NaiveModel, Simulator, SimulatorLayer};
+use dnasim_codec::{OuterRsCode, ReedSolomon, StrandLayout};
+use dnasim_core::rng::{seeded, RngExt};
+use dnasim_core::DnasimError;
+use dnasim_dataset::{
+    generate_references, read_dataset, write_dataset, ReadDatasetError, ReferenceStyle,
+};
+use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
+use dnasim_reconstruct::{MajorityVote, TraceReconstructor};
+
+use crate::inject::{
+    corrupt_cluster_text, corrupt_model_text, degenerate_rs_params, FaultCategory, FaultKind,
+};
+use crate::reader::{FaultyReader, ReaderFaultPlan};
+
+/// Seed-mixing constant so injection randomness differs from data
+/// generation randomness for the same case seed.
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// How the pipeline answered one injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The stage absorbed the fault and produced a result.
+    Tolerated,
+    /// The stage rejected the input with a typed error.
+    TypedError(String),
+    /// Clusters were quarantined as erasures (graceful degradation).
+    Quarantined(usize),
+    /// The stage panicked — the bug class this suite exists to catch.
+    Panicked(String),
+}
+
+/// One `(fault, seed)` case and its verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// The injected fault.
+    pub fault: FaultKind,
+    /// The case seed; replaying the same seed reproduces the case.
+    pub seed: u64,
+    /// What the pipeline did.
+    pub verdict: Verdict,
+}
+
+/// The outcome of a full chaos sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    outcomes: Vec<ChaosOutcome>,
+}
+
+impl ChaosReport {
+    /// Every case outcome, in grid order.
+    pub fn outcomes(&self) -> &[ChaosOutcome] {
+        &self.outcomes
+    }
+
+    /// Total cases run.
+    pub fn cases(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// The cases that panicked.
+    pub fn panicked(&self) -> Vec<&ChaosOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.verdict, Verdict::Panicked(_)))
+            .collect()
+    }
+
+    /// True when no case panicked — the suite's pass condition.
+    pub fn is_clean(&self) -> bool {
+        self.panicked().is_empty()
+    }
+
+    /// A one-paragraph human-readable summary (used by `dnasim chaos`).
+    pub fn summary(&self) -> String {
+        let mut tolerated = 0usize;
+        let mut typed = 0usize;
+        let mut quarantined = 0usize;
+        let mut panicked = 0usize;
+        for outcome in &self.outcomes {
+            match outcome.verdict {
+                Verdict::Tolerated => tolerated += 1,
+                Verdict::TypedError(_) => typed += 1,
+                Verdict::Quarantined(_) => quarantined += 1,
+                Verdict::Panicked(_) => panicked += 1,
+            }
+        }
+        let mut out = format!(
+            "chaos: {} cases — {tolerated} tolerated, {typed} typed errors, \
+             {quarantined} quarantined, {panicked} panicked",
+            self.cases()
+        );
+        for bad in self.panicked() {
+            out.push_str(&format!(
+                "\n  PANIC fault={} seed={}: {}",
+                bad.fault.name(),
+                bad.seed,
+                match &bad.verdict {
+                    Verdict::Panicked(msg) => msg.as_str(),
+                    _ => "",
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Sweeps every [`FaultKind`] over a seed grid.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_faults::{ChaosSuite, Verdict};
+///
+/// let report = ChaosSuite::new(1).run();
+/// assert!(report.is_clean(), "{}", report.summary());
+/// assert!(report
+///     .outcomes()
+///     .iter()
+///     .any(|o| matches!(o.verdict, Verdict::TypedError(_))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSuite {
+    seeds_per_fault: u64,
+}
+
+impl ChaosSuite {
+    /// A suite running `seeds_per_fault` seeds for each fault kind.
+    pub fn new(seeds_per_fault: u64) -> ChaosSuite {
+        ChaosSuite {
+            seeds_per_fault: seeds_per_fault.max(1),
+        }
+    }
+
+    /// The full grid: enough cases (≥ 200) for release verification.
+    pub fn full() -> ChaosSuite {
+        ChaosSuite::new(14)
+    }
+
+    /// A quick smoke grid for fast CI loops.
+    pub fn smoke() -> ChaosSuite {
+        ChaosSuite::new(2)
+    }
+
+    /// [`smoke`](ChaosSuite::smoke) when `DNASIM_BENCH_FAST` is set (and
+    /// not `"0"`), [`full`](ChaosSuite::full) otherwise.
+    pub fn from_env() -> ChaosSuite {
+        let fast = std::env::var_os("DNASIM_BENCH_FAST")
+            .is_some_and(|v| !v.is_empty() && v != "0");
+        if fast {
+            ChaosSuite::smoke()
+        } else {
+            ChaosSuite::full()
+        }
+    }
+
+    /// Cases the sweep will run.
+    pub fn planned_cases(&self) -> usize {
+        FaultKind::ALL.len() * self.seeds_per_fault as usize
+    }
+
+    /// Runs the sweep. Panics raised by faulty stages are caught and
+    /// recorded as [`Verdict::Panicked`]; the default panic hook is
+    /// silenced for the duration so expected-to-be-absent backtraces don't
+    /// flood the output of a failing run.
+    pub fn run(&self) -> ChaosReport {
+        let previous_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut outcomes = Vec::with_capacity(self.planned_cases());
+        for fault in FaultKind::ALL {
+            for round in 0..self.seeds_per_fault {
+                let seed = round.wrapping_mul(SEED_MIX).wrapping_add(round + 1);
+                outcomes.push(run_case(fault, seed));
+            }
+        }
+        std::panic::set_hook(previous_hook);
+        ChaosReport { outcomes }
+    }
+}
+
+/// Runs one `(fault, seed)` case under `catch_unwind`.
+pub fn run_case(fault: FaultKind, seed: u64) -> ChaosOutcome {
+    let verdict = match catch_unwind(AssertUnwindSafe(|| exercise(fault, seed))) {
+        Ok(verdict) => verdict,
+        Err(payload) => Verdict::Panicked(panic_message(payload)),
+    };
+    ChaosOutcome {
+        fault,
+        seed,
+        verdict,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn exercise(fault: FaultKind, seed: u64) -> Verdict {
+    match fault.category() {
+        FaultCategory::DatasetText => exercise_dataset_text(fault, seed),
+        FaultCategory::ByteStream => exercise_byte_stream(fault, seed),
+        FaultCategory::ModelParams => exercise_model_params(fault, seed),
+        FaultCategory::CodecParams => exercise_codec_params(seed),
+    }
+}
+
+/// A small clean cluster file to corrupt, deterministic in the seed.
+fn base_dataset_text(seed: u64) -> String {
+    let mut rng = seeded(seed);
+    let references = generate_references(5, 48, ReferenceStyle::Uniform, &mut rng);
+    let simulator = Simulator::new(
+        NaiveModel::with_total_rate(0.05),
+        CoverageModel::Fixed(4),
+    );
+    let dataset = simulator.simulate(&references, &mut rng);
+    let mut buf = Vec::new();
+    // Writes to a Vec are infallible; a failure here would surface as an
+    // empty corpus, which every injector handles.
+    let _ = write_dataset(&dataset, &mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// A small learned model to corrupt, deterministic in the seed.
+fn base_model_text(seed: u64) -> String {
+    let mut rng = seeded(seed);
+    let references = generate_references(4, 40, ReferenceStyle::Uniform, &mut rng);
+    let simulator = Simulator::new(
+        NaiveModel::with_total_rate(0.08),
+        CoverageModel::Fixed(3),
+    );
+    let dataset = simulator.simulate(&references, &mut rng);
+    let stats = ErrorStats::from_dataset(&dataset, TieBreak::Random, &mut rng);
+    LearnedModel::from_stats(&stats, 40).to_text()
+}
+
+/// Parse the corrupted bytes, then push every surviving cluster through
+/// reconstruction — the stage that meets monster reads and stub reads.
+fn digest_parse_result(
+    parsed: Result<dnasim_core::Dataset, ReadDatasetError>,
+) -> Verdict {
+    match parsed {
+        Err(e) => Verdict::TypedError(DnasimError::from(e).to_string()),
+        Ok(dataset) => {
+            let mut quarantined = 0usize;
+            for cluster in dataset.iter() {
+                if cluster.is_erasure() {
+                    quarantined += 1;
+                    continue;
+                }
+                let _ = MajorityVote.reconstruct(cluster.reads(), cluster.reference().len());
+            }
+            if quarantined > 0 {
+                Verdict::Quarantined(quarantined)
+            } else {
+                Verdict::Tolerated
+            }
+        }
+    }
+}
+
+fn exercise_dataset_text(fault: FaultKind, seed: u64) -> Verdict {
+    let text = base_dataset_text(seed);
+    let mut rng = seeded(seed ^ SEED_MIX);
+    let corrupted = corrupt_cluster_text(fault, &text, &mut rng);
+    digest_parse_result(read_dataset(corrupted.as_slice()))
+}
+
+fn exercise_byte_stream(fault: FaultKind, seed: u64) -> Verdict {
+    let text = base_dataset_text(seed);
+    let len = text.len() as u64;
+    let mut rng = seeded(seed ^ SEED_MIX);
+    let at = rng.random_range(0..len.max(1));
+    let plan = match fault {
+        FaultKind::StreamIoError => ReaderFaultPlan::io_error(at),
+        _ => ReaderFaultPlan::truncation(at),
+    };
+    let reader = std::io::BufReader::new(FaultyReader::new(text.as_bytes(), plan));
+    digest_parse_result(read_dataset(reader))
+}
+
+fn exercise_model_params(fault: FaultKind, seed: u64) -> Verdict {
+    let text = base_model_text(seed);
+    let mut rng = seeded(seed ^ SEED_MIX);
+    let corrupted = corrupt_model_text(fault, &text, &mut rng);
+    match LearnedModel::from_text(&corrupted) {
+        Err(e) => Verdict::TypedError(DnasimError::from(e).to_string()),
+        // Parsing admitted the value; the simulator constructor is the
+        // second gate and must also hold.
+        Ok(model) => match KeoliyaModel::try_new(model, SimulatorLayer::SecondOrder) {
+            Err(e) => Verdict::TypedError(DnasimError::from(e).to_string()),
+            Ok(_) => Verdict::Tolerated,
+        },
+    }
+}
+
+fn exercise_codec_params(seed: u64) -> Verdict {
+    let mut rng = seeded(seed ^ SEED_MIX);
+    let (n, k) = degenerate_rs_params(&mut rng);
+    let rs = ReedSolomon::new(n, k);
+    let outer = OuterRsCode::new(n, k);
+    let layout = StrandLayout::new(n, k, &mut rng);
+    match (&rs, &outer, &layout) {
+        (Ok(_), Ok(_), Ok(_)) => Verdict::Tolerated,
+        (Err(e), _, _) => Verdict::TypedError(e.to_string()),
+        (_, Err(e), _) => Verdict::TypedError(e.to_string()),
+        (_, _, Err(e)) => Verdict::TypedError(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_seed_grid_is_panic_free() {
+        let report = ChaosSuite::new(1).run();
+        assert_eq!(report.cases(), FaultKind::ALL.len());
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    #[test]
+    fn nan_model_case_yields_typed_error() {
+        let outcome = run_case(FaultKind::NanModelParam, 1);
+        assert!(
+            matches!(outcome.verdict, Verdict::TypedError(_)),
+            "{:?}",
+            outcome.verdict
+        );
+    }
+
+    #[test]
+    fn degenerate_rs_case_never_panics() {
+        for seed in 0..16 {
+            let outcome = run_case(FaultKind::DegenerateRsParams, seed);
+            assert!(
+                !matches!(outcome.verdict, Verdict::Panicked(_)),
+                "seed {seed}: {:?}",
+                outcome.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn summary_counts_every_case() {
+        let report = ChaosSuite::smoke().run();
+        let summary = report.summary();
+        assert!(summary.contains(&format!("{} cases", report.cases())), "{summary}");
+    }
+}

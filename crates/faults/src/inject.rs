@@ -1,0 +1,331 @@
+//! The fault grid and its injectors.
+//!
+//! Every injector is a pure function of `(fault, input, rng)` — the same
+//! seed always produces the same corruption, so a chaos failure is a
+//! one-line reproduction, not a flake.
+
+use dnasim_core::rng::{RngExt, SimRng};
+
+/// One adversarial condition the pipeline must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The cluster file is cut off mid-byte-stream (partial download,
+    /// full disk).
+    TruncatedFile,
+    /// Random bits of the cluster file are flipped (storage rot).
+    BitFlips,
+    /// Unix newlines become CRLF and blank padding appears (Windows
+    /// tooling touched the file).
+    CrlfLineEndings,
+    /// Non-DNA garbage lines are spliced between reads.
+    GarbageLines,
+    /// A reference with zero reads is inserted (a cluster every copy of
+    /// which was lost).
+    EmptyCluster,
+    /// Every read is stripped, leaving only reference lines.
+    ZeroCoverageEverywhere,
+    /// One read is vastly longer than its reference (chimeric or
+    /// concatemer read).
+    MonsterRead,
+    /// Reads far shorter than the reference, down to a single base and
+    /// the `-` empty-read sentinel.
+    StubRead,
+    /// The byte stream truncates silently partway through a read.
+    StreamTruncation,
+    /// The byte stream returns an I/O error partway through.
+    StreamIoError,
+    /// A learned-model parameter becomes NaN.
+    NanModelParam,
+    /// A learned-model parameter becomes infinite.
+    InfModelParam,
+    /// A learned-model probability goes negative.
+    NegativeModelParam,
+    /// A learned-model probability exceeds 1.
+    OutOfRangeModelParam,
+    /// Reed–Solomon / layout parameters are degenerate (k = 0, n < k,
+    /// n > field size).
+    DegenerateRsParams,
+}
+
+/// Which pipeline surface a [`FaultKind`] attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCategory {
+    /// Cluster-file text corruption, parsed via `read_dataset`.
+    DatasetText,
+    /// Byte-stream faults delivered through [`FaultyReader`](crate::FaultyReader).
+    ByteStream,
+    /// Learned-model parameter corruption.
+    ModelParams,
+    /// Degenerate codec parameters.
+    CodecParams,
+}
+
+impl FaultKind {
+    /// Every fault in the grid.
+    pub const ALL: [FaultKind; 15] = [
+        FaultKind::TruncatedFile,
+        FaultKind::BitFlips,
+        FaultKind::CrlfLineEndings,
+        FaultKind::GarbageLines,
+        FaultKind::EmptyCluster,
+        FaultKind::ZeroCoverageEverywhere,
+        FaultKind::MonsterRead,
+        FaultKind::StubRead,
+        FaultKind::StreamTruncation,
+        FaultKind::StreamIoError,
+        FaultKind::NanModelParam,
+        FaultKind::InfModelParam,
+        FaultKind::NegativeModelParam,
+        FaultKind::OutOfRangeModelParam,
+        FaultKind::DegenerateRsParams,
+    ];
+
+    /// The surface this fault attacks.
+    pub fn category(self) -> FaultCategory {
+        match self {
+            FaultKind::TruncatedFile
+            | FaultKind::BitFlips
+            | FaultKind::CrlfLineEndings
+            | FaultKind::GarbageLines
+            | FaultKind::EmptyCluster
+            | FaultKind::ZeroCoverageEverywhere
+            | FaultKind::MonsterRead
+            | FaultKind::StubRead => FaultCategory::DatasetText,
+            FaultKind::StreamTruncation | FaultKind::StreamIoError => FaultCategory::ByteStream,
+            FaultKind::NanModelParam
+            | FaultKind::InfModelParam
+            | FaultKind::NegativeModelParam
+            | FaultKind::OutOfRangeModelParam => FaultCategory::ModelParams,
+            FaultKind::DegenerateRsParams => FaultCategory::CodecParams,
+        }
+    }
+
+    /// A stable lowercase name for reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TruncatedFile => "truncated-file",
+            FaultKind::BitFlips => "bit-flips",
+            FaultKind::CrlfLineEndings => "crlf-line-endings",
+            FaultKind::GarbageLines => "garbage-lines",
+            FaultKind::EmptyCluster => "empty-cluster",
+            FaultKind::ZeroCoverageEverywhere => "zero-coverage",
+            FaultKind::MonsterRead => "monster-read",
+            FaultKind::StubRead => "stub-read",
+            FaultKind::StreamTruncation => "stream-truncation",
+            FaultKind::StreamIoError => "stream-io-error",
+            FaultKind::NanModelParam => "nan-model-param",
+            FaultKind::InfModelParam => "inf-model-param",
+            FaultKind::NegativeModelParam => "negative-model-param",
+            FaultKind::OutOfRangeModelParam => "out-of-range-model-param",
+            FaultKind::DegenerateRsParams => "degenerate-rs-params",
+        }
+    }
+}
+
+/// Applies a [`FaultCategory::DatasetText`] fault to cluster-file text,
+/// returning the corrupted bytes. Other fault kinds return the text
+/// unchanged.
+pub fn corrupt_cluster_text(fault: FaultKind, text: &str, rng: &mut SimRng) -> Vec<u8> {
+    let bytes = text.as_bytes().to_vec();
+    match fault {
+        FaultKind::TruncatedFile => {
+            let cut = if bytes.is_empty() {
+                0
+            } else {
+                rng.random_range(0..bytes.len())
+            };
+            bytes[..cut].to_vec()
+        }
+        FaultKind::BitFlips => {
+            let mut out = bytes;
+            if !out.is_empty() {
+                let flips = 1 + rng.random_range(0..8usize);
+                for _ in 0..flips {
+                    let at = rng.random_range(0..out.len());
+                    let bit = rng.random_range(0..8u32);
+                    out[at] ^= 1 << bit;
+                }
+            }
+            out
+        }
+        FaultKind::CrlfLineEndings => {
+            let mut out = text.replace('\n', "\r\n");
+            out.push_str("\r\n\r\n \t\r\n");
+            out.into_bytes()
+        }
+        FaultKind::GarbageLines => {
+            let garbage = ["@@##!!", "1234567", "ACGTXQ", "\u{fffd}\u{fffd}", "NNNNNN"];
+            let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+            let insertions = 1 + rng.random_range(0..3usize);
+            for _ in 0..insertions {
+                let at = rng.random_range(0..=lines.len());
+                let pick = garbage[rng.random_range(0..garbage.len())];
+                lines.insert(at, pick.to_owned());
+            }
+            let mut out = lines.join("\n");
+            out.push('\n');
+            out.into_bytes()
+        }
+        FaultKind::EmptyCluster => {
+            let mut out = String::with_capacity(text.len() + 16);
+            out.push_str(">ACGTACGTAC\n\n");
+            out.push_str(text);
+            out.push_str("\n>TTGGCCAATT\n");
+            out.into_bytes()
+        }
+        FaultKind::ZeroCoverageEverywhere => {
+            let mut out = String::new();
+            for line in text.lines() {
+                if line.trim_start().starts_with('>') {
+                    out.push_str(line);
+                    out.push('\n');
+                    out.push('\n');
+                }
+            }
+            out.into_bytes()
+        }
+        FaultKind::MonsterRead => {
+            let monster_len = 2_000 + rng.random_range(0..6_000usize);
+            let monster: String = (0..monster_len)
+                .map(|_| ['A', 'C', 'G', 'T'][rng.random_range(0..4usize)])
+                .collect();
+            splice_read_after_first_reference(text, &monster)
+        }
+        FaultKind::StubRead => {
+            let stub = ["A", "-", "GT"][rng.random_range(0..3usize)];
+            splice_read_after_first_reference(text, stub)
+        }
+        _ => bytes,
+    }
+}
+
+/// Inserts `read` as a new line directly after the first `>` reference
+/// line; appends a whole stub cluster when the text has no reference.
+fn splice_read_after_first_reference(text: &str, read: &str) -> Vec<u8> {
+    let mut out = String::with_capacity(text.len() + read.len() + 16);
+    let mut spliced = false;
+    for line in text.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if !spliced && line.trim_start().starts_with('>') {
+            out.push_str(read);
+            out.push('\n');
+            spliced = true;
+        }
+    }
+    if !spliced {
+        out.push_str(">ACGT\n");
+        out.push_str(read);
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Applies a [`FaultCategory::ModelParams`] fault to learned-model text by
+/// replacing the final numeric token of a parameter line with a hostile
+/// value. Other fault kinds return the text unchanged.
+pub fn corrupt_model_text(fault: FaultKind, text: &str, rng: &mut SimRng) -> String {
+    let token = match fault {
+        FaultKind::NanModelParam => "NaN",
+        FaultKind::InfModelParam => "inf",
+        FaultKind::NegativeModelParam => "-0.25",
+        FaultKind::OutOfRangeModelParam => "1.75",
+        _ => return text.to_owned(),
+    };
+    // `> 1` is only out-of-domain for probability fields; the other
+    // hostile values are rejected everywhere a validator looks.
+    let keys: &[&str] = match fault {
+        FaultKind::OutOfRangeModelParam => &["aggregate_error_rate", "per_base"],
+        _ => &["aggregate_error_rate", "per_base", "long_deletion", "spatial"],
+    };
+    let key = keys[rng.random_range(0..keys.len())];
+    let mut out = String::with_capacity(text.len() + 8);
+    let mut corrupted = false;
+    for line in text.lines() {
+        if !corrupted && line.starts_with(key) {
+            match line.rsplit_once(char::is_whitespace) {
+                Some((head, _last)) => {
+                    out.push_str(head);
+                    out.push(' ');
+                    out.push_str(token);
+                    corrupted = true;
+                }
+                None => out.push_str(line),
+            }
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Returns a degenerate Reed–Solomon `(n, k)` pair drawn from the seed:
+/// zero dimensions, `n < k`, codewords beyond the GF(256) field, and
+/// parity-free codes.
+pub fn degenerate_rs_params(rng: &mut SimRng) -> (usize, usize) {
+    const DEGENERATE: [(usize, usize); 7] =
+        [(0, 0), (1, 0), (0, 4), (4, 8), (300, 8), (256, 255), (8, 8)];
+    DEGENERATE[rng.random_range(0..DEGENERATE.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+
+    const TEXT: &str = ">ACGT\nACG\nACGT\n\n>TTTT\nTTT\n";
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        for fault in FaultKind::ALL {
+            let a = corrupt_cluster_text(fault, TEXT, &mut seeded(9));
+            let b = corrupt_cluster_text(fault, TEXT, &mut seeded(9));
+            assert_eq!(a, b, "{}", fault.name());
+        }
+    }
+
+    #[test]
+    fn truncation_shortens_the_file() {
+        let out = corrupt_cluster_text(FaultKind::TruncatedFile, TEXT, &mut seeded(3));
+        assert!(out.len() < TEXT.len());
+    }
+
+    #[test]
+    fn zero_coverage_keeps_only_references() {
+        let out = corrupt_cluster_text(FaultKind::ZeroCoverageEverywhere, TEXT, &mut seeded(1));
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().all(|l| l.is_empty() || l.starts_with('>')));
+    }
+
+    #[test]
+    fn monster_read_is_much_longer_than_any_reference() {
+        let out = corrupt_cluster_text(FaultKind::MonsterRead, TEXT, &mut seeded(2));
+        let text = String::from_utf8(out).unwrap();
+        let longest = text.lines().map(str::len).max().unwrap_or(0);
+        assert!(longest >= 2_000);
+    }
+
+    #[test]
+    fn model_corruption_replaces_one_token() {
+        let model = "dnasim-model v1\naggregate_error_rate 0.03\n";
+        let out = corrupt_model_text(FaultKind::NanModelParam, model, &mut seeded(4));
+        assert!(out.contains("NaN"), "{out}");
+        assert!(!out.contains("0.03"));
+    }
+
+    #[test]
+    fn non_model_faults_leave_model_text_alone() {
+        let model = "dnasim-model v1\naggregate_error_rate 0.03\n";
+        let out = corrupt_model_text(FaultKind::BitFlips, model, &mut seeded(4));
+        assert_eq!(out, model);
+    }
+
+    #[test]
+    fn every_fault_has_a_category_and_name() {
+        for fault in FaultKind::ALL {
+            assert!(!fault.name().is_empty());
+            let _ = fault.category();
+        }
+    }
+}

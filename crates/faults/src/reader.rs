@@ -1,0 +1,163 @@
+//! A fault-injecting [`io::Read`] wrapper.
+
+use std::io::{self, Read};
+
+use dnasim_core::rng::{seeded, RngExt};
+
+/// What a [`FaultyReader`] does to the byte stream, decided up front so a
+/// failing case reproduces from its seed alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaderFaultPlan {
+    /// End-of-file after this many bytes (silent truncation).
+    pub truncate_after: Option<u64>,
+    /// Return an I/O error once this many bytes have been delivered.
+    pub io_error_after: Option<u64>,
+    /// XOR one bit into every `n`-th byte delivered.
+    pub bitflip_every: Option<u64>,
+}
+
+impl ReaderFaultPlan {
+    /// A silent truncation after `bytes`.
+    pub fn truncation(bytes: u64) -> ReaderFaultPlan {
+        ReaderFaultPlan {
+            truncate_after: Some(bytes),
+            io_error_after: None,
+            bitflip_every: None,
+        }
+    }
+
+    /// An I/O error after `bytes`.
+    pub fn io_error(bytes: u64) -> ReaderFaultPlan {
+        ReaderFaultPlan {
+            truncate_after: None,
+            io_error_after: Some(bytes),
+            bitflip_every: None,
+        }
+    }
+
+    /// Derives a random plan (one of the fault shapes, offsets ≤ `len`)
+    /// from a seed.
+    pub fn from_seed(seed: u64, len: u64) -> ReaderFaultPlan {
+        let mut rng = seeded(seed);
+        let at = rng.random_range(0..len.max(1));
+        match rng.random_range(0..3u32) {
+            0 => ReaderFaultPlan::truncation(at),
+            1 => ReaderFaultPlan::io_error(at),
+            _ => ReaderFaultPlan {
+                truncate_after: None,
+                io_error_after: None,
+                bitflip_every: Some(rng.random_range(1..64u64)),
+            },
+        }
+    }
+}
+
+/// Wraps any reader and injects the faults of a [`ReaderFaultPlan`].
+///
+/// # Examples
+///
+/// ```
+/// use std::io::Read;
+/// use dnasim_faults::{FaultyReader, ReaderFaultPlan};
+///
+/// let mut reader = FaultyReader::new(&b"hello world"[..], ReaderFaultPlan::truncation(5));
+/// let mut out = String::new();
+/// reader.read_to_string(&mut out)?;
+/// assert_eq!(out, "hello");
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: ReaderFaultPlan,
+    delivered: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: R, plan: ReaderFaultPlan) -> FaultyReader<R> {
+        FaultyReader {
+            inner,
+            plan,
+            delivered: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut budget = buf.len() as u64;
+        if let Some(cut) = self.plan.truncate_after {
+            budget = budget.min(cut.saturating_sub(self.delivered));
+            if budget == 0 {
+                return Ok(0);
+            }
+        }
+        if let Some(err_at) = self.plan.io_error_after {
+            if self.delivered >= err_at {
+                return Err(io::Error::new(
+                    io::ErrorKind::Other,
+                    "injected stream fault",
+                ));
+            }
+            budget = budget.min((err_at - self.delivered).max(1));
+        }
+        let upto = (budget as usize).min(buf.len());
+        let n = self.inner.read(&mut buf[..upto])?;
+        if let Some(every) = self.plan.bitflip_every.filter(|&e| e > 0) {
+            for i in 0..n as u64 {
+                if (self.delivered + i) % every == every - 1 {
+                    buf[i as usize] ^= 0b0100;
+                }
+            }
+        }
+        self.delivered += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_stops_exactly_at_the_cut() {
+        let data = vec![7u8; 100];
+        let mut reader = FaultyReader::new(data.as_slice(), ReaderFaultPlan::truncation(37));
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        assert_eq!(out.len(), 37);
+    }
+
+    #[test]
+    fn io_error_fires_after_the_offset() {
+        let data = vec![7u8; 100];
+        let mut reader = FaultyReader::new(data.as_slice(), ReaderFaultPlan::io_error(10));
+        let mut out = Vec::new();
+        let err = reader.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.to_string(), "injected stream fault");
+        assert!(out.len() >= 10);
+    }
+
+    #[test]
+    fn bitflips_alter_the_payload_deterministically() {
+        let data = vec![0u8; 64];
+        let plan = ReaderFaultPlan {
+            truncate_after: None,
+            io_error_after: None,
+            bitflip_every: Some(8),
+        };
+        let mut reader = FaultyReader::new(data.as_slice(), plan);
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        assert_eq!(out.iter().filter(|&&b| b != 0).count(), 8);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        assert_eq!(
+            ReaderFaultPlan::from_seed(5, 100),
+            ReaderFaultPlan::from_seed(5, 100)
+        );
+    }
+}

@@ -10,9 +10,9 @@ use std::fmt;
 use dnasim_channel::stages::{DecayStage, PcrStage, SequencingStage, SynthesisStage};
 use dnasim_channel::NaiveModel;
 use dnasim_cluster::GreedyClusterer;
-use dnasim_codec::{LayoutError, OuterRsCode, RsError, StrandLayout, XorParity};
+use dnasim_codec::{LayoutError, OuterRsCode, RecoveryOutcome, RsError, StrandLayout, XorParity};
 use dnasim_core::rng::SimRng;
-use dnasim_core::Dataset;
+use dnasim_core::{Dataset, DnasimError};
 use dnasim_dataset::GroundTruthChannel;
 use dnasim_reconstruct::{
     BmaLookahead, Iterative, MajorityVote, TraceReconstructor, TwoWayIterative,
@@ -36,6 +36,21 @@ pub enum ErasureScheme {
     },
 }
 
+/// How the read path reacts when a cluster cannot be decoded even after
+/// erasure recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArchiveMode {
+    /// Abort the round trip with [`ArchiveError::Unrecoverable`] — the
+    /// historical behaviour, right when any data loss is unacceptable.
+    #[default]
+    Strict,
+    /// Degrade gracefully: quarantine undecodable clusters as erasures,
+    /// recover every group within the outer code's budget, zero-fill the
+    /// rest, and report the damage in the [`ArchiveReport`] instead of
+    /// failing.
+    Lenient,
+}
+
 /// Configuration of the end-to-end archival simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArchiveConfig {
@@ -52,6 +67,8 @@ pub struct ArchiveConfig {
     /// Whether to run the real greedy clusterer over a shuffled pool
     /// (imperfect clustering) instead of perfect clustering.
     pub imperfect_clustering: bool,
+    /// Reaction to unrecoverable clusters: abort or degrade gracefully.
+    pub mode: ArchiveMode,
 }
 
 impl Default for ArchiveConfig {
@@ -63,6 +80,7 @@ impl Default for ArchiveConfig {
             sequencing_reads_per_strand: 20,
             storage_years: 100.0,
             imperfect_clustering: false,
+            mode: ArchiveMode::Strict,
         }
     }
 }
@@ -78,6 +96,25 @@ pub struct ArchiveReport {
     pub reads_sequenced: usize,
     /// Strands that had to be recovered via XOR parity.
     pub strands_recovered_by_parity: usize,
+    /// Strand slots with no decodable cluster, quarantined as erasures and
+    /// handed to the outer code.
+    pub clusters_quarantined: usize,
+    /// The degradation budget: erased strands the outer code can absorb
+    /// per parity group before data is lost.
+    pub loss_budget_per_group: usize,
+    /// Parity groups whose quarantined strands exceeded the budget.
+    pub groups_exceeding_budget: usize,
+    /// Payload strands still missing after erasure recovery. Zero-filled
+    /// in [`ArchiveMode::Lenient`]; [`ArchiveMode::Strict`] aborts instead.
+    pub strands_unrecovered: usize,
+}
+
+impl ArchiveReport {
+    /// True when the returned `data` is incomplete (some payload strands
+    /// were zero-filled because the degradation budget was exceeded).
+    pub fn is_degraded(&self) -> bool {
+        self.strands_unrecovered > 0
+    }
 }
 
 /// Errors from the archival round trip.
@@ -99,6 +136,15 @@ impl fmt::Display for ArchiveError {
 }
 
 impl std::error::Error for ArchiveError {}
+
+impl From<ArchiveError> for DnasimError {
+    fn from(e: ArchiveError) -> DnasimError {
+        match e {
+            ArchiveError::Layout(err) => DnasimError::config("archive", err.to_string()),
+            ArchiveError::Unrecoverable(err) => DnasimError::codec(err.to_string()),
+        }
+    }
+}
 
 /// Stores `data` in simulated DNA and reads it back.
 ///
@@ -232,25 +278,43 @@ pub fn archive_round_trip(
             }
         }
     }
-    let recovered = match config.erasure {
-        ErasureScheme::Xor { group } => XorParity::new(group).recover(&mut received).ok(),
-        ErasureScheme::OuterRs { total, payload } => OuterRsCode::new(total, payload)
-            .ok()
-            .and_then(|outer| outer.recover(&mut received).ok()),
+    // --- Erasure recovery: quarantined slots become erasures for the
+    // outer code. Strict mode aborts on any budget overrun; lenient mode
+    // recovers every group it can and zero-fills the rest. ---
+    let clusters_quarantined = received.iter().filter(|slot| slot.is_none()).count();
+    let (outcome, loss_budget_per_group): (RecoveryOutcome, usize) = match config.erasure {
+        ErasureScheme::Xor { group } => {
+            (XorParity::new(group).recover_lenient(&mut received), 1)
+        }
+        ErasureScheme::OuterRs { total, payload } => {
+            let outer = OuterRsCode::new(total, payload).map_err(|_| {
+                ArchiveError::Layout(RsError::InvalidParameters { n: total, k: payload })
+            })?;
+            let budget = outer.loss_budget();
+            (outer.recover_lenient(&mut received), budget)
+        }
+    };
+    if config.mode == ArchiveMode::Strict && !outcome.failed_groups.is_empty() {
+        let index = received.iter().position(Option::is_none).unwrap_or(0) as u32;
+        return Err(ArchiveError::Unrecoverable(LayoutError::MissingStrand { index }));
     }
-    .ok_or(ArchiveError::Unrecoverable(LayoutError::MissingStrand {
-        index: 0,
-    }))?;
 
     let mut out = Vec::with_capacity(payload_chunks.len() * chunk);
+    let mut strands_unrecovered = 0usize;
     for (i, slot) in received.iter().take(payload_chunks.len()).enumerate() {
         match slot {
             Some(bytes) => out.extend_from_slice(bytes),
-            None => {
-                return Err(ArchiveError::Unrecoverable(LayoutError::MissingStrand {
-                    index: i as u32,
-                }))
-            }
+            None => match config.mode {
+                ArchiveMode::Strict => {
+                    return Err(ArchiveError::Unrecoverable(LayoutError::MissingStrand {
+                        index: i as u32,
+                    }))
+                }
+                ArchiveMode::Lenient => {
+                    out.extend(std::iter::repeat(0u8).take(chunk));
+                    strands_unrecovered += 1;
+                }
+            },
         }
     }
     out.truncate(data.len().max(1));
@@ -258,7 +322,11 @@ pub fn archive_round_trip(
         data: out,
         strands_written: references.len(),
         reads_sequenced,
-        strands_recovered_by_parity: recovered,
+        strands_recovered_by_parity: outcome.recovered,
+        clusters_quarantined,
+        loss_budget_per_group,
+        groups_exceeding_budget: outcome.failed_groups.len(),
+        strands_unrecovered,
     })
 }
 
@@ -295,6 +363,79 @@ mod tests {
         let mut rng = seeded(3);
         let report = archive_round_trip(&[], &ArchiveConfig::default(), &mut rng).unwrap();
         assert_eq!(report.data.len(), 1); // one zero-padded chunk, truncated to max(len, 1)
+    }
+
+    #[test]
+    fn lenient_on_clean_channel_matches_strict() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(300).collect();
+        let strict = archive_round_trip(&data, &ArchiveConfig::default(), &mut seeded(11)).unwrap();
+        let lenient_config = ArchiveConfig {
+            mode: ArchiveMode::Lenient,
+            ..ArchiveConfig::default()
+        };
+        let lenient = archive_round_trip(&data, &lenient_config, &mut seeded(11)).unwrap();
+        assert_eq!(strict.data, lenient.data);
+        assert!(!lenient.is_degraded());
+        assert_eq!(lenient.groups_exceeding_budget, 0);
+        assert_eq!(lenient.loss_budget_per_group, 1); // XOR default
+    }
+
+    #[test]
+    fn strict_aborts_when_nothing_is_sequenced() {
+        let mut rng = seeded(5);
+        let data = vec![0x5Au8; 120];
+        let config = ArchiveConfig {
+            sequencing_reads_per_strand: 0,
+            ..ArchiveConfig::default()
+        };
+        let err = archive_round_trip(&data, &config, &mut rng).unwrap_err();
+        assert!(matches!(err, ArchiveError::Unrecoverable(_)));
+    }
+
+    #[test]
+    fn lenient_reports_total_loss_instead_of_aborting() {
+        let mut rng = seeded(5);
+        let data = vec![0x5Au8; 120];
+        let config = ArchiveConfig {
+            sequencing_reads_per_strand: 0,
+            mode: ArchiveMode::Lenient,
+            ..ArchiveConfig::default()
+        };
+        let report = archive_round_trip(&data, &config, &mut rng).unwrap();
+        assert!(report.is_degraded());
+        assert!(report.groups_exceeding_budget > 0);
+        assert!(report.clusters_quarantined > 0);
+        assert_eq!(report.data.len(), data.len());
+        assert!(report.data.iter().all(|&b| b == 0), "lost strands zero-fill");
+    }
+
+    #[test]
+    fn lenient_recovers_exactly_when_quarantine_within_budget() {
+        // Starve the sequencer until some clusters fail, then check the
+        // acceptance criterion: whenever quarantined losses stay within
+        // the per-group budget, lenient mode returns the original bytes;
+        // beyond it, it reports degradation instead of aborting.
+        let data: Vec<u8> = (0u8..180).collect();
+        let mut saw_quarantine = false;
+        for seed in 0..12u64 {
+            let config = ArchiveConfig {
+                sequencing_reads_per_strand: 5,
+                erasure: ErasureScheme::OuterRs { total: 6, payload: 4 },
+                mode: ArchiveMode::Lenient,
+                ..ArchiveConfig::default()
+            };
+            let report =
+                archive_round_trip(&data, &config, &mut seeded(3000 + seed)).unwrap();
+            saw_quarantine |= report.clusters_quarantined > 0;
+            if report.groups_exceeding_budget == 0 {
+                assert_eq!(&report.data[..], &data[..], "seed {seed}");
+                assert!(!report.is_degraded());
+            } else {
+                assert!(report.is_degraded());
+                assert_eq!(report.data.len(), data.len());
+            }
+        }
+        assert!(saw_quarantine, "channel too clean to exercise quarantine");
     }
 
     #[test]

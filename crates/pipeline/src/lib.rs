@@ -34,7 +34,9 @@ mod random_access;
 mod experiments;
 mod table;
 
-pub use archive::{archive_round_trip, ArchiveConfig, ArchiveError, ArchiveReport};
+pub use archive::{
+    archive_round_trip, ArchiveConfig, ArchiveError, ArchiveMode, ArchiveReport, ErasureScheme,
+};
 pub use fidelity::{simulator_fidelity, FidelityReport};
 pub use random_access::{FilePool, PoolConfig, PoolError};
 pub use evaluate::{

@@ -108,15 +108,19 @@ pub fn edit_script<R: Rng + ?Sized>(
             TieBreak::Random => rng.random_range(0..count),
             TieBreak::PreferSubstitution => 0,
         };
-        let op = candidates[pick].expect("candidate index within count");
+        let Some(op) = candidates.get(pick).copied().flatten() else {
+            // A well-formed DP table always admits a predecessor; if the
+            // invariant is ever violated, stop the traceback rather than
+            // panic — the partial script is still a valid edit script.
+            break;
+        };
         match op {
-            EditOp::Subst { .. } => {
-                i -= 1;
-                j -= 1;
+            EditOp::Subst { .. } | EditOp::Equal(_) => {
+                i = i.saturating_sub(1);
+                j = j.saturating_sub(1);
             }
-            EditOp::Delete(_) => i -= 1,
-            EditOp::Insert(_) => j -= 1,
-            EditOp::Equal(_) => unreachable!("equal handled above"),
+            EditOp::Delete(_) => i = i.saturating_sub(1),
+            EditOp::Insert(_) => j = j.saturating_sub(1),
         }
         ops.push(op);
     }

@@ -38,6 +38,8 @@ mod persist;
 mod stats;
 
 pub use editops::{edit_distance, edit_script, PositionedBase, TieBreak};
-pub use model::{BaseErrorRates, LearnedModel, LongDeletionParams, SecondOrderError};
+pub use model::{
+    BaseErrorRates, LearnedModel, LongDeletionParams, ModelValidationError, SecondOrderError,
+};
 pub use persist::ParseModelError;
 pub use stats::{ErrorStats, SecondOrderStat};

@@ -186,6 +186,96 @@ impl LearnedModel {
     pub fn second_order_share(&self) -> f64 {
         self.second_order.iter().map(|e| e.share).sum()
     }
+
+    /// Checks every learned parameter is inside its valid domain:
+    /// probabilities finite and in `[0, 1]`, multipliers and weights finite
+    /// and non-negative.
+    ///
+    /// Models learned by [`from_stats`](LearnedModel::from_stats) always
+    /// pass; this guards models loaded from disk (or synthesized by a fault
+    /// injector) before they reach a simulator, where a NaN would silently
+    /// disable error injection and an out-of-range rate would distort every
+    /// downstream statistic.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelValidationError`] naming the first offending parameter.
+    pub fn validate(&self) -> Result<(), ModelValidationError> {
+        let probability = |field: &str, value: f64| {
+            if value.is_finite() && (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(ModelValidationError {
+                    field: field.to_owned(),
+                    value,
+                })
+            }
+        };
+        let non_negative = |field: &str, value: f64| {
+            if value.is_finite() && value >= 0.0 {
+                Ok(())
+            } else {
+                Err(ModelValidationError {
+                    field: field.to_owned(),
+                    value,
+                })
+            }
+        };
+        probability("aggregate_error_rate", self.aggregate_error_rate)?;
+        non_negative("homopolymer_boost", self.homopolymer_boost)?;
+        for (base, rates) in Base::ALL.into_iter().zip(&self.per_base) {
+            probability(&format!("per_base[{base}].substitution"), rates.substitution)?;
+            probability(&format!("per_base[{base}].deletion"), rates.deletion)?;
+            probability(&format!("per_base[{base}].insertion"), rates.insertion)?;
+        }
+        for (orig, row) in Base::ALL.into_iter().zip(&self.substitution) {
+            for (new, &p) in Base::ALL.into_iter().zip(row) {
+                non_negative(&format!("substitution[{orig}][{new}]"), p)?;
+            }
+        }
+        probability("long_deletion.probability", self.long_deletion.probability)?;
+        for (i, &w) in self.long_deletion.length_weights.iter().enumerate() {
+            non_negative(&format!("long_deletion.length_weights[{i}]"), w)?;
+        }
+        for (i, &m) in self.spatial_multipliers.iter().enumerate() {
+            non_negative(&format!("spatial_multipliers[{i}]"), m)?;
+        }
+        for (i, so) in self.second_order.iter().enumerate() {
+            probability(&format!("second_order[{i}].share"), so.share)?;
+            for (j, &m) in so.positional_multipliers.iter().enumerate() {
+                non_negative(&format!("second_order[{i}].positional_multipliers[{j}]"), m)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A learned-model parameter outside its valid domain (NaN, infinite, a
+/// negative weight, or a probability beyond `[0, 1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelValidationError {
+    /// The rejected parameter.
+    pub field: String,
+    /// Its offending value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for ModelValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model parameter {} has out-of-domain value {}",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for ModelValidationError {}
+
+impl From<ModelValidationError> for dnasim_core::DnasimError {
+    fn from(e: ModelValidationError) -> dnasim_core::DnasimError {
+        dnasim_core::DnasimError::config(e.field, format!("out-of-domain value {}", e.value))
+    }
 }
 
 /// Scales a non-negative vector so its mean is 1.0 (all-ones if the input

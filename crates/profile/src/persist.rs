@@ -4,30 +4,130 @@
 //! the distilled model lets the CLI (and downstream tools) resimulate many
 //! times without re-profiling. The format is a simple line-oriented
 //! `key value…` text — human-inspectable, diff-able, and dependency-free.
+//!
+//! Loading is hardened against hostile files: every defect maps to a
+//! [`ParseModelError`] variant carrying the 1-based line number, and a
+//! file that parses but encodes out-of-domain parameters (NaN rates,
+//! negative weights) is rejected by [`LearnedModel::validate`] before it
+//! can reach a simulator.
 
 use std::fmt::Write as _;
 use std::str::FromStr;
 
-use dnasim_core::{Base, EditOp};
+use dnasim_core::{Base, DnasimError, EditOp};
 
-use crate::model::{BaseErrorRates, LearnedModel, LongDeletionParams, SecondOrderError};
+use crate::model::{
+    BaseErrorRates, LearnedModel, LongDeletionParams, ModelValidationError, SecondOrderError,
+};
 
 /// Error returned when parsing a persisted [`LearnedModel`] fails.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseModelError {
-    /// 1-based line number of the failure (0 for end-of-input).
-    pub line: usize,
-    /// What was wrong.
-    pub message: String,
+///
+/// Every variant that refers to file content carries the 1-based line
+/// number of the defect (see [`line`](ParseModelError::line)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseModelError {
+    /// The input was empty.
+    Empty,
+    /// The first line is not the expected format header.
+    BadHeader {
+        /// What the first line actually was.
+        found: String,
+    },
+    /// A line ended before a required field.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// The key of the truncated line.
+        key: String,
+    },
+    /// A field failed to parse as its expected type.
+    InvalidValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A `second_order` line carried an unparsable op token.
+    InvalidOp {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A line started with an unrecognised key.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognised key.
+        key: String,
+    },
+    /// A required field never appeared in the file.
+    MissingRequired {
+        /// The absent field.
+        field: &'static str,
+    },
+    /// The file parsed, but a parameter is outside its valid domain.
+    Validation(ModelValidationError),
+}
+
+impl ParseModelError {
+    /// The 1-based line number of the failure, or 0 when the defect has no
+    /// single location (empty input, a missing field, a domain violation).
+    pub fn line(&self) -> usize {
+        match self {
+            ParseModelError::BadHeader { .. } => 1,
+            ParseModelError::MissingField { line, .. }
+            | ParseModelError::InvalidValue { line, .. }
+            | ParseModelError::InvalidOp { line, .. }
+            | ParseModelError::UnknownKey { line, .. } => *line,
+            ParseModelError::Empty
+            | ParseModelError::MissingRequired { .. }
+            | ParseModelError::Validation(_) => 0,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match self {
+            ParseModelError::Empty => f.write_str("empty input"),
+            ParseModelError::BadHeader { found } => {
+                write!(f, "line 1: unexpected header '{found}', expected '{HEADER}'")
+            }
+            ParseModelError::MissingField { line, key } => {
+                write!(f, "line {line}: '{key}' line ends before a required field")
+            }
+            ParseModelError::InvalidValue { line, token } => {
+                write!(f, "line {line}: invalid value '{token}'")
+            }
+            ParseModelError::InvalidOp { line, token } => {
+                write!(f, "line {line}: invalid op token '{token}'")
+            }
+            ParseModelError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown key '{key}'")
+            }
+            ParseModelError::MissingRequired { field } => {
+                write!(f, "missing required field '{field}'")
+            }
+            ParseModelError::Validation(e) => write!(f, "{e}"),
+        }
     }
 }
 
-impl std::error::Error for ParseModelError {}
+impl std::error::Error for ParseModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseModelError::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseModelError> for DnasimError {
+    fn from(e: ParseModelError) -> DnasimError {
+        DnasimError::parse("learned model", e.line(), e.to_string())
+    }
+}
 
 /// The format header; bump the version on breaking changes.
 const HEADER: &str = "dnasim-learned-model v1";
@@ -99,24 +199,18 @@ impl LearnedModel {
     ///
     /// # Errors
     ///
-    /// [`ParseModelError`] for a missing/foreign header, malformed line, or
-    /// missing required field.
+    /// [`ParseModelError`] for a missing/foreign header, malformed line,
+    /// missing required field, or an out-of-domain parameter value.
     pub fn from_text(text: &str) -> Result<LearnedModel, ParseModelError> {
         let mut lines = text.lines().enumerate();
         match lines.next() {
             Some((_, header)) if header.trim() == HEADER => {}
             Some((_, other)) => {
-                return Err(ParseModelError {
-                    line: 1,
-                    message: format!("unexpected header '{other}', expected '{HEADER}'"),
+                return Err(ParseModelError::BadHeader {
+                    found: other.to_owned(),
                 })
             }
-            None => {
-                return Err(ParseModelError {
-                    line: 0,
-                    message: "empty input".to_owned(),
-                })
-            }
+            None => return Err(ParseModelError::Empty),
         }
 
         let mut strand_len: Option<usize> = None;
@@ -135,91 +229,113 @@ impl LearnedModel {
                 continue;
             }
             let mut fields = line.split_whitespace();
-            let key = fields.next().expect("non-empty line has a first token");
-            let err = |message: String| ParseModelError {
-                line: line_no,
-                message,
+            let Some(key) = fields.next() else {
+                continue;
             };
             match key {
                 "strand_len" => {
-                    strand_len = Some(parse_next(&mut fields).map_err(err)?);
+                    strand_len = Some(parse_next(&mut fields, line_no, key)?);
                 }
                 "aggregate_error_rate" => {
-                    aggregate = Some(parse_next(&mut fields).map_err(err)?);
+                    aggregate = Some(parse_next(&mut fields, line_no, key)?);
                 }
                 "homopolymer_boost" => {
-                    homopolymer_boost = parse_next(&mut fields).map_err(err)?;
+                    homopolymer_boost = parse_next(&mut fields, line_no, key)?;
                 }
                 "per_base" => {
-                    let base: Base = parse_next(&mut fields).map_err(err)?;
+                    let base: Base = parse_next(&mut fields, line_no, key)?;
                     per_base[base.index()] = BaseErrorRates {
-                        substitution: parse_next(&mut fields).map_err(err)?,
-                        deletion: parse_next(&mut fields).map_err(err)?,
-                        insertion: parse_next(&mut fields).map_err(err)?,
+                        substitution: parse_next(&mut fields, line_no, key)?,
+                        deletion: parse_next(&mut fields, line_no, key)?,
+                        insertion: parse_next(&mut fields, line_no, key)?,
                     };
                 }
                 "substitution" => {
-                    let orig: Base = parse_next(&mut fields).map_err(err)?;
+                    let orig: Base = parse_next(&mut fields, line_no, key)?;
                     for slot in substitution[orig.index()].iter_mut() {
-                        *slot = parse_next(&mut fields).map_err(err)?;
+                        *slot = parse_next(&mut fields, line_no, key)?;
                     }
                 }
                 "long_deletion" => {
-                    long_deletion.probability = parse_next(&mut fields).map_err(err)?;
-                    long_deletion.length_weights = parse_rest(&mut fields).map_err(err)?;
+                    long_deletion.probability = parse_next(&mut fields, line_no, key)?;
+                    long_deletion.length_weights = parse_rest(&mut fields, line_no)?;
                 }
                 "spatial" => {
-                    spatial = parse_rest(&mut fields).map_err(err)?;
+                    spatial = parse_rest(&mut fields, line_no)?;
                 }
                 "second_order" => {
-                    let op_text = fields
-                        .next()
-                        .ok_or_else(|| err("missing op token".to_owned()))?;
-                    let op = parse_op(op_text)
-                        .ok_or_else(|| err(format!("invalid op token '{op_text}'")))?;
-                    let share: f64 = parse_next(&mut fields).map_err(err)?;
-                    let positional_multipliers = parse_rest(&mut fields).map_err(err)?;
+                    let op_text =
+                        fields
+                            .next()
+                            .ok_or_else(|| ParseModelError::MissingField {
+                                line: line_no,
+                                key: key.to_owned(),
+                            })?;
+                    let op = parse_op(op_text).ok_or_else(|| ParseModelError::InvalidOp {
+                        line: line_no,
+                        token: op_text.to_owned(),
+                    })?;
+                    let share: f64 = parse_next(&mut fields, line_no, key)?;
+                    let positional_multipliers = parse_rest(&mut fields, line_no)?;
                     second_order.push(SecondOrderError {
                         op,
                         share,
                         positional_multipliers,
                     });
                 }
-                other => return Err(err(format!("unknown key '{other}'"))),
+                other => {
+                    return Err(ParseModelError::UnknownKey {
+                        line: line_no,
+                        key: other.to_owned(),
+                    })
+                }
             }
         }
 
-        Ok(LearnedModel {
-            strand_len: strand_len.ok_or(ParseModelError {
-                line: 0,
-                message: "missing strand_len".to_owned(),
-            })?,
+        let model = LearnedModel {
+            strand_len: strand_len
+                .ok_or(ParseModelError::MissingRequired { field: "strand_len" })?,
             per_base,
             substitution,
             long_deletion,
             spatial_multipliers: spatial,
             second_order,
-            aggregate_error_rate: aggregate.ok_or(ParseModelError {
-                line: 0,
-                message: "missing aggregate_error_rate".to_owned(),
+            aggregate_error_rate: aggregate.ok_or(ParseModelError::MissingRequired {
+                field: "aggregate_error_rate",
             })?,
             homopolymer_boost,
-        })
+        };
+        model.validate().map_err(ParseModelError::Validation)?;
+        Ok(model)
     }
 }
 
 fn parse_next<'a, T: FromStr, I: Iterator<Item = &'a str>>(
     fields: &mut I,
-) -> Result<T, String> {
-    let token = fields.next().ok_or("missing field")?;
-    token
-        .parse()
-        .map_err(|_| format!("invalid value '{token}'"))
+    line: usize,
+    key: &str,
+) -> Result<T, ParseModelError> {
+    let token = fields.next().ok_or_else(|| ParseModelError::MissingField {
+        line,
+        key: key.to_owned(),
+    })?;
+    token.parse().map_err(|_| ParseModelError::InvalidValue {
+        line,
+        token: token.to_owned(),
+    })
 }
 
-fn parse_rest<'a, I: Iterator<Item = &'a str>>(fields: &mut I) -> Result<Vec<f64>, String> {
+fn parse_rest<'a, I: Iterator<Item = &'a str>>(
+    fields: &mut I,
+    line: usize,
+) -> Result<Vec<f64>, ParseModelError> {
     fields
-        .map(|t| t.parse().map_err(|_| format!("invalid value '{t}'")))
+        .map(|t| {
+            t.parse().map_err(|_| ParseModelError::InvalidValue {
+                line,
+                token: t.to_owned(),
+            })
+        })
         .collect()
 }
 
@@ -291,9 +407,9 @@ mod tests {
     #[test]
     fn rejects_foreign_header() {
         let err = LearnedModel::from_text("something else\n").unwrap_err();
-        assert_eq!(err.line, 1);
-        assert!(err.message.contains("unexpected header"));
-        assert!(LearnedModel::from_text("").is_err());
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("unexpected header"));
+        assert_eq!(LearnedModel::from_text(""), Err(ParseModelError::Empty));
     }
 
     #[test]
@@ -303,13 +419,62 @@ mod tests {
         text.push_str("per_base X 0.1 0.1 0.1\n");
         let lines = text.trim_end().lines().count();
         let err = LearnedModel::from_text(&text).unwrap_err();
-        assert_eq!(err.line, lines);
+        assert_eq!(err.line(), lines);
+        assert!(matches!(err, ParseModelError::InvalidValue { .. }));
     }
 
     #[test]
     fn missing_required_fields_are_reported() {
         let err = LearnedModel::from_text("dnasim-learned-model v1\n").unwrap_err();
-        assert!(err.message.contains("strand_len"));
+        assert_eq!(err, ParseModelError::MissingRequired { field: "strand_len" });
+        assert!(err.to_string().contains("strand_len"));
+    }
+
+    #[test]
+    fn truncated_lines_report_key_and_line() {
+        let err = LearnedModel::from_text("dnasim-learned-model v1\nstrand_len\n").unwrap_err();
+        match err {
+            ParseModelError::MissingField { line, ref key } => {
+                assert_eq!(line, 2);
+                assert_eq!(key, "strand_len");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_line() {
+        let text = "dnasim-learned-model v1\nfrobnicate 1 2 3\n";
+        let err = LearnedModel::from_text(text).unwrap_err();
+        assert_eq!(
+            err,
+            ParseModelError::UnknownKey {
+                line: 2,
+                key: "frobnicate".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn nan_and_out_of_range_parameters_are_rejected() {
+        let model = learned_from_noise(4);
+        for (needle, replacement) in [
+            ("aggregate_error_rate ", "aggregate_error_rate NaN #"),
+            ("aggregate_error_rate ", "aggregate_error_rate inf #"),
+            ("aggregate_error_rate ", "aggregate_error_rate -0.5 #"),
+            ("aggregate_error_rate ", "aggregate_error_rate 1.5 #"),
+            ("homopolymer_boost ", "homopolymer_boost NaN #"),
+        ] {
+            let mut text = model.to_text();
+            let start = text.find(needle).unwrap();
+            let end = start + text[start..].find('\n').unwrap();
+            text.replace_range(start..end, replacement);
+            let err = LearnedModel::from_text(&text).unwrap_err();
+            assert!(
+                matches!(err, ParseModelError::Validation(_)),
+                "{replacement}: got {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -320,5 +485,4 @@ mod tests {
         let back = LearnedModel::from_text(&text).unwrap();
         assert_eq!(back, model);
     }
-
 }

@@ -160,8 +160,11 @@ impl ErrorStats {
                 }
                 let owner = match op {
                     EditOp::Subst { orig, .. } | EditOp::Delete(orig) => orig,
-                    EditOp::Insert(_) => reference.get(attributed).unwrap_or(Base::A),
-                    EditOp::Equal(_) => unreachable!("kind() is None for Equal"),
+                    // Equal has kind() == None and never reaches here; fold
+                    // it into the insertion attribution rather than panic.
+                    EditOp::Insert(_) | EditOp::Equal(_) => {
+                        reference.get(attributed).unwrap_or(Base::A)
+                    }
                 };
                 self.base_errors[owner.index()][kind.index()] += 1;
                 if let EditOp::Subst { orig, new } = op {

@@ -4,8 +4,14 @@
 # 1. Guard: no Cargo manifest may depend on anything outside the tree.
 #    Every dependency must be `path = …` (directly or via
 #    `workspace = true` resolving to a path entry in the root manifest).
-# 2. Build the whole workspace in release mode with the network disabled.
-# 3. Run the full test suite.
+# 2. Guard: non-test library sources must stay panic-free — no unwrap(),
+#    expect(), panic!(), unreachable!(), todo!() or unimplemented!()
+#    outside test modules (testkit and bench are test infrastructure and
+#    exempt). Robustness is DESIGN.md §8's contract: typed errors or
+#    quarantine, never a panic.
+# 3. Build the whole workspace in release mode with the network disabled.
+# 4. Run the full test suite.
+# 5. Run the chaos fault-injection suite in smoke mode.
 #
 # Usage: scripts/verify.sh
 
@@ -50,10 +56,45 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "ok: all dependencies are in-tree path crates"
 
+echo "== panic-guard (library sources) =="
+
+# Library code must degrade with typed errors, never panic. Scan every
+# non-test source: cut each file at its first `#[cfg(test)]` (test modules
+# sit at the end of files in this workspace), skip comment/doc-comment
+# lines, and flag the panicking constructs. testkit and bench are test
+# infrastructure and exempt.
+fail=0
+while IFS= read -r src; do
+    case "$src" in
+        ./crates/testkit/*|./crates/bench/*) continue ;;
+    esac
+    bad=$(awk '
+        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\(/ {
+            printf "%d:%s\n", NR, $0
+        }
+    ' "$src")
+    if [ -n "$bad" ]; then
+        echo "ERROR: panicking construct in non-test library code: $src" >&2
+        echo "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done < <(find ./crates/*/src ./src -name '*.rs')
+
+if [ "$fail" -ne 0 ]; then
+    echo "Library code must return typed errors (DnasimError), not panic." >&2
+    exit 1
+fi
+echo "ok: non-test library sources are panic-free"
+
 echo "== offline release build =="
 CARGO_NET_OFFLINE=true cargo build --release
 
 echo "== test suite =="
 CARGO_NET_OFFLINE=true cargo test -q
+
+echo "== chaos suite (smoke) =="
+CARGO_NET_OFFLINE=true DNASIM_BENCH_FAST=1 cargo test -q -p dnasim-faults --test chaos
 
 echo "verify: OK"

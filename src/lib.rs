@@ -19,7 +19,8 @@
 //! * [`reconstruct`] — BMA, Divider BMA, Iterative, Two-Way Iterative;
 //! * [`codec`] — binary↔DNA codecs, Reed–Solomon, XOR parity, layout;
 //! * [`dataset`] — the Nanopore twin and cluster-file I/O;
-//! * [`pipeline`] — experiment protocols and the archival round trip.
+//! * [`pipeline`] — experiment protocols and the archival round trip;
+//! * [`faults`] — deterministic fault injection and the chaos suite.
 //!
 //! # Quick start
 //!
@@ -51,6 +52,7 @@ pub use dnasim_cluster as cluster;
 pub use dnasim_codec as codec;
 pub use dnasim_core as core;
 pub use dnasim_dataset as dataset;
+pub use dnasim_faults as faults;
 pub use dnasim_metrics as metrics;
 pub use dnasim_pipeline as pipeline;
 pub use dnasim_profile as profile;
