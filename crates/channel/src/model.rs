@@ -1,7 +1,8 @@
 //! The error-model abstraction and the simulator driver.
 
-use dnasim_core::rng::SimRng;
-use dnasim_core::{Cluster, Dataset, Strand};
+use dnasim_core::rng::{SeedSequence, SimRng};
+use dnasim_core::{Cluster, Dataset, DnasimError, Strand};
+use dnasim_par::ThreadPool;
 
 use crate::coverage::CoverageModel;
 
@@ -122,6 +123,36 @@ impl<M: ErrorModel> Simulator<M> {
         Cluster::new(reference.clone(), reads)
     }
 
+    /// Parallel counterpart of [`Simulator::simulate`] with per-cluster
+    /// forked RNG streams.
+    ///
+    /// Where [`Simulator::simulate`] threads one RNG serially through every
+    /// cluster, this method gives cluster `i` its own stream via
+    /// [`SeedSequence::fork`], so the resulting dataset is byte-identical
+    /// for every thread count (including a serial pool). The two methods
+    /// therefore produce *different* (but equally valid) datasets for the
+    /// same seed; pick one discipline per experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnasimError::Degraded`] if a worker panicked; completed
+    /// clusters are discarded rather than returned partially.
+    pub fn simulate_on(
+        &self,
+        references: &[Strand],
+        seq: &SeedSequence,
+        pool: &ThreadPool,
+    ) -> Result<Dataset, DnasimError>
+    where
+        M: Sync,
+    {
+        let clusters = pool.par_map_seeded(seq, references, |index, reference, rng| {
+            let coverage = self.coverage.sample(index, rng);
+            self.simulate_cluster(reference, coverage, rng)
+        })?;
+        Ok(Dataset::from_clusters(clusters))
+    }
+
     /// Resimulates a real dataset with *custom coverage*: the same
     /// reference strands, with each simulated cluster given exactly the
     /// coverage its real counterpart had (the Table 2.1 protocol).
@@ -129,6 +160,28 @@ impl<M: ErrorModel> Simulator<M> {
         real.iter()
             .map(|cluster| self.simulate_cluster(cluster.reference(), cluster.coverage(), rng))
             .collect()
+    }
+
+    /// Parallel counterpart of [`Simulator::resimulate_matching`]: cluster
+    /// `i` is resimulated on the stream [`SeedSequence::fork`]`(i)`, so the
+    /// output does not depend on the pool's thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnasimError::Degraded`] if a worker panicked.
+    pub fn resimulate_matching_on(
+        &self,
+        real: &Dataset,
+        seq: &SeedSequence,
+        pool: &ThreadPool,
+    ) -> Result<Dataset, DnasimError>
+    where
+        M: Sync,
+    {
+        let clusters = pool.par_map_seeded(seq, real.clusters(), |_, cluster, rng| {
+            self.simulate_cluster(cluster.reference(), cluster.coverage(), rng)
+        })?;
+        Ok(Dataset::from_clusters(clusters))
     }
 }
 
@@ -178,6 +231,23 @@ mod tests {
         let resim = sim.resimulate_matching(&real, &mut rng);
         assert_eq!(resim.coverages(), real.coverages());
         assert_eq!(resim.references(), real.references());
+    }
+
+    #[test]
+    fn simulate_on_is_thread_count_invariant() {
+        let mut rng = seeded(6);
+        let refs: Vec<Strand> = (0..10).map(|_| Strand::random(20, &mut rng)).collect();
+        let sim = Simulator::new(IdentityModel, CoverageModel::negative_binomial(6.0, 2.0));
+        let seq = SeedSequence::new(99);
+        let serial = sim.simulate_on(&refs, &seq, &ThreadPool::serial()).unwrap();
+        for threads in [2, 4, 8] {
+            let par = sim.simulate_on(&refs, &seq, &ThreadPool::new(threads)).unwrap();
+            assert_eq!(serial, par);
+        }
+        let resim = sim
+            .resimulate_matching_on(&serial, &seq, &ThreadPool::new(3))
+            .unwrap();
+        assert_eq!(resim.coverages(), serial.coverages());
     }
 
     #[test]

@@ -9,9 +9,13 @@
 //!                    [--coverage N] [--min-coverage M]
 //! dnasim evaluate    --real real.txt --sim sim.txt [--coverage N]
 //! dnasim experiment  <id> [--full]     # table-2.1, table-2.2, table-3.1, ...
-//! dnasim archive     --bytes 4096 [--imperfect] [--strict|--lenient]
-//! dnasim chaos       [--smoke] [--seeds N]
+//! dnasim archive     --bytes 4096 [--imperfect] [--strict|--lenient] [--threads N]
+//! dnasim chaos       [--smoke] [--seeds N] [--threads N]
 //! ```
+//!
+//! `simulate`, `archive` and `chaos` accept `--threads N` (default:
+//! `DNASIM_THREADS`, then all cores); results are byte-identical for every
+//! thread count.
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error (usage is
 //! printed to stderr), `3` archive completed degraded (lenient mode with
@@ -24,12 +28,13 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 use dnasim_channel::{CoverageModel, DnaSimulatorModel, KeoliyaModel, Simulator, SimulatorLayer};
-use dnasim_core::rng::seeded;
+use dnasim_core::rng::{seeded, SeedSequence};
 use dnasim_core::Dataset;
 use dnasim_dataset::{read_dataset, write_dataset, NanoporeTwinConfig};
 use dnasim_faults::ChaosSuite;
+use dnasim_par::ThreadPool;
 use dnasim_pipeline::{
-    archive_round_trip, evaluate_reconstruction, fixed_coverage_protocol, ArchiveConfig,
+    archive_round_trip_on, evaluate_reconstruction, fixed_coverage_protocol, ArchiveConfig,
     ArchiveMode, Experiments,
 };
 use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
@@ -96,6 +101,7 @@ fn usage_text() -> &'static str {
      \x20 generate    --out FILE [--clusters N] [--len L] [--seed S] [--small]\n\
      \x20 profile     --data FILE [--top-k K] [--save MODEL]\n\
      \x20 simulate    --data FILE --model MODEL --out FILE [--seed S] [--model-file MODEL]\n\
+     \x20             [--threads N]\n\
      \x20             MODEL: naive | dnasimulator | keoliya[:naive|cond|spatial|second]\n\
      \x20 reconstruct --data FILE --algo ALGO [--coverage N] [--min-coverage M]\n\
      \x20             ALGO: bma | divbma | iterative | iterative-twoway | majority\n\
@@ -103,12 +109,24 @@ fn usage_text() -> &'static str {
      \x20 stats       --data FILE\n\
      \x20 experiment  ID [--full]   (table-2.1 table-2.2 table-3.1 table-3.2 fig-3.3 ext-twoway ext-layers fidelity)\n\
      \x20 archive     [--bytes N] [--imperfect] [--seed S] [--reads N] [--strict|--lenient]\n\
-     \x20 chaos       [--smoke] [--seeds N]\n\n\
+     \x20             [--threads N]\n\
+     \x20 chaos       [--smoke] [--seeds N] [--threads N]\n\n\
+     \x20 --threads N defaults to $DNASIM_THREADS, then to all cores; output\n\
+     \x20 is byte-identical for every thread count\n\n\
      exit codes: 0 success, 1 runtime failure, 2 usage error, 3 degraded archive"
 }
 
 fn load(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
     Ok(read_dataset(BufReader::new(File::open(path)?))?)
+}
+
+/// The worker pool for `--threads N`; without the flag, defers to
+/// `DNASIM_THREADS` and then to available parallelism.
+fn thread_pool(args: &Args) -> Result<ThreadPool, ArgsError> {
+    Ok(match args.get("threads") {
+        Some(_) => ThreadPool::new(args.get_or("threads", 1usize)?),
+        None => ThreadPool::from_env(),
+    })
 }
 
 fn parse_algorithm(name: &str) -> Result<Box<dyn TraceReconstructor>, ArgsError> {
@@ -212,7 +230,12 @@ fn cmd_simulate(args: &Args) -> CliResult {
     let dataset = load(args.require("data")?)?;
     let out = args.require("out")?;
     let model_spec = args.require("model")?;
-    let mut rng = seeded(args.get_or("seed", 1u64)?);
+    let seed = args.get_or("seed", 1u64)?;
+    let mut rng = seeded(seed);
+    let pool = thread_pool(args)?;
+    // Per-cluster streams are forked from the root seed, so the simulated
+    // bytes are identical for every --threads value.
+    let seq = SeedSequence::new(seed);
 
     let simulated = if let Some(layer_name) = model_spec.strip_prefix("keoliya") {
         let layer = match layer_name.strip_prefix(':') {
@@ -228,7 +251,8 @@ fn cmd_simulate(args: &Args) -> CliResult {
             }
         };
         let model = KeoliyaModel::new(learned, layer);
-        Simulator::new(model, CoverageModel::Fixed(0)).resimulate_matching(&dataset, &mut rng)
+        Simulator::new(model, CoverageModel::Fixed(0))
+            .resimulate_matching_on(&dataset, &seq, &pool)?
     } else {
         match model_spec {
             "naive" => {
@@ -236,13 +260,13 @@ fn cmd_simulate(args: &Args) -> CliResult {
                 let learned = LearnedModel::from_stats(&stats, 10);
                 let model = KeoliyaModel::new(learned, SimulatorLayer::Naive);
                 Simulator::new(model, CoverageModel::Fixed(0))
-                    .resimulate_matching(&dataset, &mut rng)
+                    .resimulate_matching_on(&dataset, &seq, &pool)?
             }
             "dnasimulator" => Simulator::new(
                 DnaSimulatorModel::nanopore_default(),
                 CoverageModel::Fixed(0),
             )
-            .resimulate_matching(&dataset, &mut rng),
+            .resimulate_matching_on(&dataset, &seq, &pool)?,
             other => return Err(format!("unknown model '{other}'").into()),
         }
     };
@@ -405,7 +429,7 @@ fn cmd_archive(args: &Args) -> CliResult {
         mode,
         ..defaults
     };
-    let report = archive_round_trip(&data, &config, &mut rng)?;
+    let report = archive_round_trip_on(&data, &config, &mut rng, &thread_pool(args)?)?;
     let ok = report.data[..data.len()] == data[..];
     println!(
         "archived {bytes} bytes as {} strands, sequenced {} reads, parity recoveries: {}, \
@@ -443,8 +467,13 @@ fn cmd_chaos(args: &Args) -> CliResult {
     } else {
         ChaosSuite::from_env()
     };
-    println!("running {} fault-injection cases…", suite.planned_cases());
-    let report = suite.run();
+    let pool = thread_pool(args)?;
+    println!(
+        "running {} fault-injection cases on {} threads…",
+        suite.planned_cases(),
+        pool.threads()
+    );
+    let report = suite.run_on(&pool);
     println!("{}", report.summary());
     if report.is_clean() {
         Ok(CliOutcome::Ok)

@@ -434,6 +434,11 @@ impl SeedSequence {
         }
     }
 
+    /// The root seed this sequence derives children from.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
     /// Returns the next child seed in the stream.
     pub fn next_seed(&mut self) -> u64 {
         self.counter += 1;
@@ -443,6 +448,46 @@ impl SeedSequence {
     /// Returns the next child RNG in the stream.
     pub fn next_rng(&mut self) -> SimRng {
         seeded(self.next_seed())
+    }
+
+    /// Derives an independent child sequence for item `index`.
+    ///
+    /// This is the workspace's discipline for fan-outs over homogeneous
+    /// units (clusters, sweep points, chaos cases): each item gets its own
+    /// decorrelated stream, keyed *only* by `(root, index)`. Unlike
+    /// [`next_seed`], forking does not mutate the sequence, so the stream an
+    /// item receives is independent of processing order — and therefore of
+    /// thread scheduling, which is what makes parallel execution
+    /// bit-identical to serial (see `dnasim-par`).
+    ///
+    /// Never substitute ad-hoc arithmetic (`seed + i`, `seed ^ i`) for this:
+    /// adjacent seeds fed to SplitMix-style expansion are decorrelated, but
+    /// the *set* of streams then depends on how the caller enumerates items,
+    /// and collides across components that pick overlapping offsets.
+    ///
+    /// ```
+    /// use dnasim_core::rng::SeedSequence;
+    ///
+    /// let seq = SeedSequence::new(7);
+    /// let a = seq.fork(0).next_seed();
+    /// let b = seq.fork(1).next_seed();
+    /// assert_ne!(a, b);
+    /// // Forking is order-independent and repeatable.
+    /// assert_eq!(seq.fork(0).next_seed(), a);
+    /// ```
+    ///
+    /// [`next_seed`]: SeedSequence::next_seed
+    pub fn fork(&self, index: u64) -> SeedSequence {
+        // Domain-separation tweak keeps fork(i) off the next_seed() stream
+        // (which mixes small counters) and off derive() (which mixes FNV
+        // label hashes).
+        const FORK_TWEAK: u64 = 0x9E6C_63D0_876A_3F6B;
+        SeedSequence::new(splitmix64(self.root ^ splitmix64(index ^ FORK_TWEAK)))
+    }
+
+    /// Derives the RNG of the child sequence for item `index`.
+    pub fn fork_rng(&self, index: u64) -> SimRng {
+        seeded(self.fork(index).root)
     }
 
     /// Derives a seed for a named substream, independent of [`next_seed`]
@@ -626,6 +671,53 @@ mod tests {
         seq.next_seed();
         seq.next_seed();
         assert_eq!(seq.derive("x"), before);
+    }
+
+    #[test]
+    fn fork_is_order_independent_and_pure() {
+        let mut seq = SeedSequence::new(11);
+        let before = seq.fork(3);
+        seq.next_seed();
+        seq.next_seed();
+        assert_eq!(seq.fork(3), before);
+        // Forking does not advance the parent stream.
+        let mut a = SeedSequence::new(11);
+        let mut b = SeedSequence::new(11);
+        let _ = a.fork(0);
+        assert_eq!(a.next_seed(), b.next_seed());
+    }
+
+    #[test]
+    fn fork_children_are_distinct_and_rooted() {
+        let seq = SeedSequence::new(13);
+        let mut seeds: Vec<u64> = (0..1000).map(|i| seq.fork(i).next_seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 1000);
+        // Different roots give different children for the same index.
+        assert_ne!(
+            SeedSequence::new(1).fork(7).next_seed(),
+            SeedSequence::new(2).fork(7).next_seed()
+        );
+        // fork_rng draws from the child sequence's root stream.
+        let mut direct = seq.fork(5).next_rng();
+        let mut viarng = seq.fork_rng(5);
+        // Both are seeded deterministically; they need not be equal, but
+        // each must be reproducible.
+        assert_eq!(direct.next_u64(), seq.fork(5).next_rng().next_u64());
+        assert_eq!(viarng.next_u64(), seq.fork_rng(5).next_u64());
+    }
+
+    #[test]
+    fn fork_avoids_next_seed_and_derive_streams() {
+        let seq = SeedSequence::new(99);
+        let mut ordered = SeedSequence::new(99);
+        let ordinary: Vec<u64> = (0..64).map(|_| ordered.next_seed()).collect();
+        for i in 0..64u64 {
+            let child = seq.fork(i).next_seed();
+            assert!(!ordinary.contains(&child), "fork({i}) collides with next_seed stream");
+            assert_ne!(seq.fork(i).next_seed(), seq.derive("channel"));
+        }
     }
 
     #[test]

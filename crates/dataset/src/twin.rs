@@ -12,9 +12,10 @@
 //! path.
 
 use dnasim_channel::{CoverageModel, ErrorModel};
-use dnasim_core::rng::{seeded, SimRng};
-use dnasim_core::{Base, Cluster, Dataset, Strand};
+use dnasim_core::rng::{SeedSequence, SimRng};
+use dnasim_core::{Base, Cluster, Dataset, DnasimError, Strand};
 use dnasim_core::rng::RngExt;
+use dnasim_par::ThreadPool;
 
 /// The error "personality" of a twin dataset: kind mix, terminal skew,
 /// substitution bias and burstiness.
@@ -136,33 +137,75 @@ impl NanoporeTwinConfig {
     }
 
     /// Generates the twin dataset.
+    ///
+    /// Cluster `i` is generated on its own RNG stream,
+    /// [`SeedSequence::fork`]`(i)` of the root seed, rather than by
+    /// threading one serial RNG through the whole dataset. Stream
+    /// independence means the bytes of cluster `i` do not depend on how
+    /// many clusters precede it — so [`NanoporeTwinConfig::generate_on`]
+    /// can fan the same work out over threads and produce identical bytes.
     pub fn generate(&self) -> Dataset {
-        let mut rng = seeded(self.seed);
-        let channel = GroundTruthChannel::with_profile(
+        let seq = SeedSequence::new(self.seed);
+        let channel = self.channel();
+        let coverage = self.coverage_model();
+        let clusters = (0..self.cluster_count)
+            .map(|index| {
+                let mut rng = seq.fork_rng(index as u64);
+                self.generate_cluster(index, &channel, &coverage, &mut rng)
+            })
+            .collect();
+        Dataset::from_clusters(clusters)
+    }
+
+    /// Parallel counterpart of [`NanoporeTwinConfig::generate`]: same
+    /// bytes for any thread count, thanks to the per-cluster fork
+    /// discipline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnasimError::Degraded`] if a worker panicked.
+    pub fn generate_on(&self, pool: &ThreadPool) -> Result<Dataset, DnasimError> {
+        let seq = SeedSequence::new(self.seed);
+        let channel = self.channel();
+        let coverage = self.coverage_model();
+        let clusters = pool.par_map_len(self.cluster_count, |index| {
+            let mut rng = seq.fork_rng(index as u64);
+            self.generate_cluster(index, &channel, &coverage, &mut rng)
+        })?;
+        Ok(Dataset::from_clusters(clusters))
+    }
+
+    fn channel(&self) -> GroundTruthChannel {
+        GroundTruthChannel::with_profile(
             self.aggregate_error_rate,
             self.strand_len,
             self.profile,
-        );
-        let coverage = CoverageModel::negative_binomial(
-            self.mean_coverage,
-            self.coverage_dispersion,
-        );
-        let mut clusters = Vec::with_capacity(self.cluster_count);
-        for index in 0..self.cluster_count {
-            let reference = Strand::random(self.strand_len, &mut rng);
-            let n = if index < self.erasure_count {
-                // Deterministically placed erasures (cluster order is
-                // shuffled downstream by evaluation protocols anyway).
-                0
-            } else {
-                coverage.sample(index, &mut rng).min(self.max_coverage)
-            };
-            let reads = (0..n)
-                .map(|_| channel.corrupt(&reference, &mut rng))
-                .collect();
-            clusters.push(Cluster::new(reference, reads));
-        }
-        Dataset::from_clusters(clusters)
+        )
+    }
+
+    fn coverage_model(&self) -> CoverageModel {
+        CoverageModel::negative_binomial(self.mean_coverage, self.coverage_dispersion)
+    }
+
+    fn generate_cluster(
+        &self,
+        index: usize,
+        channel: &GroundTruthChannel,
+        coverage: &CoverageModel,
+        rng: &mut SimRng,
+    ) -> Cluster {
+        let reference = Strand::random(self.strand_len, rng);
+        let n = if index < self.erasure_count {
+            // Deterministically placed erasures (cluster order is
+            // shuffled downstream by evaluation protocols anyway).
+            0
+        } else {
+            coverage.sample(index, rng).min(self.max_coverage)
+        };
+        let reads = (0..n)
+            .map(|_| channel.corrupt(&reference, rng))
+            .collect();
+        Cluster::new(reference, reads)
     }
 }
 
@@ -427,7 +470,19 @@ impl ErrorModel for GroundTruthChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dnasim_core::rng::seeded;
     use dnasim_metrics::levenshtein;
+
+    #[test]
+    fn generate_on_matches_generate_for_any_thread_count() {
+        let mut config = NanoporeTwinConfig::small();
+        config.cluster_count = 40;
+        let serial = config.generate();
+        for threads in [1, 2, 4, 8] {
+            let par = config.generate_on(&ThreadPool::new(threads)).unwrap();
+            assert_eq!(par, serial);
+        }
+    }
 
     #[test]
     fn small_twin_matches_configuration() {

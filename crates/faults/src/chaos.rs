@@ -18,6 +18,7 @@ use dnasim_core::DnasimError;
 use dnasim_dataset::{
     generate_references, read_dataset, write_dataset, ReadDatasetError, ReferenceStyle,
 };
+use dnasim_par::ThreadPool;
 use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
 use dnasim_reconstruct::{MajorityVote, TraceReconstructor};
 
@@ -177,15 +178,30 @@ impl ChaosSuite {
     /// silenced for the duration so expected-to-be-absent backtraces don't
     /// flood the output of a failing run.
     pub fn run(&self) -> ChaosReport {
+        self.run_on(&ThreadPool::serial())
+    }
+
+    /// Runs the sweep with cases fanned out on `pool`.
+    ///
+    /// Each case's seed depends only on its grid position and the report
+    /// keeps grid order, so the verdicts are identical to
+    /// [`ChaosSuite::run`] for any thread count. Worker panics cannot
+    /// happen in practice — [`run_case`] already wraps every case in
+    /// `catch_unwind` — but if the pool reports one anyway the grid is
+    /// re-run serially, keeping this method infallible.
+    pub fn run_on(&self, pool: &ThreadPool) -> ChaosReport {
         let previous_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let mut outcomes = Vec::with_capacity(self.planned_cases());
-        for fault in FaultKind::ALL {
-            for round in 0..self.seeds_per_fault {
-                let seed = round.wrapping_mul(SEED_MIX).wrapping_add(round + 1);
-                outcomes.push(run_case(fault, seed));
-            }
-        }
+        let grid: Vec<(FaultKind, u64)> = FaultKind::ALL
+            .iter()
+            .flat_map(|&fault| {
+                (0..self.seeds_per_fault)
+                    .map(move |round| (fault, round.wrapping_mul(SEED_MIX).wrapping_add(round + 1)))
+            })
+            .collect();
+        let outcomes = pool
+            .par_map_indexed(&grid, |_, &(fault, seed)| run_case(fault, seed))
+            .unwrap_or_else(|_| grid.iter().map(|&(f, s)| run_case(f, s)).collect());
         std::panic::set_hook(previous_hook);
         ChaosReport { outcomes }
     }
@@ -335,6 +351,16 @@ mod tests {
         let report = ChaosSuite::new(1).run();
         assert_eq!(report.cases(), FaultKind::ALL.len());
         assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let suite = ChaosSuite::new(2);
+        let serial = suite.run();
+        for threads in [2, 4] {
+            let par = suite.run_on(&ThreadPool::new(threads));
+            assert_eq!(par, serial);
+        }
     }
 
     #[test]

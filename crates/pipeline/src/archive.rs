@@ -12,8 +12,9 @@ use dnasim_channel::NaiveModel;
 use dnasim_cluster::GreedyClusterer;
 use dnasim_codec::{LayoutError, OuterRsCode, RecoveryOutcome, RsError, StrandLayout, XorParity};
 use dnasim_core::rng::SimRng;
-use dnasim_core::{Dataset, DnasimError};
+use dnasim_core::{Cluster, Dataset, DnasimError};
 use dnasim_dataset::GroundTruthChannel;
+use dnasim_par::{PoolError, ThreadPool};
 use dnasim_reconstruct::{
     BmaLookahead, Iterative, MajorityVote, TraceReconstructor, TwoWayIterative,
 };
@@ -124,6 +125,8 @@ pub enum ArchiveError {
     Layout(RsError),
     /// Decoding failed even after parity recovery.
     Unrecoverable(LayoutError),
+    /// A thread-pool worker panicked during parallel decoding.
+    Worker(PoolError),
 }
 
 impl fmt::Display for ArchiveError {
@@ -131,6 +134,7 @@ impl fmt::Display for ArchiveError {
         match self {
             ArchiveError::Layout(e) => write!(f, "layout construction failed: {e}"),
             ArchiveError::Unrecoverable(e) => write!(f, "file unrecoverable: {e}"),
+            ArchiveError::Worker(e) => write!(f, "parallel decode failed: {e}"),
         }
     }
 }
@@ -142,8 +146,35 @@ impl From<ArchiveError> for DnasimError {
         match e {
             ArchiveError::Layout(err) => DnasimError::config("archive", err.to_string()),
             ArchiveError::Unrecoverable(err) => DnasimError::codec(err.to_string()),
+            ArchiveError::Worker(err) => DnasimError::from(err),
         }
     }
+}
+
+/// Tries every reconstructor in `ensemble` (then raw reads as a last
+/// resort) to decode one cluster into a `(strand index, payload bytes)`
+/// pair. Pure: safe to fan out across workers without changing results.
+fn decode_cluster(
+    cluster: &Cluster,
+    ensemble: &[Box<dyn TraceReconstructor + Send + Sync>],
+    layout: &StrandLayout,
+) -> Option<(u32, Vec<u8>)> {
+    if cluster.is_erasure() {
+        return None;
+    }
+    for algorithm in ensemble {
+        let estimate = algorithm.reconstruct(cluster.reads(), layout.strand_len());
+        if let Ok(hit) = layout.decode_strand(&estimate) {
+            return Some(hit);
+        }
+    }
+    // Last resort: an individual read that happened to avoid indels
+    // decodes directly through RS even when every consensus carries a
+    // shift.
+    cluster
+        .reads()
+        .iter()
+        .find_map(|read| layout.decode_strand(read).ok())
 }
 
 /// Stores `data` in simulated DNA and reads it back.
@@ -169,6 +200,26 @@ pub fn archive_round_trip(
     data: &[u8],
     config: &ArchiveConfig,
     rng: &mut SimRng,
+) -> Result<ArchiveReport, ArchiveError> {
+    archive_round_trip_on(data, config, rng, &ThreadPool::serial())
+}
+
+/// [`archive_round_trip`] with per-cluster decoding fanned out on `pool`.
+///
+/// Only the pure reconstruct-and-decode stage is parallelised; every
+/// RNG-driven channel stage stays serial, and decoded strands are merged
+/// into their slots in cluster order. The report is therefore byte-identical
+/// to [`archive_round_trip`] for any thread count.
+///
+/// # Errors
+///
+/// Everything [`archive_round_trip`] returns, plus [`ArchiveError::Worker`]
+/// if a pool worker panicked.
+pub fn archive_round_trip_on(
+    data: &[u8],
+    config: &ArchiveConfig,
+    rng: &mut SimRng,
+    workers: &ThreadPool,
 ) -> Result<ArchiveReport, ArchiveError> {
     // --- Encode: chunk → RS payload → strands; protect groups with XOR. ---
     let layout = StrandLayout::new(config.rs_codeword_len, config.rs_data_len, rng)
@@ -240,42 +291,27 @@ pub fn archive_round_trip(
     // indel shifts every downstream payload symbol, so a strand one
     // algorithm cannot deliver is often decodable from another's estimate.
     // Try an ensemble and keep the first estimate that passes RS.
-    let ensemble: Vec<Box<dyn TraceReconstructor>> = vec![
+    let ensemble: Vec<Box<dyn TraceReconstructor + Send + Sync>> = vec![
         Box::new(TwoWayIterative::default()),
         Box::new(Iterative::default()),
         Box::new(BmaLookahead::default()),
         Box::new(MajorityVote),
     ];
     let chunk = layout.payload_bytes();
+    let decoded = workers
+        .par_map_indexed(dataset.clusters(), |_, cluster| {
+            decode_cluster(cluster, &ensemble, &layout)
+        })
+        .map_err(ArchiveError::Worker)?;
+    // Merge serially in cluster order (first-wins per slot) so quarantine
+    // counts and recovered bytes are independent of worker scheduling.
     let mut received: Vec<Option<Vec<u8>>> = vec![None; protected.len()];
-    for cluster in dataset.iter() {
-        if cluster.is_erasure() {
-            continue;
-        }
-        let mut decoded = None;
-        for algorithm in &ensemble {
-            let estimate = algorithm.reconstruct(cluster.reads(), layout.strand_len());
-            if let Ok(hit) = layout.decode_strand(&estimate) {
-                decoded = Some(hit);
-                break;
-            }
-        }
-        if decoded.is_none() {
-            // Last resort: an individual read that happened to avoid indels
-            // decodes directly through RS even when every consensus carries
-            // a shift.
-            decoded = cluster
-                .reads()
-                .iter()
-                .find_map(|read| layout.decode_strand(read).ok());
-        }
-        if let Some((index, bytes)) = decoded {
-            // Each strand carries `chunk` bytes of the flat protected
-            // stream; the strand index orders them.
-            let slot = index as usize;
-            if slot < received.len() && received[slot].is_none() {
-                received[slot] = Some(bytes);
-            }
+    for (index, bytes) in decoded.into_iter().flatten() {
+        // Each strand carries `chunk` bytes of the flat protected stream;
+        // the strand index orders them.
+        let slot = index as usize;
+        if slot < received.len() && received[slot].is_none() {
+            received[slot] = Some(bytes);
         }
     }
     // --- Erasure recovery: quarantined slots become erasures for the
@@ -356,6 +392,23 @@ mod tests {
         };
         let report = archive_round_trip(&data, &config, &mut rng).unwrap();
         assert_eq!(&report.data[..], &data[..]);
+    }
+
+    #[test]
+    fn parallel_round_trip_matches_serial() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(300).collect();
+        let serial =
+            archive_round_trip(&data, &ArchiveConfig::default(), &mut seeded(31)).unwrap();
+        for threads in [2, 4] {
+            let par = archive_round_trip_on(
+                &data,
+                &ArchiveConfig::default(),
+                &mut seeded(31),
+                &ThreadPool::new(threads),
+            )
+            .unwrap();
+            assert_eq!(par, serial);
+        }
     }
 
     #[test]

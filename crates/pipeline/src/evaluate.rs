@@ -1,8 +1,9 @@
 //! Dataset-level evaluation: run a reconstructor over every cluster and
 //! collect accuracy and positional error profiles.
 
-use dnasim_core::Dataset;
+use dnasim_core::{Dataset, DnasimError};
 use dnasim_metrics::{AccuracyReport, PositionalProfile, ProfileKind};
+use dnasim_par::ThreadPool;
 use dnasim_reconstruct::TraceReconstructor;
 
 /// Accuracy of `algorithm` over every cluster of `dataset`.
@@ -40,6 +41,39 @@ pub fn evaluate_reconstruction<A: TraceReconstructor + ?Sized>(
         report.record(cluster.reference(), &estimate);
     }
     report
+}
+
+/// Parallel counterpart of [`evaluate_reconstruction`]: clusters are
+/// reconstructed on `pool` (reconstruction is pure, so the estimates are
+/// byte-identical to the serial path) and the report is assembled serially
+/// in cluster order, so the result does not depend on the thread count.
+///
+/// # Errors
+///
+/// Returns [`DnasimError::Degraded`] if a worker panicked.
+pub fn evaluate_reconstruction_on<A>(
+    dataset: &Dataset,
+    algorithm: &A,
+    pool: &ThreadPool,
+) -> Result<AccuracyReport, DnasimError>
+where
+    A: TraceReconstructor + Sync + ?Sized,
+{
+    let estimates = pool.par_map_indexed(dataset.clusters(), |_, cluster| {
+        if cluster.is_erasure() {
+            None
+        } else {
+            Some(algorithm.reconstruct(cluster.reads(), cluster.reference().len()))
+        }
+    })?;
+    let mut report = AccuracyReport::new();
+    for (cluster, estimate) in dataset.iter().zip(&estimates) {
+        match estimate {
+            Some(estimate) => report.record(cluster.reference(), estimate),
+            None => report.record_erasure(cluster.reference()),
+        }
+    }
+    Ok(report)
 }
 
 /// Post-reconstruction positional profiles: reconstruct every cluster and
@@ -125,6 +159,18 @@ mod tests {
         ds.push(Cluster::erasure(Strand::random(20, &mut seeded(2))));
         let report = evaluate_reconstruction(&ds, &MajorityVote);
         assert_eq!(report.per_strand_percent(), 50.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let mut ds = clean_dataset(6, 3, 20);
+        ds.push(Cluster::erasure(Strand::random(20, &mut seeded(9))));
+        let serial = evaluate_reconstruction(&ds, &MajorityVote);
+        for threads in [1, 2, 4] {
+            let par = evaluate_reconstruction_on(&ds, &MajorityVote, &ThreadPool::new(threads))
+                .unwrap();
+            assert_eq!(par, serial);
+        }
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl Experiments {
     /// Generates the twin and learns the simulator parameters from it.
     pub fn new(config: &NanoporeTwinConfig) -> Experiments {
         let twin = config.generate();
-        let seeds = SeedSequence::new(config.seed ^ 0x5EED_CAFE);
+        // Domain-separate the experiment streams from the twin generator's
+        // via the named-derive discipline rather than ad-hoc xor arithmetic
+        // (see DESIGN.md §9: seed-forking contract).
+        let seeds = SeedSequence::new(SeedSequence::new(config.seed).derive("experiments"));
         let mut rng = seeds.derive_rng("profiler");
         let mut stats = ErrorStats::new();
         let mut seen = 0usize;

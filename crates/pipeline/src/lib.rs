@@ -35,13 +35,14 @@ mod experiments;
 mod table;
 
 pub use archive::{
-    archive_round_trip, ArchiveConfig, ArchiveError, ArchiveMode, ArchiveReport, ErasureScheme,
+    archive_round_trip, archive_round_trip_on, ArchiveConfig, ArchiveError, ArchiveMode,
+    ArchiveReport, ErasureScheme,
 };
 pub use fidelity::{simulator_fidelity, FidelityReport};
 pub use random_access::{FilePool, PoolConfig, PoolError};
 pub use evaluate::{
-    evaluate_reconstruction, fixed_coverage_protocol, post_reconstruction_profiles,
-    pre_reconstruction_profiles,
+    evaluate_reconstruction, evaluate_reconstruction_on, fixed_coverage_protocol,
+    post_reconstruction_profiles, pre_reconstruction_profiles,
 };
 pub use experiments::{cross_dataset_robustness, references_of, Experiments, SensitivityPoint};
 pub use table::{AccuracyCell, Table, TableRow};

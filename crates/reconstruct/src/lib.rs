@@ -36,6 +36,7 @@
 mod algorithms;
 mod consensus;
 mod msa;
+mod parallel;
 mod weighted;
 
 pub use algorithms::{
@@ -44,4 +45,5 @@ pub use algorithms::{
 };
 pub use consensus::{anchored_one_way_bma, one_way_bma, positional_majority};
 pub use msa::MsaReconstructor;
+pub use parallel::{reconstruct_clusters, reconstruct_read_sets};
 pub use weighted::WeightedIterative;

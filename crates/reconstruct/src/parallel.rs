@@ -1,0 +1,109 @@
+//! Parallel per-cluster reconstruction.
+//!
+//! Trace reconstruction is embarrassingly parallel across clusters: each
+//! cluster's estimate depends only on its own reads. These helpers fan a
+//! [`TraceReconstructor`] out over a [`Dataset`] on a [`ThreadPool`],
+//! preserving cluster order in the output. Because every algorithm in this
+//! crate is deterministic and takes no RNG, the estimates are byte-identical
+//! to a serial loop for any thread count.
+
+use dnasim_core::{Cluster, Dataset, DnasimError, Strand};
+use dnasim_par::ThreadPool;
+
+use crate::algorithms::TraceReconstructor;
+
+/// Reconstructs every cluster of `dataset` with `algorithm` on `pool`.
+///
+/// Returns one estimate per cluster, in cluster order, each of length
+/// `strand_len`. The output is independent of the pool's thread count.
+///
+/// # Errors
+///
+/// Returns [`DnasimError::Degraded`] if a worker panicked; completed
+/// estimates are discarded rather than returned partially.
+pub fn reconstruct_clusters<A>(
+    algorithm: &A,
+    dataset: &Dataset,
+    strand_len: usize,
+    pool: &ThreadPool,
+) -> Result<Vec<Strand>, DnasimError>
+where
+    A: TraceReconstructor + Sync + ?Sized,
+{
+    let estimates = pool.par_map_indexed(dataset.clusters(), |_, cluster: &Cluster| {
+        algorithm.reconstruct(cluster.reads(), strand_len)
+    })?;
+    Ok(estimates)
+}
+
+/// Reconstructs every read set in `clusters` (a slice of read vectors) with
+/// `algorithm` on `pool`, for callers that hold raw reads rather than a
+/// [`Dataset`].
+///
+/// # Errors
+///
+/// Returns [`DnasimError::Degraded`] if a worker panicked.
+pub fn reconstruct_read_sets<A>(
+    algorithm: &A,
+    clusters: &[Vec<Strand>],
+    strand_len: usize,
+    pool: &ThreadPool,
+) -> Result<Vec<Strand>, DnasimError>
+where
+    A: TraceReconstructor + Sync + ?Sized,
+{
+    let estimates = pool.par_map_indexed(clusters, |_, reads: &Vec<Strand>| {
+        algorithm.reconstruct(reads, strand_len)
+    })?;
+    Ok(estimates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{BmaLookahead, MajorityVote};
+    use dnasim_core::rng::seeded;
+
+    fn toy_dataset(clusters: usize, len: usize) -> Dataset {
+        let mut rng = seeded(7);
+        (0..clusters)
+            .map(|_| {
+                let reference = Strand::random(len, &mut rng);
+                let reads = vec![reference.clone(); 3];
+                Cluster::new(reference, reads)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_loop() {
+        let ds = toy_dataset(17, 24);
+        let algo = BmaLookahead::default();
+        let serial: Vec<Strand> = ds
+            .iter()
+            .map(|c| algo.reconstruct(c.reads(), 24))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let par = reconstruct_clusters(&algo, &ds, 24, &ThreadPool::new(threads)).unwrap();
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn read_sets_match_dataset_path() {
+        let ds = toy_dataset(9, 16);
+        let reads: Vec<Vec<Strand>> = ds.iter().map(|c| c.reads().to_vec()).collect();
+        let pool = ThreadPool::new(4);
+        let a = reconstruct_clusters(&MajorityVote, &ds, 16, &pool).unwrap();
+        let b = reconstruct_read_sets(&MajorityVote, &reads, 16, &pool).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trait_objects_reconstruct_in_parallel() {
+        let ds = toy_dataset(5, 12);
+        let boxed: Box<dyn TraceReconstructor + Send + Sync> = Box::new(MajorityVote);
+        let est = reconstruct_clusters(boxed.as_ref(), &ds, 12, &ThreadPool::new(2)).unwrap();
+        assert_eq!(est.len(), 5);
+    }
+}

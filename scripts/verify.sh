@@ -9,9 +9,17 @@
 #    outside test modules (testkit and bench are test infrastructure and
 #    exempt). Robustness is DESIGN.md §8's contract: typed errors or
 #    quarantine, never a panic.
-# 3. Build the whole workspace in release mode with the network disabled.
-# 4. Run the full test suite.
-# 5. Run the chaos fault-injection suite in smoke mode.
+# 3. Guard: `crates/parallel` (the thread pool everything else trusts for
+#    determinism) must itself stay free of registry dependencies — every
+#    dependency line in its manifest is `path = …` / `workspace = true`.
+# 4. Build the whole workspace in release mode with the network disabled.
+# 5. Run the full test suite twice — at DNASIM_THREADS=1 and
+#    DNASIM_THREADS=4 — so every pool-backed stage is exercised both
+#    serial and parallel; the golden end-to-end snapshot
+#    (tests/golden_pipeline.rs → golden_pipeline.txt) is diffed under
+#    both thread counts, which is DESIGN.md §9's contract that thread
+#    count never changes output.
+# 6. Run the chaos fault-injection suite in smoke mode.
 #
 # Usage: scripts/verify.sh
 
@@ -88,11 +96,38 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "ok: non-test library sources are panic-free"
 
+echo "== parallel-crate dependency guard =="
+
+# The determinism of every pool-backed stage rests on crates/parallel, so
+# its manifest gets a belt-and-braces check on top of the workspace-wide
+# scan: every dependency line must be an in-tree path or workspace entry.
+bad=$(awk '
+    /^\[/ { in_deps = ($0 ~ /^\[(dev-|build-)?dependencies([].]|$)/); next }
+    !in_deps { next }
+    /^[[:space:]]*(#|$)/ { next }
+    !/path[[:space:]]*=/ && !/workspace[[:space:]]*=[[:space:]]*true/ {
+        printf "%d:%s\n", NR, $0
+    }
+' crates/parallel/Cargo.toml)
+if [ -n "$bad" ]; then
+    echo "ERROR: crates/parallel/Cargo.toml has a non-path dependency:" >&2
+    echo "$bad" | sed 's/^/    /' >&2
+    exit 1
+fi
+echo "ok: crates/parallel depends only on in-tree path crates"
+
 echo "== offline release build =="
 CARGO_NET_OFFLINE=true cargo build --release
 
-echo "== test suite =="
-CARGO_NET_OFFLINE=true cargo test -q
+# The full suite runs under two thread counts. tests/golden_pipeline.rs
+# builds its pool with ThreadPool::from_env(), so each run re-diffs the
+# checked-in golden_pipeline.txt snapshot under that worker count, and
+# tests/parallel_equivalence.rs covers the 1/2/4/8 grid internally.
+echo "== test suite (DNASIM_THREADS=1) =="
+CARGO_NET_OFFLINE=true DNASIM_THREADS=1 cargo test -q
+
+echo "== test suite (DNASIM_THREADS=4) =="
+CARGO_NET_OFFLINE=true DNASIM_THREADS=4 cargo test -q
 
 echo "== chaos suite (smoke) =="
 CARGO_NET_OFFLINE=true DNASIM_BENCH_FAST=1 cargo test -q -p dnasim-faults --test chaos

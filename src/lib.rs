@@ -54,6 +54,7 @@ pub use dnasim_core as core;
 pub use dnasim_dataset as dataset;
 pub use dnasim_faults as faults;
 pub use dnasim_metrics as metrics;
+pub use dnasim_par as par;
 pub use dnasim_pipeline as pipeline;
 pub use dnasim_profile as profile;
 pub use dnasim_reconstruct as reconstruct;
@@ -68,9 +69,11 @@ pub mod prelude {
     pub use dnasim_core::{Base, Cluster, Dataset, EditOp, EditScript, ErrorKind, Strand};
     pub use dnasim_dataset::{read_dataset, write_dataset, NanoporeTwinConfig};
     pub use dnasim_metrics::{gestalt_score, hamming, levenshtein, AccuracyReport};
+    pub use dnasim_par::ThreadPool;
     pub use dnasim_pipeline::{
-        archive_round_trip, evaluate_reconstruction, fixed_coverage_protocol,
-        simulator_fidelity, ArchiveConfig, Experiments, FilePool, PoolConfig,
+        archive_round_trip, archive_round_trip_on, evaluate_reconstruction,
+        evaluate_reconstruction_on, fixed_coverage_protocol, simulator_fidelity, ArchiveConfig,
+        Experiments, FilePool, PoolConfig,
     };
     pub use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
     pub use dnasim_reconstruct::{

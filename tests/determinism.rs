@@ -23,7 +23,7 @@ fn dataset_bytes(ds: &Dataset) -> Vec<u8> {
 #[test]
 fn same_root_seed_gives_byte_identical_simulated_reads() {
     let run = || {
-        let mut seq = SeedSequence::new(0xD151_C0DE);
+        let seq = SeedSequence::new(0xD151_C0DE);
         let references: Vec<Strand> = (0..40)
             .map(|_| Strand::random(110, &mut seq.derive_rng("references")))
             .collect();
@@ -99,4 +99,22 @@ fn seed_sequence_derivation_is_pinned() {
     assert_eq!(seq.next_seed(), 2139811525164838579);
     assert_eq!(seq.derive("channel"), 7128079561534043483);
     assert_eq!(seq.derive("coverage"), 10345770961533015649);
+}
+
+/// Pins per-item `SeedSequence::fork` roots — the parallel layer gives
+/// item `i` the stream `fork(i)`, so these values anchor every
+/// thread-count-invariant dataset the workspace can produce.
+#[test]
+fn seed_sequence_fork_is_pinned() {
+    let seq = SeedSequence::new(42);
+    assert_eq!(seq.fork(0).root(), 17959234055794128700);
+    assert_eq!(seq.fork(1).root(), 10434549699024864470);
+    assert_eq!(seq.fork(2).root(), 17486514217263700714);
+    assert_eq!(seq.fork(10_000).root(), 793172731781246650);
+    // fork_rng(i) is exactly seeded(fork(i).root()).
+    let mut a = seq.fork_rng(1);
+    let mut b = seeded(seq.fork(1).root());
+    let lhs: Vec<u64> = (0..4).map(|_| a.random::<u64>()).collect();
+    let rhs: Vec<u64> = (0..4).map(|_| b.random::<u64>()).collect();
+    assert_eq!(lhs, rhs);
 }
