@@ -1,5 +1,9 @@
-//! Microbenchmarks for the similarity metrics: Levenshtein (full and
-//! banded), Hamming, and gestalt pattern matching, across strand lengths.
+//! Microbenchmarks for the similarity metrics: Levenshtein (scalar full
+//! and banded), the Myers bit-parallel kernels (plus strand packing),
+//! Hamming, and gestalt pattern matching, across strand lengths.
+//!
+//! The `levenshtein` and `myers` groups run on identical strand pairs so
+//! `benchreport` can compute the scalar-vs-kernel speedup directly.
 
 use std::time::Duration;
 
@@ -9,9 +13,9 @@ use std::hint::black_box;
 
 use dnasim_channel::{ErrorModel, NaiveModel};
 use dnasim_core::rng::seeded;
-use dnasim_core::Strand;
+use dnasim_core::{PackedStrand, Strand};
 use dnasim_metrics::{
-    gestalt_score, hamming, levenshtein, levenshtein_within, matching_blocks,
+    gestalt_score, hamming, levenshtein, levenshtein_within, matching_blocks, myers, MyersScratch,
 };
 
 fn pair(len: usize, seed: u64) -> (Strand, Strand) {
@@ -34,6 +38,29 @@ fn bench_levenshtein(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+fn bench_myers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("myers");
+    for len in [110usize, 220, 440] {
+        let (a, b) = pair(len, 1); // same pairs as the levenshtein group
+        let (pa, pb) = (PackedStrand::from(&a), PackedStrand::from(&b));
+        group.bench_with_input(BenchmarkId::new("distance", len), &len, |bench, _| {
+            let mut scratch = MyersScratch::new();
+            bench.iter(|| myers::distance_with(&mut scratch, black_box(&pa), black_box(&pb)))
+        });
+        group.bench_with_input(BenchmarkId::new("within-20", len), &len, |bench, _| {
+            let mut scratch = MyersScratch::new();
+            bench.iter(|| {
+                myers::within_with(&mut scratch, black_box(&pa), black_box(&pb), 20)
+            })
+        });
+    }
+    let (a, _) = pair(110, 1);
+    group.bench_with_input(BenchmarkId::new("pack", 110), &110usize, |bench, _| {
+        bench.iter(|| PackedStrand::from(black_box(&a)))
+    });
     group.finish();
 }
 
@@ -64,6 +91,6 @@ criterion_group! {
         .sample_size(60)
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1));
-    targets = bench_levenshtein, bench_hamming, bench_gestalt
+    targets = bench_levenshtein, bench_myers, bench_hamming, bench_gestalt
 }
 criterion_main!(benches);

@@ -1,0 +1,489 @@
+//! Aggregates the JSONL emitted by the bench harness (`DNASIM_BENCH_JSON`)
+//! into a single machine-readable report (`BENCH_004.json`) and validates
+//! committed reports.
+//!
+//! Subcommands:
+//!
+//! * `assemble --mode full|fast --out FILE [--min-speedup R] group=path...`
+//!   — read one JSONL file per named group, write the combined report.
+//!   With `--min-speedup`, fail unless the scalar-vs-Myers kernel ratio
+//!   (`levenshtein/full/110` over `myers/distance/110`) reaches `R`; the
+//!   gate only makes sense on real timings, so fast-mode runs skip it.
+//! * `check FILE` — parse a report and require non-empty `kernel`,
+//!   `clustering` and `pipeline` groups.
+//!
+//! No external JSON crate exists in this hermetic workspace, so a minimal
+//! recursive-descent parser lives here; the schema it must accept is only
+//! what the harness and `assemble` themselves produce.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+const BASELINE_ID: &str = "levenshtein/full/110";
+const CONTENDER_ID: &str = "myers/distance/110";
+const REQUIRED_GROUPS: [&str; 3] = ["kernel", "clustering", "pipeline"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("assemble") => assemble(&args[1..]),
+        Some("check") => check(&args[1..]),
+        _ => Err("usage: benchreport assemble|check ...".to_owned()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("benchreport: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One benchmark record, as emitted by the harness.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    median_ns: f64,
+    mad_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: f64,
+    iters_per_sample: f64,
+}
+
+impl Record {
+    fn from_value(value: &Json) -> Result<Record, String> {
+        let obj = value.as_object().ok_or("record is not an object")?;
+        let num = |key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(Json::as_number)
+                .ok_or_else(|| format!("record missing numeric field {key:?}"))
+        };
+        Ok(Record {
+            id: obj
+                .get("id")
+                .and_then(Json::as_string)
+                .ok_or("record missing string field \"id\"")?
+                .to_owned(),
+            median_ns: num("median_ns")?,
+            mad_ns: num("mad_ns")?,
+            min_ns: num("min_ns")?,
+            max_ns: num("max_ns")?,
+            samples: num("samples")?,
+            iters_per_sample: num("iters_per_sample")?,
+        })
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mad_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+            escape(&self.id),
+            self.median_ns,
+            self.mad_ns,
+            self.min_ns,
+            self.max_ns,
+            self.samples as u64,
+            self.iters_per_sample as u64,
+        )
+    }
+}
+
+fn assemble(args: &[String]) -> Result<(), String> {
+    let mut mode = String::from("full");
+    let mut out: Option<String> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut groups: Vec<(String, String)> = Vec::new(); // (name, jsonl path)
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => mode = it.next().ok_or("--mode needs a value")?.clone(),
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--min-speedup" => {
+                let raw = it.next().ok_or("--min-speedup needs a value")?;
+                min_speedup = Some(
+                    raw.parse()
+                        .map_err(|_| format!("bad --min-speedup value {raw:?}"))?,
+                );
+            }
+            other => {
+                let (name, path) = other
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected group=path, got {other:?}"))?;
+                groups.push((name.to_owned(), path.to_owned()));
+            }
+        }
+    }
+    let out = out.ok_or("assemble requires --out FILE")?;
+    if !matches!(mode.as_str(), "full" | "fast") {
+        return Err(format!("--mode must be full or fast, got {mode:?}"));
+    }
+    if groups.is_empty() {
+        return Err("assemble requires at least one group=path argument".into());
+    }
+
+    let mut report = String::from("{\n");
+    let _ = writeln!(report, "  \"schema\": \"dnasim-bench/v1\",");
+    let _ = writeln!(report, "  \"bench_id\": \"BENCH_004\",");
+    let _ = writeln!(report, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(report, "  \"groups\": {{");
+    let mut all: Vec<Record> = Vec::new();
+    for (gi, (name, path)) in groups.iter().enumerate() {
+        let records = read_jsonl(path)?;
+        if records.is_empty() {
+            return Err(format!("group {name:?} ({path}) has no benchmark records"));
+        }
+        let _ = writeln!(report, "    \"{}\": [", escape(name));
+        for (ri, record) in records.iter().enumerate() {
+            let comma = if ri + 1 < records.len() { "," } else { "" };
+            let _ = writeln!(report, "      {}{comma}", record.to_json());
+        }
+        let comma = if gi + 1 < groups.len() { "," } else { "" };
+        let _ = writeln!(report, "    ]{comma}");
+        all.extend(records);
+    }
+    let _ = writeln!(report, "  }},");
+
+    let find = |id: &str| all.iter().find(|r| r.id == id);
+    match (find(BASELINE_ID), find(CONTENDER_ID)) {
+        (Some(base), Some(cont)) if cont.median_ns > 0.0 => {
+            let ratio = base.median_ns / cont.median_ns;
+            let _ = writeln!(
+                report,
+                "  \"speedup\": {{\"baseline\": \"{BASELINE_ID}\", \"contender\": \"{CONTENDER_ID}\", \"ratio\": {ratio:.2}}}"
+            );
+            if let Some(min) = min_speedup {
+                if mode == "full" && ratio < min {
+                    return Err(format!(
+                        "kernel speedup {ratio:.2}x is below the required {min:.2}x \
+                         ({BASELINE_ID} {:.1} ns vs {CONTENDER_ID} {:.1} ns)",
+                        base.median_ns, cont.median_ns
+                    ));
+                }
+            }
+        }
+        _ => {
+            let _ = writeln!(report, "  \"speedup\": null");
+        }
+    }
+    report.push_str("}\n");
+
+    std::fs::write(&out, report).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("benchreport: wrote {out}");
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("check requires a report path")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let obj = value.as_object().ok_or("report root is not an object")?;
+    let groups = obj
+        .get("groups")
+        .and_then(Json::as_object)
+        .ok_or("report has no \"groups\" object")?;
+    for name in REQUIRED_GROUPS {
+        let records = groups
+            .get(name)
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("report missing group {name:?}"))?;
+        if records.is_empty() {
+            return Err(format!("group {name:?} is empty"));
+        }
+        for record in records {
+            Record::from_value(record).map_err(|e| format!("group {name:?}: {e}"))?;
+        }
+    }
+    println!(
+        "benchreport: {path} ok ({} groups, mode {})",
+        groups.len(),
+        obj.get("mode").and_then(Json::as_string).unwrap_or("?"),
+    );
+    Ok(())
+}
+
+fn read_jsonl(path: &str) -> Result<Vec<Record>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        records.push(
+            Record::from_value(&value).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?,
+        );
+    }
+    Ok(records)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, booleans, null).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_string(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => parse_object(chars, pos),
+        Some('[') => parse_array(chars, pos),
+        Some('"') => Ok(Json::String(parse_string(chars, pos)?)),
+        Some('t') => parse_literal(chars, pos, "true", Json::Bool(true)),
+        Some('f') => parse_literal(chars, pos, "false", Json::Bool(false)),
+        Some('n') => parse_literal(chars, pos, "null", Json::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars, pos),
+        Some(c) => Err(format!("unexpected character {c:?} at offset {pos}", pos = *pos)),
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn parse_literal(
+    chars: &[char],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, String> {
+    for expected in word.chars() {
+        if chars.get(*pos) != Some(&expected) {
+            return Err(format!("bad literal at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+    }
+    Ok(value)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while chars
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
+        *pos += 1;
+    }
+    let raw: String = chars[start..*pos].iter().collect();
+    raw.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|_| format!("bad number {raw:?} at offset {start}"))
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    if chars.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match chars.get(*pos) {
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match chars.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = chars
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+            None => return Err("unterminated string".to_owned()),
+        }
+    }
+}
+
+fn parse_array(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            other => return Err(format!("expected , or ] in array, got {other:?}")),
+        }
+    }
+}
+
+fn parse_object(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut map = BTreeMap::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_string(chars, pos)?;
+        skip_ws(chars, pos);
+        if chars.get(*pos) != Some(&':') {
+            return Err(format!("expected : after object key {key:?}"));
+        }
+        *pos += 1;
+        let value = parse_value(chars, pos)?;
+        map.insert(key, value);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            other => return Err(format!("expected , or }} in object, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_harness_line() {
+        let line = "{\"id\":\"myers/distance/110\",\"median_ns\":42.5,\"mad_ns\":0.3,\"min_ns\":41.0,\"max_ns\":50.1,\"samples\":60,\"iters_per_sample\":1000}";
+        let value = parse_json(line).unwrap();
+        let record = Record::from_value(&value).unwrap();
+        assert_eq!(record.id, "myers/distance/110");
+        assert_eq!(record.median_ns, 42.5);
+        assert_eq!(record.samples, 60.0);
+    }
+
+    #[test]
+    fn parser_round_trips_nested_structures() {
+        let value =
+            parse_json("{\"a\": [1, 2.5, \"x\\n\"], \"b\": {\"c\": true, \"d\": null}}").unwrap();
+        let a = value.as_object().unwrap().get("a").unwrap();
+        assert_eq!(a.as_array().unwrap().len(), 3);
+        assert_eq!(
+            a.as_array().unwrap()[2].as_string(),
+            Some("x\n")
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{\"a\":").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        let record = Record {
+            id: "kernel/x/110".to_owned(),
+            median_ns: 12.0,
+            mad_ns: 1.0,
+            min_ns: 11.0,
+            max_ns: 14.0,
+            samples: 60.0,
+            iters_per_sample: 100.0,
+        };
+        let parsed = Record::from_value(&parse_json(&record.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed.id, record.id);
+        assert_eq!(parsed.median_ns, record.median_ns);
+    }
+}

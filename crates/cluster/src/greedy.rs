@@ -8,8 +8,8 @@
 
 use std::collections::HashMap;
 
-use dnasim_core::{Cluster, Dataset, Strand};
-use dnasim_metrics::levenshtein_within;
+use dnasim_core::{Cluster, Dataset, PackedStrand, Strand};
+use dnasim_metrics::{myers, MyersScratch};
 
 use crate::signature::QGramSignature;
 
@@ -47,12 +47,18 @@ impl GreedyClusterer {
     /// by signature band collisions), or founds a new cluster.
     pub fn cluster(&self, pool: &[Strand]) -> Vec<Vec<usize>> {
         let mut clusters: Vec<Vec<usize>> = Vec::new();
-        let mut representatives: Vec<(Strand, QGramSignature)> = Vec::new();
+        // Representatives are kept 2-bit packed: every incoming read is
+        // compared against them with the Myers kernel, so packing once at
+        // founding time amortises the Eq-mask construction over the whole
+        // pool.
+        let mut representatives: Vec<(PackedStrand, QGramSignature)> = Vec::new();
         // band hash → cluster ids that expose it
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut scratch = MyersScratch::new();
 
         for (read_idx, read) in pool.iter().enumerate() {
             let sig = QGramSignature::new(read, self.qgram_len, self.sketch_len);
+            let packed = PackedStrand::from(read);
             let mut candidates: Vec<usize> = sig
                 .hashes()
                 .iter()
@@ -67,12 +73,8 @@ impl GreedyClusterer {
             let mut joined = None;
             for &cluster_id in &candidates {
                 let (repr, _) = &representatives[cluster_id];
-                if levenshtein_within(
-                    repr.as_bases(),
-                    read.as_bases(),
-                    self.distance_threshold,
-                )
-                .is_some()
+                if myers::within_with(&mut scratch, repr, &packed, self.distance_threshold)
+                    .is_some()
                 {
                     joined = Some(cluster_id);
                     break;
@@ -86,7 +88,7 @@ impl GreedyClusterer {
                     for &h in sig.hashes().iter().take(self.bands) {
                         buckets.entry(h).or_default().push(id);
                     }
-                    representatives.push((read.clone(), sig));
+                    representatives.push((packed, sig));
                 }
             }
         }
@@ -108,23 +110,30 @@ impl GreedyClusterer {
             .iter()
             .map(|r| QGramSignature::new(r, self.qgram_len, self.sketch_len))
             .collect();
+        // References are compared against every group representative, so
+        // pack them once up front.
+        let packed_refs: Vec<PackedStrand> =
+            references.iter().map(PackedStrand::from).collect();
         let mut assigned: Vec<Vec<Strand>> = references.iter().map(|_| Vec::new()).collect();
+        let mut scratch = MyersScratch::new();
 
         for group in self.cluster(pool) {
             let repr = &pool[group[0]];
             let sig = QGramSignature::new(repr, self.qgram_len, self.sketch_len);
+            let packed_repr = PackedStrand::from(repr);
             // Nearest reference by signature overlap, confirmed by banded
             // distance.
             let mut best: Option<(usize, usize)> = None; // (ref idx, distance)
-            for (ref_idx, reference) in references.iter().enumerate() {
+            for (ref_idx, packed_ref) in packed_refs.iter().enumerate() {
                 if !sig.shares_band(&ref_sigs[ref_idx], self.bands)
                     && sig.overlap(&ref_sigs[ref_idx]) == 0.0
                 {
                     continue;
                 }
-                if let Some(d) = levenshtein_within(
-                    reference.as_bases(),
-                    repr.as_bases(),
+                if let Some(d) = myers::within_with(
+                    &mut scratch,
+                    packed_ref,
+                    &packed_repr,
                     self.distance_threshold,
                 ) {
                     if best.is_none_or(|(_, bd)| d < bd) {
@@ -161,13 +170,17 @@ impl GreedyClusterer {
         if groups.len() <= 1 {
             return groups;
         }
-        let representatives: Vec<(&Strand, QGramSignature)> = groups
+        let representatives: Vec<(PackedStrand, QGramSignature)> = groups
             .iter()
             .map(|g| {
                 let repr = &pool[g[0]];
-                (repr, QGramSignature::new(repr, self.qgram_len, self.sketch_len))
+                (
+                    PackedStrand::from(repr),
+                    QGramSignature::new(repr, self.qgram_len, self.sketch_len),
+                )
             })
             .collect();
+        let mut scratch = MyersScratch::new();
         // Union-find over groups.
         let mut parent: Vec<usize> = (0..groups.len()).collect();
         fn find(parent: &mut [usize], mut x: usize) -> usize {
@@ -187,12 +200,8 @@ impl GreedyClusterer {
                 if !sig_i.shares_band(sig_j, self.bands) {
                     continue;
                 }
-                if levenshtein_within(
-                    repr_i.as_bases(),
-                    repr_j.as_bases(),
-                    self.distance_threshold,
-                )
-                .is_some()
+                if myers::within_with(&mut scratch, repr_i, repr_j, self.distance_threshold)
+                    .is_some()
                 {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                     parent[ri.max(rj)] = ri.min(rj);

@@ -11,6 +11,8 @@
 //!
 //! * [`Base`] — the four-letter DNA alphabet;
 //! * [`Strand`] — owned base sequences (references and noisy reads);
+//! * [`PackedStrand`] — 2-bit packed strands with per-base equality masks
+//!   for the bit-parallel edit-distance kernels;
 //! * [`Cluster`] / [`Dataset`] — reads grouped per reference strand;
 //! * [`EditOp`] / [`EditScript`] — the IDS error vocabulary;
 //! * [`DnasimError`] — the workspace-wide failure taxonomy;
@@ -38,6 +40,7 @@ mod cluster;
 mod dataset;
 mod edit;
 mod error;
+mod packed;
 pub mod rng;
 pub mod tech;
 
@@ -48,4 +51,5 @@ pub use cluster::Cluster;
 pub use dataset::Dataset;
 pub use edit::{ApplyScriptError, EditOp, EditScript, ErrorKind, Mismatch};
 pub use error::DnasimError;
+pub use packed::PackedStrand;
 pub use strand::{ParseStrandError, Strand};

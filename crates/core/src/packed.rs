@@ -1,0 +1,236 @@
+//! 2-bit packed strands with precomputed per-base equality bitmasks.
+//!
+//! The bit-parallel edit-distance kernels (`dnasim_metrics::myers`) process
+//! 64 dynamic-programming cells per machine word, but only if the pattern
+//! strand is available as *equality masks*: for each base `x` and each
+//! 64-base block `w`, a word whose bit `i` is set iff position `w·64 + i`
+//! of the strand equals `x`. Building those masks costs one pass over the
+//! strand, so sequences that participate in many comparisons (cluster
+//! representatives, reference strands, MSA candidates) are packed **once**
+//! into a [`PackedStrand`] and reused.
+//!
+//! Alongside the four mask planes, the bases themselves are stored 2 bits
+//! each (A=00, C=01, G=10, T=11 — the [`Base::index`] order), 32 bases per
+//! `u64`, so a packed strand also serves as the kernel's *text* operand
+//! without touching the unpacked representation.
+
+use crate::base::Base;
+use crate::strand::Strand;
+
+/// A DNA strand packed 2 bits per base, with per-base equality bitmasks.
+///
+/// Semantically equivalent to the [`Strand`] it was built from (round-trips
+/// losslessly), but laid out for the bit-parallel kernels: `eq_by_code(c)`
+/// yields one `u64` per 64-base block whose set bits mark the positions
+/// holding the base with [index](Base::index) `c`.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_core::{PackedStrand, Strand};
+///
+/// let s: Strand = "ACGTACGT".parse()?;
+/// let p = PackedStrand::from(&s);
+/// assert_eq!(p.len(), 8);
+/// // A occurs at positions 0 and 4.
+/// assert_eq!(p.eq_masks(dnasim_core::Base::A), &[0b0001_0001]);
+/// assert_eq!(Strand::from(&p), s);
+/// # Ok::<(), dnasim_core::ParseStrandError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct PackedStrand {
+    len: usize,
+    /// 2-bit base codes, 32 per word, position `i` at bits `2(i mod 32)`.
+    codes: Vec<u64>,
+    /// Equality masks: `eq[c][w]` bit `i` set iff base `w*64 + i` has code
+    /// `c`. Padding bits beyond `len` are zero in every plane.
+    eq: [Vec<u64>; 4],
+}
+
+impl PackedStrand {
+    /// Packs a slice of bases.
+    pub fn from_bases(bases: &[Base]) -> PackedStrand {
+        let len = bases.len();
+        let words = len.div_ceil(64);
+        let mut codes = vec![0u64; len.div_ceil(32)];
+        let mut eq = [
+            vec![0u64; words],
+            vec![0u64; words],
+            vec![0u64; words],
+            vec![0u64; words],
+        ];
+        for (i, &b) in bases.iter().enumerate() {
+            let c = b.index();
+            codes[i >> 5] |= (c as u64) << ((i & 31) << 1);
+            eq[c][i >> 6] |= 1u64 << (i & 63);
+        }
+        PackedStrand { len, codes, eq }
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the strand has no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 64-base blocks (`ceil(len / 64)`; 0 when empty).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+
+    /// The base at `pos`, or `None` when out of bounds.
+    ///
+    /// ```
+    /// use dnasim_core::{Base, PackedStrand, Strand};
+    /// let p = PackedStrand::from(&"ACGT".parse::<Strand>().unwrap());
+    /// assert_eq!(p.get(2), Some(Base::G));
+    /// assert_eq!(p.get(4), None);
+    /// ```
+    #[inline]
+    pub fn get(&self, pos: usize) -> Option<Base> {
+        if pos >= self.len {
+            return None;
+        }
+        let word = self.codes.get(pos >> 5).copied().unwrap_or(0);
+        Base::from_index(((word >> ((pos & 31) << 1)) & 3) as usize)
+    }
+
+    /// Iterates the 2-bit base codes in position order (each in `0..4`).
+    ///
+    /// This is the kernel's *text* access path: one shift and mask per
+    /// base, no unpacking.
+    #[inline]
+    pub fn codes(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len).map(move |i| {
+            let word = self.codes.get(i >> 5).copied().unwrap_or(0);
+            ((word >> ((i & 31) << 1)) & 3) as u8
+        })
+    }
+
+    /// Equality masks for `base`: one word per 64-base block, bit `i` of
+    /// word `w` set iff position `w·64 + i` holds `base`.
+    #[inline]
+    pub fn eq_masks(&self, base: Base) -> &[u64] {
+        &self.eq[base.index()]
+    }
+
+    /// Equality masks addressed by 2-bit code (`code` is taken mod 4, so
+    /// any [`codes`](PackedStrand::codes) value is a valid argument).
+    #[inline]
+    pub fn eq_by_code(&self, code: u8) -> &[u64] {
+        &self.eq[(code & 3) as usize]
+    }
+
+    /// Unpacks back into a [`Strand`] (lossless inverse of packing).
+    pub fn to_strand(&self) -> Strand {
+        (0..self.len).filter_map(|i| self.get(i)).collect()
+    }
+}
+
+impl From<&Strand> for PackedStrand {
+    fn from(s: &Strand) -> PackedStrand {
+        PackedStrand::from_bases(s.as_bases())
+    }
+}
+
+impl From<&[Base]> for PackedStrand {
+    fn from(bases: &[Base]) -> PackedStrand {
+        PackedStrand::from_bases(bases)
+    }
+}
+
+impl From<&PackedStrand> for Strand {
+    fn from(p: &PackedStrand) -> Strand {
+        p.to_strand()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn round_trip_lengths_across_word_boundaries() {
+        let mut rng = seeded(1);
+        for len in [0usize, 1, 31, 32, 33, 63, 64, 65, 110, 127, 128, 129, 300] {
+            let s = Strand::random(len, &mut rng);
+            let p = PackedStrand::from(&s);
+            assert_eq!(p.len(), len);
+            assert_eq!(p.words(), len.div_ceil(64));
+            assert_eq!(Strand::from(&p), s, "round trip failed at len {len}");
+        }
+    }
+
+    #[test]
+    fn get_matches_strand_indexing() {
+        let s: Strand = "ACGTTGCAACGT".parse().unwrap();
+        let p = PackedStrand::from(&s);
+        for i in 0..s.len() {
+            assert_eq!(p.get(i), Some(s[i]));
+        }
+        assert_eq!(p.get(s.len()), None);
+    }
+
+    #[test]
+    fn eq_masks_partition_positions() {
+        let mut rng = seeded(2);
+        let s = Strand::random(150, &mut rng);
+        let p = PackedStrand::from(&s);
+        for w in 0..p.words() {
+            let mut union = 0u64;
+            for b in Base::ALL {
+                let mask = p.eq_masks(b)[w];
+                // Planes are disjoint …
+                assert_eq!(union & mask, 0);
+                union |= mask;
+            }
+            // … and together cover exactly the in-range positions.
+            let bits_in_word = (s.len() - w * 64).min(64);
+            let expect = if bits_in_word == 64 { !0u64 } else { (1u64 << bits_in_word) - 1 };
+            assert_eq!(union, expect);
+        }
+    }
+
+    #[test]
+    fn eq_masks_mark_matching_positions() {
+        let s: Strand = "AACGTA".parse().unwrap();
+        let p = PackedStrand::from(&s);
+        assert_eq!(p.eq_masks(Base::A), &[0b100011]);
+        assert_eq!(p.eq_masks(Base::C), &[0b000100]);
+        assert_eq!(p.eq_masks(Base::G), &[0b001000]);
+        assert_eq!(p.eq_masks(Base::T), &[0b010000]);
+    }
+
+    #[test]
+    fn codes_iterate_in_order() {
+        let s: Strand = "ACGT".parse().unwrap();
+        let p = PackedStrand::from(&s);
+        assert_eq!(p.codes().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_strand_packs_cleanly() {
+        let p = PackedStrand::from(&Strand::new());
+        assert!(p.is_empty());
+        assert_eq!(p.words(), 0);
+        assert_eq!(p.codes().count(), 0);
+        assert_eq!(Strand::from(&p), Strand::new());
+    }
+
+    #[test]
+    fn equality_follows_content() {
+        let a = PackedStrand::from(&"ACGT".parse::<Strand>().unwrap());
+        let b = PackedStrand::from(&"ACGT".parse::<Strand>().unwrap());
+        let c = PackedStrand::from(&"ACGA".parse::<Strand>().unwrap());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

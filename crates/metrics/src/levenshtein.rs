@@ -1,10 +1,20 @@
-//! Levenshtein (edit) distance, full and banded.
+//! Levenshtein (edit) distance, full and banded — the scalar reference
+//! implementation.
+//!
+//! These generic scalar kernels are the workspace's *oracle*: the
+//! bit-parallel kernels in [`myers`](crate::myers) are differentially
+//! tested against them (`crates/metrics/tests/myers_differential.rs`) and
+//! must agree bit-for-bit. Hot paths (clustering, medoid selection) call
+//! the Myers kernels on [`PackedStrand`](dnasim_core::PackedStrand)s;
+//! everything else — arbitrary `PartialEq` element types included — uses
+//! these.
 
 /// Computes the Levenshtein distance between two sequences: the minimum
 /// number of insertions, deletions and substitutions transforming `a` into
 /// `b`.
 ///
-/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+/// Runs in `O(|a|·|b|)` time and `O(min(|a|,|b|))` space. Equal slices
+/// short-circuit to 0 before the DP row is allocated.
 ///
 /// # Examples
 ///
@@ -18,6 +28,11 @@
 /// # Ok::<(), dnasim_core::ParseStrandError>(())
 /// ```
 pub fn levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    // Fast path: identical content (the overwhelmingly common case when
+    // comparing clean reads) costs one scan and no allocation.
+    if a == b {
+        return 0;
+    }
     // Keep the shorter sequence as the DP row.
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
@@ -67,8 +82,13 @@ pub fn normalized_levenshtein<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
 /// assert_eq!(levenshtein_within(b"AAAA", b"TTTT", 2), None);
 /// ```
 pub fn levenshtein_within<T: PartialEq>(a: &[T], b: &[T], limit: usize) -> Option<usize> {
+    // Fast paths: a length gap wider than the limit can never close (each
+    // edit changes the length by at most one), and equal slices are free.
     if a.len().abs_diff(b.len()) > limit {
         return None;
+    }
+    if a == b {
+        return Some(0);
     }
     const INF: usize = usize::MAX / 2;
     let m = b.len();

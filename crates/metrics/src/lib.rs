@@ -5,7 +5,11 @@
 //! behaviour through positional profiles. This crate provides:
 //!
 //! * [`levenshtein`] / [`levenshtein_within`] — edit distance, full and
-//!   banded (used by clustering and the profiler);
+//!   banded (the scalar reference implementation, and the oracle the
+//!   bit-parallel kernels are differentially tested against);
+//! * [`myers`] — Myers' bit-parallel edit-distance kernels over
+//!   [`PackedStrand`](dnasim_core::PackedStrand)s, 64 DP cells per word
+//!   (used by clustering and medoid selection);
 //! * [`hamming`] / [`hamming_error_positions`] — position-wise comparison,
 //!   where indels propagate (the "Hamming" figures);
 //! * [`gestalt_score`] / [`matching_blocks`] / [`gestalt_error_positions`] —
@@ -40,6 +44,7 @@ mod chi2;
 mod gestalt;
 mod hamming;
 mod levenshtein;
+pub mod myers;
 mod profiles;
 
 pub use accuracy::AccuracyReport;
@@ -47,4 +52,5 @@ pub use chi2::{chi_square_distance, normalize_histogram};
 pub use gestalt::{gestalt_error_positions, gestalt_score, matching_blocks, MatchingBlock};
 pub use hamming::{hamming, hamming_error_positions, positional_matches};
 pub use levenshtein::{levenshtein, levenshtein_within, normalized_levenshtein};
+pub use myers::MyersScratch;
 pub use profiles::{PositionalProfile, ProfileKind};

@@ -11,7 +11,7 @@ use dnasim_channel::{
 use dnasim_core::rng::SeedSequence;
 use dnasim_core::{Dataset, EditOp, Strand};
 use dnasim_metrics::PositionalProfile;
-use dnasim_profile::{edit_script, ErrorStats, LearnedModel, TieBreak};
+use dnasim_profile::{edit_script_with, EditScratch, ErrorStats, LearnedModel, TieBreak};
 use dnasim_reconstruct::{
     BmaLookahead, DividerBma, Iterative, MsaReconstructor, TraceReconstructor, TwoWayIterative,
     WeightedIterative,
@@ -52,10 +52,17 @@ impl Experiments {
         let seeds = SeedSequence::new(SeedSequence::new(config.seed).derive("experiments"));
         let mut rng = seeds.derive_rng("profiler");
         let mut stats = ErrorStats::new();
+        let mut scratch = EditScratch::new();
         let mut seen = 0usize;
         'outer: for cluster in twin.iter() {
             for read in cluster.reads() {
-                stats.record_pair(cluster.reference(), read, TieBreak::Random, &mut rng);
+                stats.record_pair_with(
+                    &mut scratch,
+                    cluster.reference(),
+                    read,
+                    TieBreak::Random,
+                    &mut rng,
+                );
                 seen += 1;
                 if seen >= PROFILE_READ_CAP {
                     break 'outer;
@@ -467,12 +474,19 @@ impl Experiments {
     ) -> f64 {
         let mut rng = self.seeds.derive_rng("residual-kinds");
         let mut counts = [0usize; 3];
+        let mut scratch = EditScratch::new();
         for cluster in dataset.iter() {
             if cluster.is_erasure() {
                 continue;
             }
             let estimate = algorithm.reconstruct(cluster.reads(), cluster.reference().len());
-            let script = edit_script(cluster.reference(), &estimate, TieBreak::Random, &mut rng);
+            let script = edit_script_with(
+                &mut scratch,
+                cluster.reference(),
+                &estimate,
+                TieBreak::Random,
+                &mut rng,
+            );
             let kinds = script.error_kind_counts();
             for (c, k) in counts.iter_mut().zip(kinds) {
                 *c += k;

@@ -23,11 +23,32 @@ pub enum TieBreak {
     PreferSubstitution,
 }
 
+/// Reusable DP-matrix buffer for [`edit_script_with`].
+///
+/// The edit-script DP allocates an `O(m·n)` matrix per (reference, read)
+/// pair; profiling a dataset or refining a consensus calls it once per
+/// read, so hot loops allocate one scratch and thread it through every
+/// call. The buffer only ever grows, to the largest pair seen.
+#[derive(Debug, Clone, Default)]
+pub struct EditScratch {
+    dp: Vec<u32>,
+}
+
+impl EditScratch {
+    /// Creates an empty scratch; the matrix grows on first use.
+    pub fn new() -> EditScratch {
+        EditScratch::default()
+    }
+}
+
 /// Computes a minimal [`EditScript`] transforming `reference` into `read`.
 ///
 /// The returned script's [`error_count`](EditScript::error_count) equals
 /// the Levenshtein distance between the two strands, and applying the
 /// script to `reference` reproduces `read` exactly.
+///
+/// Allocates a fresh DP matrix per call; loops over many reads should use
+/// [`edit_script_with`] with a shared [`EditScratch`].
 ///
 /// # Examples
 ///
@@ -49,15 +70,33 @@ pub fn edit_script<R: Rng + ?Sized>(
     tie_break: TieBreak,
     rng: &mut R,
 ) -> EditScript {
+    edit_script_with(&mut EditScratch::new(), reference, read, tie_break, rng)
+}
+
+/// [`edit_script`] with a caller-provided scratch buffer — identical
+/// output, no per-call matrix allocation once the scratch has grown.
+pub fn edit_script_with<R: Rng + ?Sized>(
+    scratch: &mut EditScratch,
+    reference: &Strand,
+    read: &Strand,
+    tie_break: TieBreak,
+    rng: &mut R,
+) -> EditScript {
     let a = reference.as_bases();
     let b = read.as_bases();
     let (m, n) = (a.len(), b.len());
 
     // Full DP matrix: dp[i][j] = Levenshtein distance between a[..i], b[..j].
     // Strands are short (~100s of bases), so the O(m·n) matrix is cheap and
-    // lets the traceback consider every minimal predecessor.
+    // lets the traceback consider every minimal predecessor. Every cell in
+    // the active window is written before it is read, so stale contents
+    // from a previous call never leak into the result.
     let width = n + 1;
-    let mut dp = vec![0u32; (m + 1) * width];
+    let size = (m + 1) * width;
+    if scratch.dp.len() < size {
+        scratch.dp.resize(size, 0);
+    }
+    let dp = &mut scratch.dp[..size];
     for (j, cell) in dp.iter_mut().enumerate().take(n + 1) {
         *cell = j as u32;
     }

@@ -37,7 +37,9 @@ mod model;
 mod persist;
 mod stats;
 
-pub use editops::{edit_distance, edit_script, PositionedBase, TieBreak};
+pub use editops::{
+    edit_distance, edit_script, edit_script_with, EditScratch, PositionedBase, TieBreak,
+};
 pub use model::{
     BaseErrorRates, LearnedModel, LongDeletionParams, ModelValidationError, SecondOrderError,
 };

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use dnasim_core::{Base, Cluster, Dataset, EditOp, EditScript, ErrorKind, Strand};
 use dnasim_core::rng::Rng;
 
-use crate::editops::{edit_script, TieBreak};
+use crate::editops::{edit_script_with, EditScratch, TieBreak};
 
 /// Accumulated error statistics over a clustered dataset.
 ///
@@ -85,8 +85,11 @@ impl ErrorStats {
         rng: &mut R,
     ) -> ErrorStats {
         let mut stats = ErrorStats::new();
+        // One DP scratch for the whole dataset: the edit-script matrix is
+        // the profiler's dominant allocation.
+        let mut scratch = EditScratch::new();
         for cluster in dataset.iter() {
-            stats.record_cluster(cluster, tie_break, rng);
+            stats.record_cluster_with(&mut scratch, cluster, tie_break, rng);
         }
         stats
     }
@@ -98,8 +101,20 @@ impl ErrorStats {
         tie_break: TieBreak,
         rng: &mut R,
     ) {
+        self.record_cluster_with(&mut EditScratch::new(), cluster, tie_break, rng);
+    }
+
+    /// [`record_cluster`](ErrorStats::record_cluster) with a shared DP
+    /// scratch, for callers that profile many clusters.
+    pub fn record_cluster_with<R: Rng + ?Sized>(
+        &mut self,
+        scratch: &mut EditScratch,
+        cluster: &Cluster,
+        tie_break: TieBreak,
+        rng: &mut R,
+    ) {
         for read in cluster.reads() {
-            self.record_pair(cluster.reference(), read, tie_break, rng);
+            self.record_pair_with(scratch, cluster.reference(), read, tie_break, rng);
         }
     }
 
@@ -111,7 +126,19 @@ impl ErrorStats {
         tie_break: TieBreak,
         rng: &mut R,
     ) {
-        let script = edit_script(reference, read, tie_break, rng);
+        self.record_pair_with(&mut EditScratch::new(), reference, read, tie_break, rng);
+    }
+
+    /// [`record_pair`](ErrorStats::record_pair) with a shared DP scratch.
+    pub fn record_pair_with<R: Rng + ?Sized>(
+        &mut self,
+        scratch: &mut EditScratch,
+        reference: &Strand,
+        read: &Strand,
+        tie_break: TieBreak,
+        rng: &mut R,
+    ) {
+        let script = edit_script_with(scratch, reference, read, tie_break, rng);
         self.record_script(reference, &script);
     }
 

@@ -2,7 +2,7 @@
 
 use dnasim_core::rng::seeded;
 use dnasim_core::{Base, EditOp, Strand};
-use dnasim_profile::{edit_script, TieBreak};
+use dnasim_profile::{edit_script_with, EditScratch, TieBreak};
 
 use crate::consensus::{anchored_one_way_bma, one_way_bma, positional_majority, VoteTally};
 
@@ -216,8 +216,10 @@ impl Iterative {
         let mut ins_votes: Vec<VoteTally> = vec![VoteTally::new(); est_len + 1];
         // The deterministic tie-break never consults the RNG.
         let mut rng = seeded(0);
+        let mut scratch = EditScratch::new();
         for read in reads {
-            let script = edit_script(estimate, read, TieBreak::PreferSubstitution, &mut rng);
+            let script =
+                edit_script_with(&mut scratch, estimate, read, TieBreak::PreferSubstitution, &mut rng);
             let mut p = 0usize;
             for &op in script.ops() {
                 match op {

@@ -87,6 +87,10 @@ pub fn anchored_one_way_bma(
 ) -> Strand {
     let mut out = Strand::with_capacity(strand_len);
     let mut ptrs: Vec<usize> = vec![0; reads.len()];
+    // Look-ahead buffers reused across all output positions: allocating
+    // them inside the column loop dominated this scan's cost.
+    let mut future: Vec<VoteTally> = vec![VoteTally::new(); lookahead];
+    let mut future_majority: Vec<Option<Base>> = vec![None; lookahead];
     for j in 0..strand_len {
         // Column majority (the anchor, when present, casts weighted votes).
         let mut tally = VoteTally::new();
@@ -120,7 +124,7 @@ pub fn anchored_one_way_bma(
         // Future majority over the look-ahead window, computed from the
         // reads that *agreed* with this column's majority (their pointers
         // are most likely in sync; drifted reads would pollute the window).
-        let mut future: Vec<VoteTally> = vec![VoteTally::new(); lookahead];
+        future.iter_mut().for_each(|t| *t = VoteTally::new());
         for (read, &ptr) in reads.iter().zip(&ptrs) {
             if read.get(ptr) != Some(majority) {
                 continue;
@@ -140,8 +144,9 @@ pub fn anchored_one_way_bma(
                 }
             }
         }
-        let future_majority: Vec<Option<Base>> =
-            future.iter().map(|t| t.winner()).collect();
+        for (fm, tally) in future_majority.iter_mut().zip(&future) {
+            *fm = tally.winner();
+        }
 
         for (read, ptr) in reads.iter().zip(&mut ptrs) {
             match read.get(*ptr) {

@@ -8,8 +8,9 @@
 //! baseline and as a shape contrast for the profile figures.
 
 use dnasim_core::rng::seeded;
-use dnasim_core::{Base, EditOp, Strand};
-use dnasim_profile::{edit_script, TieBreak};
+use dnasim_core::{Base, EditOp, PackedStrand, Strand};
+use dnasim_metrics::myers;
+use dnasim_profile::{edit_script_with, EditScratch, TieBreak};
 
 use crate::algorithms::TraceReconstructor;
 use crate::consensus::{positional_majority, VoteTally};
@@ -42,16 +43,22 @@ impl MsaReconstructor {
         if reads.len() <= 2 {
             return 0;
         }
+        // Pack every read once and fill the half-matrix with the Myers
+        // kernel: distance is symmetric, so each unordered pair is computed
+        // a single time and credited to both rows.
+        let packed: Vec<PackedStrand> = reads.iter().map(PackedStrand::from).collect();
+        let mut scratch = myers::MyersScratch::new();
+        let mut totals = vec![0usize; reads.len()];
+        for i in 0..packed.len() {
+            for j in (i + 1)..packed.len() {
+                let d = myers::distance_with(&mut scratch, &packed[i], &packed[j]);
+                totals[i] += d;
+                totals[j] += d;
+            }
+        }
+        // First minimum wins, matching the previous sequential scan.
         let mut best = (0usize, usize::MAX);
-        for (i, candidate) in reads.iter().enumerate() {
-            let total: usize = reads
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .map(|(_, other)| {
-                    dnasim_metrics::levenshtein(candidate.as_bases(), other.as_bases())
-                })
-                .sum();
+        for (i, &total) in totals.iter().enumerate() {
             if total < best.1 {
                 best = (i, total);
             }
@@ -76,6 +83,7 @@ impl TraceReconstructor for MsaReconstructor {
         let mut absent_votes: Vec<usize> = vec![0; centre_len];
         let mut gap_votes: Vec<VoteTally> = vec![VoteTally::new(); centre_len + 1];
         let mut rng = seeded(0); // deterministic tie-break ignores the RNG
+        let mut scratch = EditScratch::new();
         for (j, read) in reads.iter().enumerate() {
             if j == centre_idx {
                 for (p, b) in centre.iter().enumerate() {
@@ -83,7 +91,8 @@ impl TraceReconstructor for MsaReconstructor {
                 }
                 continue;
             }
-            let script = edit_script(centre, read, TieBreak::PreferSubstitution, &mut rng);
+            let script =
+                edit_script_with(&mut scratch, centre, read, TieBreak::PreferSubstitution, &mut rng);
             let mut p = 0usize;
             for &op in script.ops() {
                 match op {

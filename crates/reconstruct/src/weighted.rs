@@ -10,7 +10,7 @@
 use dnasim_core::rng::seeded;
 use dnasim_core::{Base, EditOp, Strand};
 use dnasim_metrics::gestalt_score;
-use dnasim_profile::{edit_script, TieBreak};
+use dnasim_profile::{edit_script_with, EditScratch, TieBreak};
 
 use crate::algorithms::TraceReconstructor;
 use crate::consensus::{one_way_bma, VoteTally};
@@ -79,11 +79,13 @@ impl WeightedIterative {
             .collect();
         let total_weight: usize = weights.iter().sum();
 
+        let mut scratch = EditScratch::new();
         for (read, &weight) in reads.iter().zip(&weights) {
             if weight == 0 {
                 continue;
             }
-            let script = edit_script(estimate, read, TieBreak::PreferSubstitution, &mut rng);
+            let script =
+                edit_script_with(&mut scratch, estimate, read, TieBreak::PreferSubstitution, &mut rng);
             let mut p = 0usize;
             for &op in script.ops() {
                 match op {

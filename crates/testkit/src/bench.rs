@@ -11,6 +11,9 @@
 //!
 //! * `DNASIM_BENCH_FAST=1` — shrink warmup/measurement to smoke-test levels
 //!   (useful in CI, where only "compiles and runs" matters).
+//! * `DNASIM_BENCH_JSON=<path>` — additionally append one JSON object per
+//!   benchmark to `<path>` (JSON Lines), for machine consumers such as
+//!   `scripts/bench.sh` / the `benchreport` aggregator.
 //! * positional CLI argument — substring filter on benchmark ids, as with
 //!   criterion (`cargo bench -p dnasim-bench --bench channel -- naive`).
 
@@ -114,10 +117,58 @@ impl Criterion {
         };
         f(&mut bencher);
         match bencher.report {
-            Some(report) => println!("{id:<44} {report}"),
+            Some(report) => {
+                println!("{id:<44} {report}");
+                append_json_line(id, &report);
+            }
             None => println!("{id:<44} (no measurement — b.iter never called)"),
         }
     }
+}
+
+/// Appends one JSON Lines record for a finished benchmark to the file named
+/// by `DNASIM_BENCH_JSON`, when set. Emission is best-effort: an unwritable
+/// path only costs a warning on stderr, never the benchmark run.
+fn append_json_line(id: &str, report: &Report) {
+    let Some(path) = std::env::var_os("DNASIM_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mad_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}\n",
+        escape_json(id),
+        report.median_ns,
+        report.mad_ns,
+        report.min_ns,
+        report.max_ns,
+        report.samples,
+        report.iters_per_sample,
+    );
+    use std::io::Write;
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(err) = result {
+        eprintln!("warning: DNASIM_BENCH_JSON append failed for {path:?}: {err}");
+    }
+}
+
+/// Escapes a benchmark id for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Handle passed to each benchmark closure; call [`iter`] with the routine
@@ -351,5 +402,42 @@ mod tests {
         assert_eq!(format_ns(12.0), "12.0 ns");
         assert_eq!(format_ns(1_500.0), "1.500 µs");
         assert_eq!(format_ns(2_000_000.0), "2.000 ms");
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("plain/id-110"), "plain/id-110");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn json_lines_are_appended_when_env_set() {
+        let path = std::env::temp_dir().join(format!(
+            "dnasim-bench-jsonl-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("DNASIM_BENCH_JSON", &path);
+        let mut c = fast();
+        c.bench_function("jsonline-smoke", |b| b.iter(|| black_box(2 + 2)));
+        std::env::remove_var("DNASIM_BENCH_JSON");
+        let contents = std::fs::read_to_string(&path).expect("JSONL file written");
+        let _ = std::fs::remove_file(&path);
+        let line = contents
+            .lines()
+            .find(|l| l.contains("\"id\":\"jsonline-smoke\""))
+            .expect("record for jsonline-smoke present");
+        for field in [
+            "\"median_ns\":",
+            "\"mad_ns\":",
+            "\"min_ns\":",
+            "\"max_ns\":",
+            "\"samples\":",
+            "\"iters_per_sample\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
     }
 }

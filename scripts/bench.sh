@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Performance measurement for the dnasim workspace, run fully offline.
+#
+# Runs the three benchmark suites that track the paper pipeline's hot
+# paths — kernel (edit-distance metrics), clustering, and end-to-end
+# pipeline — with the harness's JSONL emission enabled, then assembles the
+# per-suite records into one machine-readable report via `benchreport`.
+#
+# Usage: scripts/bench.sh [--fast] [--out FILE]
+#
+#   --fast    smoke mode: DNASIM_BENCH_FAST=1 shrinks warmup/measurement to
+#             CI levels and the report is tagged "fast" (the kernel-speedup
+#             gate is skipped — smoke timings are not meaningful).
+#   --out     report path (default: BENCH_004.json at the repo root).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode=full
+out=BENCH_004.json
+while [ "$#" -gt 0 ]; do
+    case "$1" in
+        --fast) mode=fast ;;
+        --out)
+            shift
+            out=${1:?--out needs a value}
+            ;;
+        *)
+            echo "usage: scripts/bench.sh [--fast] [--out FILE]" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+if [ "$mode" = fast ]; then
+    export DNASIM_BENCH_FAST=1
+fi
+export CARGO_NET_OFFLINE=true
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# group name → bench target; each suite appends to its own JSONL file.
+run_suite() {
+    local group=$1 target=$2
+    echo "== bench suite: $group ($target, mode $mode) =="
+    DNASIM_BENCH_JSON="$tmpdir/$group.jsonl" \
+        cargo bench -q -p dnasim-bench --bench "$target"
+}
+
+run_suite kernel metrics
+run_suite clustering clustering
+run_suite pipeline pipeline
+
+echo "== assemble $out =="
+gate=()
+if [ "$mode" = full ]; then
+    # ISSUE acceptance: the Myers kernel must beat the scalar DP by ≥3× on
+    # 110 nt strands.
+    gate=(--min-speedup 3.0)
+fi
+cargo run -q --release -p dnasim-bench --bin benchreport -- \
+    assemble --mode "$mode" --out "$out" "${gate[@]}" \
+    kernel="$tmpdir/kernel.jsonl" \
+    clustering="$tmpdir/clustering.jsonl" \
+    pipeline="$tmpdir/pipeline.jsonl"
+
+cargo run -q --release -p dnasim-bench --bin benchreport -- check "$out"
+echo "bench: OK ($out)"

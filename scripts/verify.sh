@@ -20,6 +20,13 @@
 #    both thread counts, which is DESIGN.md §9's contract that thread
 #    count never changes output.
 # 6. Run the chaos fault-injection suite in smoke mode.
+# 7. Guard: `crates/metrics` (the edit-distance kernels clustering and
+#    evaluation trust) must stay free of registry dependencies too.
+# 8. Run the kernel differential suite: the Myers bit-parallel kernels
+#    must agree bit-for-bit with the scalar DP oracle.
+# 9. Bench smoke: scripts/bench.sh --fast must produce a parseable report
+#    covering the kernel/clustering/pipeline groups, and the committed
+#    BENCH_004.json (when present) must still validate.
 #
 # Usage: scripts/verify.sh
 
@@ -116,6 +123,26 @@ if [ -n "$bad" ]; then
 fi
 echo "ok: crates/parallel depends only on in-tree path crates"
 
+echo "== metrics-crate dependency guard =="
+
+# The Myers kernels sit on the clustering hot path and in the oracle
+# contract; keep crates/metrics free of registry dependencies so the
+# kernel code can never silently pick up an external implementation.
+bad=$(awk '
+    /^\[/ { in_deps = ($0 ~ /^\[(dev-|build-)?dependencies([].]|$)/); next }
+    !in_deps { next }
+    /^[[:space:]]*(#|$)/ { next }
+    !/path[[:space:]]*=/ && !/workspace[[:space:]]*=[[:space:]]*true/ {
+        printf "%d:%s\n", NR, $0
+    }
+' crates/metrics/Cargo.toml)
+if [ -n "$bad" ]; then
+    echo "ERROR: crates/metrics/Cargo.toml has a non-path dependency:" >&2
+    echo "$bad" | sed 's/^/    /' >&2
+    exit 1
+fi
+echo "ok: crates/metrics depends only on in-tree path crates"
+
 echo "== offline release build =="
 CARGO_NET_OFFLINE=true cargo build --release
 
@@ -131,5 +158,21 @@ CARGO_NET_OFFLINE=true DNASIM_THREADS=4 cargo test -q
 
 echo "== chaos suite (smoke) =="
 CARGO_NET_OFFLINE=true DNASIM_BENCH_FAST=1 cargo test -q -p dnasim-faults --test chaos
+
+echo "== kernel differential suite (Myers vs scalar oracle) =="
+CARGO_NET_OFFLINE=true cargo test -q -p dnasim-metrics --test myers_differential
+
+echo "== bench smoke (fast mode) =="
+smoke_report=$(mktemp /tmp/dnasim-bench-smoke.XXXXXX.json)
+trap 'rm -f "$smoke_report"' EXIT
+scripts/bench.sh --fast --out "$smoke_report"
+CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
+    check "$smoke_report"
+
+if [ -f BENCH_004.json ]; then
+    echo "== committed benchmark report =="
+    CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
+        check BENCH_004.json
+fi
 
 echo "verify: OK"
