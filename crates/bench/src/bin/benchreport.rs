@@ -4,8 +4,10 @@
 //!
 //! Subcommands:
 //!
-//! * `assemble --mode full|fast --out FILE [--min-speedup R] group=path...`
-//!   — read one JSONL file per named group, write the combined report.
+//! * `assemble --mode full|fast --out FILE [--bench-id ID] [--min-speedup R]
+//!   group=path...`
+//!   — read one JSONL file per named group, write the combined report
+//!   (tagged `--bench-id`, default `BENCH_004`).
 //!   With `--min-speedup`, fail unless the scalar-vs-Myers kernel ratio
 //!   (`levenshtein/full/110` over `myers/distance/110`) reaches `R`; the
 //!   gate only makes sense on real timings, so fast-mode runs skip it.
@@ -92,6 +94,7 @@ impl Record {
 fn assemble(args: &[String]) -> Result<(), String> {
     let mut mode = String::from("full");
     let mut out: Option<String> = None;
+    let mut bench_id = String::from("BENCH_004");
     let mut min_speedup: Option<f64> = None;
     let mut groups: Vec<(String, String)> = Vec::new(); // (name, jsonl path)
     let mut it = args.iter();
@@ -99,6 +102,7 @@ fn assemble(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--mode" => mode = it.next().ok_or("--mode needs a value")?.clone(),
             "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--bench-id" => bench_id = it.next().ok_or("--bench-id needs a value")?.clone(),
             "--min-speedup" => {
                 let raw = it.next().ok_or("--min-speedup needs a value")?;
                 min_speedup = Some(
@@ -124,7 +128,7 @@ fn assemble(args: &[String]) -> Result<(), String> {
 
     let mut report = String::from("{\n");
     let _ = writeln!(report, "  \"schema\": \"dnasim-bench/v1\",");
-    let _ = writeln!(report, "  \"bench_id\": \"BENCH_004\",");
+    let _ = writeln!(report, "  \"bench_id\": \"{}\",", escape(&bench_id));
     let _ = writeln!(report, "  \"mode\": \"{mode}\",");
     let _ = writeln!(report, "  \"groups\": {{");
     let mut all: Vec<Record> = Vec::new();

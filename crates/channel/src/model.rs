@@ -1,7 +1,9 @@
 //! The error-model abstraction and the simulator driver.
 
 use dnasim_core::rng::{SeedSequence, SimRng};
-use dnasim_core::{Cluster, Dataset, DnasimError, Strand};
+use dnasim_core::{
+    pump, Batch, Cluster, ClusterSink, ClusterSource, Dataset, DnasimError, Strand, WindowStats,
+};
 use dnasim_par::ThreadPool;
 
 use crate::coverage::CoverageModel;
@@ -183,6 +185,95 @@ impl<M: ErrorModel> Simulator<M> {
         })?;
         Ok(Dataset::from_clusters(clusters))
     }
+
+    /// Streaming counterpart of [`Simulator::simulate_on`]: simulates the
+    /// references in bounded batches of at most `batch_size` clusters,
+    /// pushing each finished batch into `sink`.
+    ///
+    /// Cluster `i` is simulated on the stream [`SeedSequence::fork`]`(i)`
+    /// of its *global* index — never its within-batch position — so the
+    /// output is byte-identical to [`Simulator::simulate_on`] for every
+    /// batch size and thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::Config`] for `batch_size == 0`,
+    /// [`DnasimError::Degraded`] if a worker panicked, or whatever the
+    /// sink reports.
+    pub fn simulate_stream<K>(
+        &self,
+        references: &[Strand],
+        seq: &SeedSequence,
+        batch_size: usize,
+        pool: &ThreadPool,
+        sink: &mut K,
+    ) -> Result<WindowStats, DnasimError>
+    where
+        M: Sync,
+        K: ClusterSink + ?Sized,
+    {
+        if batch_size == 0 {
+            return Err(DnasimError::config(
+                "batch_size",
+                "streaming batch size must be at least 1",
+            ));
+        }
+        let mut stats = WindowStats::default();
+        let mut start = 0usize;
+        while start < references.len() {
+            let len = batch_size.min(references.len() - start);
+            let chunk = &references[start..start + len];
+            let clusters = pool.par_map_indexed(chunk, |i, reference| {
+                let index = start + i;
+                let mut rng = seq.fork_rng(index as u64);
+                let coverage = self.coverage.sample(index, &mut rng);
+                self.simulate_cluster(reference, coverage, &mut rng)
+            })?;
+            stats.batches += 1;
+            stats.clusters += len;
+            stats.high_watermark = stats.high_watermark.max(len);
+            sink.accept(Batch::new(start, clusters))?;
+            start += len;
+        }
+        sink.finish()?;
+        Ok(stats)
+    }
+
+    /// Streaming counterpart of [`Simulator::resimulate_matching_on`]:
+    /// pulls real clusters from `source` in bounded batches, resimulates
+    /// each with its real coverage, and pushes the results into `sink`.
+    ///
+    /// Per-cluster RNG streams fork from the cluster's global index, so
+    /// the output matches [`Simulator::resimulate_matching_on`] byte for
+    /// byte at any batch size or thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::Config`] for `batch_size == 0`,
+    /// [`DnasimError::Degraded`] if a worker panicked, or whatever the
+    /// source or sink reports.
+    pub fn resimulate_stream<S, K>(
+        &self,
+        source: &mut S,
+        seq: &SeedSequence,
+        batch_size: usize,
+        pool: &ThreadPool,
+        sink: &mut K,
+    ) -> Result<WindowStats, DnasimError>
+    where
+        M: Sync,
+        S: ClusterSource + ?Sized,
+        K: ClusterSink + ?Sized,
+    {
+        pump(source, sink, batch_size, |batch| {
+            let start = batch.start();
+            let clusters = pool.par_map_indexed(batch.clusters(), |i, cluster| {
+                let mut rng = seq.fork_rng((start + i) as u64);
+                self.simulate_cluster(cluster.reference(), cluster.coverage(), &mut rng)
+            })?;
+            Ok(Batch::new(start, clusters))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +339,53 @@ mod tests {
             .resimulate_matching_on(&serial, &seq, &ThreadPool::new(3))
             .unwrap();
         assert_eq!(resim.coverages(), serial.coverages());
+    }
+
+    #[test]
+    fn simulate_stream_matches_simulate_on_at_any_batch_size() {
+        let mut rng = seeded(7);
+        let refs: Vec<Strand> = (0..11).map(|_| Strand::random(20, &mut rng)).collect();
+        let sim = Simulator::new(IdentityModel, CoverageModel::negative_binomial(5.0, 2.0));
+        let seq = SeedSequence::new(42);
+        let pool = ThreadPool::new(3);
+        let whole = sim.simulate_on(&refs, &seq, &pool).unwrap();
+        for batch_size in [1, 3, 7, usize::MAX] {
+            let mut streamed = Dataset::new();
+            let stats = sim
+                .simulate_stream(&refs, &seq, batch_size, &pool, &mut streamed)
+                .unwrap();
+            assert_eq!(streamed, whole, "batch_size={batch_size}");
+            assert_eq!(stats.clusters, refs.len());
+            assert!(stats.high_watermark <= batch_size);
+        }
+    }
+
+    #[test]
+    fn resimulate_stream_matches_resimulate_matching_on() {
+        let mut rng = seeded(8);
+        let refs: Vec<Strand> = (0..9).map(|_| Strand::random(20, &mut rng)).collect();
+        let real = Simulator::new(IdentityModel, CoverageModel::negative_binomial(6.0, 2.0))
+            .simulate(&refs, &mut rng);
+        let sim = Simulator::new(IdentityModel, CoverageModel::Fixed(0));
+        let seq = SeedSequence::new(17);
+        let pool = ThreadPool::new(4);
+        let whole = sim.resimulate_matching_on(&real, &seq, &pool).unwrap();
+        for batch_size in [1, 2, 5, usize::MAX] {
+            let mut streamed = Dataset::new();
+            sim.resimulate_stream(&mut real.stream(), &seq, batch_size, &pool, &mut streamed)
+                .unwrap();
+            assert_eq!(streamed, whole, "batch_size={batch_size}");
+        }
+    }
+
+    #[test]
+    fn simulate_stream_rejects_zero_batch() {
+        let sim = Simulator::new(IdentityModel, CoverageModel::Fixed(1));
+        let seq = SeedSequence::new(1);
+        let mut out = Dataset::new();
+        assert!(sim
+            .simulate_stream(&[], &seq, 0, &ThreadPool::serial(), &mut out)
+            .is_err());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! `DNASIM_THREADS`, then all cores); results are byte-identical for every
 //! thread count.
 //!
+//! `generate`, `profile` and `simulate` accept `--stream` to run the
+//! bounded-memory pipeline (at most `--batch-size` clusters in flight,
+//! default 256), and `archive` accepts `--batch-size N` to bound the decode
+//! window; outputs stay byte-identical to the in-memory paths.
+//!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error (usage is
 //! printed to stderr), `3` archive completed degraded (lenient mode with
 //! unrecoverable strands).
@@ -27,15 +32,19 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use dnasim_channel::{CoverageModel, DnaSimulatorModel, KeoliyaModel, Simulator, SimulatorLayer};
-use dnasim_core::rng::{seeded, SeedSequence};
+use dnasim_channel::{
+    CoverageModel, DnaSimulatorModel, ErrorModel, KeoliyaModel, Simulator, SimulatorLayer,
+};
+use dnasim_core::rng::{seeded, SeedSequence, SimRng};
 use dnasim_core::Dataset;
-use dnasim_dataset::{read_dataset, write_dataset, NanoporeTwinConfig};
+use dnasim_dataset::{
+    read_dataset, write_dataset, DatasetReader, DatasetWriter, NanoporeTwinConfig,
+};
 use dnasim_faults::ChaosSuite;
 use dnasim_par::ThreadPool;
 use dnasim_pipeline::{
-    archive_round_trip_on, evaluate_reconstruction, fixed_coverage_protocol, ArchiveConfig,
-    ArchiveMode, Experiments,
+    archive_round_trip_on, archive_round_trip_stream, evaluate_reconstruction,
+    fixed_coverage_protocol, ArchiveConfig, ArchiveMode, Experiments,
 };
 use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
 use dnasim_reconstruct::{
@@ -99,9 +108,10 @@ fn usage_text() -> &'static str {
     "dnasim — DNA-storage noisy-channel simulator\n\n\
      commands:\n\
      \x20 generate    --out FILE [--clusters N] [--len L] [--seed S] [--small]\n\
-     \x20 profile     --data FILE [--top-k K] [--save MODEL]\n\
+     \x20             [--stream] [--batch-size N] [--threads N]\n\
+     \x20 profile     --data FILE [--top-k K] [--save MODEL] [--stream] [--batch-size N]\n\
      \x20 simulate    --data FILE --model MODEL --out FILE [--seed S] [--model-file MODEL]\n\
-     \x20             [--threads N]\n\
+     \x20             [--threads N] [--stream] [--batch-size N]\n\
      \x20             MODEL: naive | dnasimulator | keoliya[:naive|cond|spatial|second]\n\
      \x20 reconstruct --data FILE --algo ALGO [--coverage N] [--min-coverage M]\n\
      \x20             ALGO: bma | divbma | iterative | iterative-twoway | majority\n\
@@ -109,10 +119,12 @@ fn usage_text() -> &'static str {
      \x20 stats       --data FILE\n\
      \x20 experiment  ID [--full]   (table-2.1 table-2.2 table-3.1 table-3.2 fig-3.3 ext-twoway ext-layers fidelity)\n\
      \x20 archive     [--bytes N] [--imperfect] [--seed S] [--reads N] [--strict|--lenient]\n\
-     \x20             [--threads N]\n\
+     \x20             [--threads N] [--batch-size N]\n\
      \x20 chaos       [--smoke] [--seeds N] [--threads N]\n\n\
      \x20 --threads N defaults to $DNASIM_THREADS, then to all cores; output\n\
-     \x20 is byte-identical for every thread count\n\n\
+     \x20 is byte-identical for every thread count\n\
+     \x20 --stream processes at most --batch-size clusters at a time (default\n\
+     \x20 256); streamed output is byte-identical to the in-memory path\n\n\
      exit codes: 0 success, 1 runtime failure, 2 usage error, 3 degraded archive"
 }
 
@@ -127,6 +139,11 @@ fn thread_pool(args: &Args) -> Result<ThreadPool, ArgsError> {
         Some(_) => ThreadPool::new(args.get_or("threads", 1usize)?),
         None => ThreadPool::from_env(),
     })
+}
+
+/// The streaming window size for `--batch-size N` (default 256 clusters).
+fn batch_size(args: &Args) -> Result<usize, ArgsError> {
+    args.get_or("batch-size", 256usize)
 }
 
 fn parse_algorithm(name: &str) -> Result<Box<dyn TraceReconstructor>, ArgsError> {
@@ -168,23 +185,55 @@ fn cmd_generate(args: &Args) -> CliResult {
     config.cluster_count = args.get_or("clusters", config.cluster_count)?;
     config.strand_len = args.get_or("len", config.strand_len)?;
     config.seed = args.get_or("seed", config.seed)?;
-    let dataset = config.generate();
-    write_dataset(&dataset, BufWriter::new(File::create(out)?))?;
+    let (clusters, reads, erasures) = if args.flag("stream") {
+        let pool = thread_pool(args)?;
+        let mut writer = DatasetWriter::new(BufWriter::new(File::create(out)?));
+        let window = config.generate_stream(batch_size(args)?, &pool, &mut writer)?;
+        let counts = (
+            writer.clusters_written(),
+            writer.reads_written(),
+            writer.erasures_written(),
+        );
+        writer.into_inner()?;
+        println!(
+            "streamed {} batches, window high-watermark {} clusters",
+            window.batches, window.high_watermark
+        );
+        counts
+    } else {
+        let dataset = config.generate();
+        write_dataset(&dataset, BufWriter::new(File::create(out)?))?;
+        (
+            dataset.len(),
+            dataset.total_reads(),
+            dataset.erasure_count(),
+        )
+    };
+    let mean = if clusters == 0 {
+        0.0
+    } else {
+        reads as f64 / clusters as f64
+    };
     println!(
-        "wrote {} clusters ({} reads, mean coverage {:.2}, {} erasures) to {out}",
-        dataset.len(),
-        dataset.total_reads(),
-        dataset.mean_coverage(),
-        dataset.erasure_count(),
+        "wrote {clusters} clusters ({reads} reads, mean coverage {mean:.2}, {erasures} erasures) \
+         to {out}",
     );
     Ok(CliOutcome::Ok)
 }
 
 fn cmd_profile(args: &Args) -> CliResult {
-    let dataset = load(args.require("data")?)?;
+    let data = args.require("data")?;
     let top_k = args.get_or("top-k", 10usize)?;
     let mut rng = seeded(args.get_or("seed", 0u64)?);
-    let stats = ErrorStats::from_dataset(&dataset, TieBreak::Random, &mut rng);
+    // `from_source` draws from the rng in the same cluster order as
+    // `from_dataset`, so both paths print identical statistics.
+    let stats = if args.flag("stream") {
+        let mut source = DatasetReader::new(BufReader::new(File::open(data)?));
+        let (stats, _) = ErrorStats::from_source(&mut source, batch_size(args)?, TieBreak::Random, &mut rng)?;
+        stats
+    } else {
+        ErrorStats::from_dataset(&load(data)?, TieBreak::Random, &mut rng)
+    };
     println!(
         "reads: {}   aggregate error rate: {:.4}",
         stats.read_count(),
@@ -227,6 +276,9 @@ fn cmd_profile(args: &Args) -> CliResult {
 }
 
 fn cmd_simulate(args: &Args) -> CliResult {
+    if args.flag("stream") {
+        return cmd_simulate_stream(args);
+    }
     let dataset = load(args.require("data")?)?;
     let out = args.require("out")?;
     let model_spec = args.require("model")?;
@@ -277,6 +329,85 @@ fn cmd_simulate(args: &Args) -> CliResult {
         simulated.total_reads()
     );
     Ok(CliOutcome::Ok)
+}
+
+/// The `--stream` path of `simulate`: learns the model with one bounded
+/// pass over the input file, then resimulates it cluster-batch by
+/// cluster-batch straight into the output file. Byte-identical to the
+/// in-memory path — `ErrorStats::from_source` draws from the rng in the
+/// same cluster order as `from_dataset`, and every cluster's error stream
+/// is forked from the root seed by its global index.
+fn cmd_simulate_stream(args: &Args) -> CliResult {
+    let data = args.require("data")?;
+    let out = args.require("out")?;
+    let model_spec = args.require("model")?;
+    let seed = args.get_or("seed", 1u64)?;
+    let mut rng = seeded(seed);
+    let pool = thread_pool(args)?;
+    let batch = batch_size(args)?;
+    let seq = SeedSequence::new(seed);
+
+    let learn = |rng: &mut SimRng| -> Result<LearnedModel, Box<dyn std::error::Error>> {
+        match args.get("model-file") {
+            Some(path) => Ok(LearnedModel::from_text(&std::fs::read_to_string(path)?)?),
+            None => {
+                let mut source = DatasetReader::new(BufReader::new(File::open(data)?));
+                let (stats, _) =
+                    ErrorStats::from_source(&mut source, batch, TieBreak::Random, rng)?;
+                Ok(LearnedModel::from_stats(&stats, 10))
+            }
+        }
+    };
+
+    let (clusters, reads) = if let Some(layer_name) = model_spec.strip_prefix("keoliya") {
+        let layer = match layer_name.strip_prefix(':') {
+            Some(l) => parse_layer(l)?,
+            None => SimulatorLayer::SecondOrder,
+        };
+        let model = KeoliyaModel::new(learn(&mut rng)?, layer);
+        let simulator = Simulator::new(model, CoverageModel::Fixed(0));
+        resimulate_streamed(&simulator, data, out, &seq, batch, &pool)?
+    } else {
+        match model_spec {
+            "naive" => {
+                let model = KeoliyaModel::new(learn(&mut rng)?, SimulatorLayer::Naive);
+                let simulator = Simulator::new(model, CoverageModel::Fixed(0));
+                resimulate_streamed(&simulator, data, out, &seq, batch, &pool)?
+            }
+            "dnasimulator" => {
+                let simulator = Simulator::new(
+                    DnaSimulatorModel::nanopore_default(),
+                    CoverageModel::Fixed(0),
+                );
+                resimulate_streamed(&simulator, data, out, &seq, batch, &pool)?
+            }
+            other => return Err(format!("unknown model '{other}'").into()),
+        }
+    };
+    println!("simulated {clusters} clusters ({reads} reads) with model '{model_spec}' to {out}");
+    Ok(CliOutcome::Ok)
+}
+
+/// Pipes `data` through `simulator.resimulate_stream` into `out`, printing
+/// the window statistics; returns (clusters, reads) written.
+fn resimulate_streamed<M: ErrorModel + Sync>(
+    simulator: &Simulator<M>,
+    data: &str,
+    out: &str,
+    seq: &SeedSequence,
+    batch: usize,
+    pool: &ThreadPool,
+) -> Result<(usize, usize), Box<dyn std::error::Error>> {
+    let mut source = DatasetReader::new(BufReader::new(File::open(data)?));
+    let mut writer = DatasetWriter::new(BufWriter::new(File::create(out)?));
+    let window = simulator.resimulate_stream(&mut source, seq, batch, pool, &mut writer)?;
+    let counts = (writer.clusters_written(), writer.reads_written());
+    writer.into_inner()?;
+    println!(
+        "streamed {} batches, window high-watermark {} clusters",
+        window.batches, window.high_watermark
+    );
+    Ok(counts)
 }
 
 fn cmd_reconstruct(args: &Args) -> CliResult {
@@ -429,7 +560,23 @@ fn cmd_archive(args: &Args) -> CliResult {
         mode,
         ..defaults
     };
-    let report = archive_round_trip_on(&data, &config, &mut rng, &thread_pool(args)?)?;
+    let report = match args.get("batch-size") {
+        Some(_) => {
+            let (report, window) = archive_round_trip_stream(
+                &data,
+                &config,
+                &mut rng,
+                &thread_pool(args)?,
+                batch_size(args)?,
+            )?;
+            println!(
+                "decoded {} windows, high-watermark {} clusters",
+                window.batches, window.high_watermark
+            );
+            report
+        }
+        None => archive_round_trip_on(&data, &config, &mut rng, &thread_pool(args)?)?,
+    };
     let ok = report.data[..data.len()] == data[..];
     println!(
         "archived {bytes} bytes as {} strands, sequenced {} reads, parity recoveries: {}, \

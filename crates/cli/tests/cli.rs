@@ -269,3 +269,93 @@ fn profile_save_and_simulate_from_model_file() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(sim.exists());
 }
+
+#[test]
+fn streamed_generate_is_byte_identical_to_in_memory() {
+    let whole = tmp("gen-whole.txt");
+    let streamed = tmp("gen-streamed.txt");
+    for (path, extra) in [(&whole, &[][..]), (&streamed, &["--stream", "--batch-size", "7"][..])] {
+        let out = dnasim()
+            .args(["generate", "--out", path.to_str().unwrap(), "--small", "--clusters", "40"])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(String::from_utf8_lossy(&out.stdout).contains("wrote 40 clusters"));
+    }
+    assert_eq!(
+        std::fs::read(&whole).unwrap(),
+        std::fs::read(&streamed).unwrap(),
+        "streamed generate must produce the same file"
+    );
+}
+
+#[test]
+fn streamed_simulate_is_byte_identical_to_in_memory() {
+    let twin = tmp("stream-twin.txt");
+    dnasim()
+        .args(["generate", "--out", twin.to_str().unwrap(), "--small", "--clusters", "30"])
+        .output()
+        .unwrap();
+    let whole = tmp("sim-whole.txt");
+    let streamed = tmp("sim-streamed.txt");
+    for (path, extra) in [
+        (&whole, &[][..]),
+        (&streamed, &["--stream", "--batch-size", "5", "--threads", "2"][..]),
+    ] {
+        let out = dnasim()
+            .args([
+                "simulate",
+                "--data",
+                twin.to_str().unwrap(),
+                "--model",
+                "keoliya:spatial",
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    assert_eq!(
+        std::fs::read(&whole).unwrap(),
+        std::fs::read(&streamed).unwrap(),
+        "streamed simulate must produce the same file"
+    );
+}
+
+#[test]
+fn streamed_profile_prints_identical_statistics() {
+    let twin = tmp("profile-twin.txt");
+    dnasim()
+        .args(["generate", "--out", twin.to_str().unwrap(), "--small", "--clusters", "25"])
+        .output()
+        .unwrap();
+    let whole = dnasim()
+        .args(["profile", "--data", twin.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let streamed = dnasim()
+        .args(["profile", "--data", twin.to_str().unwrap(), "--stream", "--batch-size", "4"])
+        .output()
+        .unwrap();
+    assert!(whole.status.success() && streamed.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&whole.stdout),
+        String::from_utf8_lossy(&streamed.stdout),
+        "streamed profile must report the same statistics"
+    );
+}
+
+#[test]
+fn archive_with_bounded_decode_window_round_trips() {
+    let out = dnasim()
+        .args(["archive", "--bytes", "256", "--batch-size", "16"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("round-trip OK"));
+    assert!(stdout.contains("decoded"), "window stats must be reported");
+}

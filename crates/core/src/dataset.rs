@@ -45,9 +45,29 @@ impl Dataset {
         &self.clusters
     }
 
-    /// Mutable access to the clusters.
-    pub fn clusters_mut(&mut self) -> &mut [Cluster] {
-        &mut self.clusters
+    /// Checked mutable access: applies `f` to every cluster in order,
+    /// passing its global index.
+    ///
+    /// This is the only mutable path into the cluster list besides
+    /// [`Dataset::push`]/[`Extend`]. It hands out `&mut Cluster` one at a
+    /// time, so callers can rewrite reads or references but can never
+    /// insert, remove, or reorder clusters — the invariant streaming
+    /// sinks rely on (cluster `i` here is cluster `i` of the stream).
+    /// Summary statistics are derived on demand, so read-count mutation
+    /// needs no bookkeeping.
+    pub fn for_each_cluster_mut<F>(&mut self, mut f: F)
+    where
+        F: FnMut(usize, &mut Cluster),
+    {
+        for (index, cluster) in self.clusters.iter_mut().enumerate() {
+            f(index, cluster);
+        }
+    }
+
+    /// A [`ClusterSource`](crate::stream::ClusterSource) over this
+    /// dataset, emitting clusters in order in bounded batches.
+    pub fn stream(&self) -> crate::stream::DatasetStream<'_> {
+        crate::stream::DatasetStream::new(self)
     }
 
     /// Number of clusters (= number of reference strands).

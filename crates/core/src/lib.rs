@@ -14,6 +14,8 @@
 //! * [`PackedStrand`] — 2-bit packed strands with per-base equality masks
 //!   for the bit-parallel edit-distance kernels;
 //! * [`Cluster`] / [`Dataset`] — reads grouped per reference strand;
+//! * [`Batch`] / [`ClusterSource`] / [`ClusterSink`] — bounded-memory
+//!   streaming flow over the same clusters (see [`stream`]);
 //! * [`EditOp`] / [`EditScript`] — the IDS error vocabulary;
 //! * [`DnasimError`] — the workspace-wide failure taxonomy;
 //! * [`rng`] — deterministic seeding utilities;
@@ -42,6 +44,7 @@ mod edit;
 mod error;
 mod packed;
 pub mod rng;
+pub mod stream;
 pub mod tech;
 
 mod strand;
@@ -53,3 +56,4 @@ pub use edit::{ApplyScriptError, EditOp, EditScript, ErrorKind, Mismatch};
 pub use error::DnasimError;
 pub use packed::PackedStrand;
 pub use strand::{ParseStrandError, Strand};
+pub use stream::{pump, Batch, ClusterSink, ClusterSource, DatasetStream, NullSink, WindowStats};

@@ -1,0 +1,410 @@
+//! Streaming cluster flow: bounded windows of clusters with stable
+//! global indices.
+//!
+//! Every pipeline stage in the workspace seeds its per-cluster RNG from
+//! the cluster's *global* index (`SeedSequence::fork(global_index)`), so a
+//! stage that processes clusters in bounded batches produces byte-identical
+//! output to one that materialises the whole [`Dataset`] — regardless of
+//! batch size or thread count. This module provides the vocabulary for
+//! that contract:
+//!
+//! * [`Batch`] — a window of clusters that remembers where in the global
+//!   cluster order it starts;
+//! * [`ClusterSource`] / [`ClusterSink`] — pull/push endpoints a stage
+//!   streams between;
+//! * [`pump`] — the generic bounded-window driver, which also audits the
+//!   window high-watermark so tests can assert a stage never held more
+//!   than `batch_size` clusters in flight;
+//! * [`Dataset`] adapters, making the in-memory type one trivial
+//!   source/sink so existing callers keep working unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnasim_core::{Batch, Cluster, ClusterSink, ClusterSource, Dataset, pump};
+//!
+//! let mut ds = Dataset::new();
+//! for _ in 0..10 {
+//!     ds.push(Cluster::erasure("ACGT".parse()?));
+//! }
+//! let mut out = Dataset::new();
+//! let stats = pump(&mut ds.stream(), &mut out, 3, Ok)?;
+//! assert_eq!(out, ds);
+//! assert_eq!(stats.clusters, 10);
+//! assert!(stats.high_watermark <= 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::ops::Range;
+
+use crate::cluster::Cluster;
+use crate::dataset::Dataset;
+use crate::error::DnasimError;
+
+/// A bounded window of consecutive clusters with stable global indices.
+///
+/// `Batch` is the unit streaming stages exchange: cluster `i` of the batch
+/// is cluster `start() + i` of the global stream, and stages that need a
+/// per-cluster seed fork it from that global index, never from the
+/// within-batch position. That is what makes output independent of batch
+/// size (see DESIGN.md §11).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    start: usize,
+    clusters: Vec<Cluster>,
+}
+
+impl Batch {
+    /// Creates a batch whose first cluster has global index `start`.
+    pub fn new(start: usize, clusters: Vec<Cluster>) -> Batch {
+        Batch { start, clusters }
+    }
+
+    /// Global index of the first cluster in the batch.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of clusters in the batch.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the batch holds no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The clusters in the batch, in global order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// The half-open range of global indices the batch covers.
+    pub fn global_indices(&self) -> Range<usize> {
+        self.start..self.start + self.clusters.len()
+    }
+
+    /// Iterates `(global_index, cluster)` pairs.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, &Cluster)> {
+        let start = self.start;
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(move |(i, c)| (start + i, c))
+    }
+
+    /// Consumes the batch, returning its start index and clusters.
+    pub fn into_parts(self) -> (usize, Vec<Cluster>) {
+        (self.start, self.clusters)
+    }
+}
+
+/// A pull endpoint producing clusters in global order, one bounded batch
+/// at a time.
+pub trait ClusterSource {
+    /// Produces the next batch of at most `max` clusters, or `Ok(None)`
+    /// once the stream is exhausted.
+    ///
+    /// Implementations must emit clusters in global order with contiguous
+    /// indices: the first batch starts at 0 and each subsequent batch
+    /// starts where the previous one ended.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific — e.g. I/O or parse failures for sources
+    /// backed by a reader. `max == 0` is a caller bug and yields
+    /// [`DnasimError::Config`].
+    fn next_batch(&mut self, max: usize) -> Result<Option<Batch>, DnasimError>;
+}
+
+/// A push endpoint consuming clusters in global order.
+pub trait ClusterSink {
+    /// Accepts the next batch. Batches arrive in global order with
+    /// contiguous indices; sinks may reject gaps or overlaps with
+    /// [`DnasimError::Config`].
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific — e.g. I/O failures for writer-backed
+    /// sinks, or a contiguity violation.
+    fn accept(&mut self, batch: Batch) -> Result<(), DnasimError>;
+
+    /// Signals that no further batches will arrive, flushing any
+    /// buffered state.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; the default does nothing.
+    fn finish(&mut self) -> Result<(), DnasimError> {
+        Ok(())
+    }
+}
+
+/// Counters from a bounded-window streaming run.
+///
+/// `high_watermark` is the audit the acceptance criteria lean on: the
+/// maximum number of clusters any single window held, which must never
+/// exceed the requested batch size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Number of batches pumped.
+    pub batches: usize,
+    /// Total clusters pumped.
+    pub clusters: usize,
+    /// Maximum clusters held in flight by any one window.
+    pub high_watermark: usize,
+}
+
+impl WindowStats {
+    /// Folds another window's counters into this one (for multi-stage
+    /// pipelines reporting a single summary).
+    pub fn absorb(&mut self, other: WindowStats) {
+        self.batches += other.batches;
+        self.clusters += other.clusters;
+        self.high_watermark = self.high_watermark.max(other.high_watermark);
+    }
+}
+
+/// Validates a streaming batch size, translating `0` into a typed error.
+pub(crate) fn checked_batch_size(batch_size: usize) -> Result<usize, DnasimError> {
+    if batch_size == 0 {
+        Err(DnasimError::config(
+            "batch_size",
+            "streaming batch size must be at least 1",
+        ))
+    } else {
+        Ok(batch_size)
+    }
+}
+
+/// Drives `source` → `transform` → `sink` with a bounded window of at most
+/// `batch_size` clusters, returning the window counters.
+///
+/// `transform` must map batches 1:1 — same start index, same cluster
+/// count — so global indices stay stable through the stage; a transform
+/// that re-shapes the stream is a config error, not silent corruption.
+/// The sink's [`ClusterSink::finish`] hook runs after the source is
+/// exhausted.
+///
+/// # Errors
+///
+/// [`DnasimError::Config`] for `batch_size == 0`, a non-contiguous
+/// source, or a transform that changes batch shape; otherwise whatever
+/// the source, transform, or sink reports.
+pub fn pump<S, K, F>(
+    source: &mut S,
+    sink: &mut K,
+    batch_size: usize,
+    mut transform: F,
+) -> Result<WindowStats, DnasimError>
+where
+    S: ClusterSource + ?Sized,
+    K: ClusterSink + ?Sized,
+    F: FnMut(Batch) -> Result<Batch, DnasimError>,
+{
+    let batch_size = checked_batch_size(batch_size)?;
+    let mut stats = WindowStats::default();
+    let mut expected_start = 0usize;
+    while let Some(batch) = source.next_batch(batch_size)? {
+        if batch.is_empty() {
+            continue;
+        }
+        if batch.start() != expected_start {
+            return Err(DnasimError::config(
+                "stream",
+                format!(
+                    "source emitted batch starting at {} but {} clusters were seen",
+                    batch.start(),
+                    expected_start
+                ),
+            ));
+        }
+        let (start, len) = (batch.start(), batch.len());
+        stats.batches += 1;
+        stats.clusters += len;
+        stats.high_watermark = stats.high_watermark.max(len);
+        let out = transform(batch)?;
+        if out.start() != start || out.len() != len {
+            return Err(DnasimError::config(
+                "stream",
+                "streaming transform must map batches 1:1 (same start and length)",
+            ));
+        }
+        sink.accept(out)?;
+        expected_start = start + len;
+    }
+    sink.finish()?;
+    Ok(stats)
+}
+
+/// A [`ClusterSource`] over an in-memory [`Dataset`], cloning each window
+/// of clusters out of the dataset. See [`Dataset::stream`].
+#[derive(Debug)]
+pub struct DatasetStream<'a> {
+    dataset: &'a Dataset,
+    cursor: usize,
+}
+
+impl<'a> DatasetStream<'a> {
+    pub(crate) fn new(dataset: &'a Dataset) -> DatasetStream<'a> {
+        DatasetStream { dataset, cursor: 0 }
+    }
+}
+
+impl ClusterSource for DatasetStream<'_> {
+    fn next_batch(&mut self, max: usize) -> Result<Option<Batch>, DnasimError> {
+        let max = checked_batch_size(max)?;
+        let clusters = self.dataset.clusters();
+        if self.cursor >= clusters.len() {
+            return Ok(None);
+        }
+        let end = self.cursor.saturating_add(max).min(clusters.len());
+        let batch = Batch::new(self.cursor, clusters[self.cursor..end].to_vec());
+        self.cursor = end;
+        Ok(Some(batch))
+    }
+}
+
+impl ClusterSink for Dataset {
+    /// Appends the batch's clusters, requiring contiguity: the batch must
+    /// start exactly where the dataset currently ends, so a mis-wired
+    /// pipeline cannot silently drop or duplicate clusters.
+    fn accept(&mut self, batch: Batch) -> Result<(), DnasimError> {
+        if batch.start() != self.len() {
+            return Err(DnasimError::config(
+                "stream",
+                format!(
+                    "batch starts at global index {} but sink dataset holds {} clusters",
+                    batch.start(),
+                    self.len()
+                ),
+            ));
+        }
+        let (_, clusters) = batch.into_parts();
+        self.extend(clusters);
+        Ok(())
+    }
+}
+
+/// A sink that counts clusters and discards them — for stages that only
+/// need the stream driven (e.g. profiling via a tap) or for measuring.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink {
+    clusters: usize,
+}
+
+impl NullSink {
+    /// Creates a sink that drops every batch.
+    pub fn new() -> NullSink {
+        NullSink::default()
+    }
+
+    /// Total clusters accepted so far.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+}
+
+impl ClusterSink for NullSink {
+    fn accept(&mut self, batch: Batch) -> Result<(), DnasimError> {
+        self.clusters += batch.len();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Dataset {
+        (0..n)
+            .map(|i| {
+                let reference: crate::strand::Strand = "ACGT".parse().unwrap();
+                if i % 3 == 0 {
+                    Cluster::erasure(reference)
+                } else {
+                    Cluster::new(reference.clone(), vec![reference])
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pump_copies_dataset_at_any_batch_size() {
+        let ds = sample(10);
+        for batch_size in [1, 3, 7, 10, 64, usize::MAX] {
+            let mut out = Dataset::new();
+            let stats = pump(&mut ds.stream(), &mut out, batch_size, Ok).unwrap();
+            assert_eq!(out, ds, "batch_size={batch_size}");
+            assert_eq!(stats.clusters, 10);
+            assert!(stats.high_watermark <= batch_size);
+        }
+    }
+
+    #[test]
+    fn batch_global_indices_are_stable() {
+        let ds = sample(7);
+        let mut source = ds.stream();
+        let first = source.next_batch(3).unwrap().unwrap();
+        let second = source.next_batch(3).unwrap().unwrap();
+        assert_eq!(first.global_indices(), 0..3);
+        assert_eq!(second.global_indices(), 3..6);
+        let indexed: Vec<usize> = second.iter_indexed().map(|(i, _)| i).collect();
+        assert_eq!(indexed, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_batch_size_is_config_error() {
+        let ds = sample(2);
+        let mut out = Dataset::new();
+        let err = pump(&mut ds.stream(), &mut out, 0, Ok).unwrap_err();
+        assert!(matches!(err, DnasimError::Config { .. }));
+    }
+
+    #[test]
+    fn dataset_sink_rejects_gap() {
+        let mut out = Dataset::new();
+        let batch = Batch::new(5, vec![Cluster::erasure("AC".parse().unwrap())]);
+        let err = out.accept(batch).unwrap_err();
+        assert!(matches!(err, DnasimError::Config { .. }));
+    }
+
+    #[test]
+    fn pump_rejects_shape_changing_transform() {
+        let ds = sample(4);
+        let mut out = Dataset::new();
+        let err = pump(&mut ds.stream(), &mut out, 2, |b| {
+            Ok(Batch::new(b.start(), Vec::new()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, DnasimError::Config { .. }));
+    }
+
+    #[test]
+    fn null_sink_counts() {
+        let ds = sample(9);
+        let mut sink = NullSink::new();
+        let stats = pump(&mut ds.stream(), &mut sink, 4, Ok).unwrap();
+        assert_eq!(sink.clusters(), 9);
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.high_watermark, 4);
+    }
+
+    #[test]
+    fn window_stats_absorb_takes_max_watermark() {
+        let mut a = WindowStats {
+            batches: 1,
+            clusters: 4,
+            high_watermark: 4,
+        };
+        a.absorb(WindowStats {
+            batches: 2,
+            clusters: 10,
+            high_watermark: 7,
+        });
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.clusters, 14);
+        assert_eq!(a.high_watermark, 7);
+    }
+}

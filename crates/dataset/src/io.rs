@@ -28,7 +28,9 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use dnasim_core::{Cluster, Dataset, DnasimError, ParseStrandError, Strand};
+use dnasim_core::{
+    Batch, Cluster, ClusterSink, ClusterSource, Dataset, DnasimError, ParseStrandError, Strand,
+};
 
 /// Sentinel line for a zero-length read (all bases deleted).
 const EMPTY_READ_TOKEN: &str = "-";
@@ -98,7 +100,280 @@ impl From<ReadDatasetError> for DnasimError {
     }
 }
 
+/// An incremental cluster-file parser: yields one [`Cluster`] at a time
+/// over any [`BufRead`], holding at most one cluster in memory.
+///
+/// This is the streaming face of [`read_dataset`] (which is now a thin
+/// wrapper over it) and implements
+/// [`ClusterSource`](dnasim_core::ClusterSource) so a file on disk plugs
+/// directly into the bounded-window pipeline. All byte-level tolerance
+/// (CRLF, surrounding whitespace, repeated/trailing blank lines, the `-`
+/// empty-read sentinel) is identical to the whole-file parser, because it
+/// *is* the whole-file parser, re-cut at cluster granularity.
+///
+/// After the first error the reader is fused: subsequent calls yield
+/// end-of-stream rather than resuming a corrupt parse.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_dataset::DatasetReader;
+///
+/// let text = ">ACGT\nACG\n\n>TTTT\n";
+/// let mut reader = DatasetReader::new(text.as_bytes());
+/// let first = reader.next_cluster()?.ok_or("missing cluster")?;
+/// assert_eq!(first.coverage(), 1);
+/// let second = reader.next_cluster()?.ok_or("missing cluster")?;
+/// assert!(second.is_erasure());
+/// assert!(reader.next_cluster()?.is_none());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DatasetReader<R> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    pending: Option<Cluster>,
+    emitted: usize,
+    done: bool,
+}
+
+impl<R: BufRead> DatasetReader<R> {
+    /// Creates a streaming reader over cluster-file text.
+    pub fn new(reader: R) -> DatasetReader<R> {
+        DatasetReader {
+            lines: reader.lines().enumerate(),
+            pending: None,
+            emitted: 0,
+            done: false,
+        }
+    }
+
+    /// Number of clusters emitted so far (the global index of the next
+    /// cluster this reader will yield).
+    pub fn clusters_read(&self) -> usize {
+        self.emitted
+    }
+
+    /// Parses the next cluster, or `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReadDatasetError`] variant for malformed input; the reader
+    /// is fused afterwards.
+    pub fn next_cluster(&mut self) -> Result<Option<Cluster>, ReadDatasetError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.advance() {
+            Ok(Some(cluster)) => {
+                self.emitted += 1;
+                Ok(Some(cluster))
+            }
+            Ok(None) => {
+                self.done = true;
+                Ok(None)
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Cluster>, ReadDatasetError> {
+        for (idx, line) in self.lines.by_ref() {
+            let line_no = idx + 1;
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                if let Some(cluster) = self.pending.take() {
+                    return Ok(Some(cluster));
+                }
+                continue;
+            }
+            if let Some(reference_text) = trimmed.strip_prefix('>') {
+                let reference: Strand = reference_text
+                    .trim()
+                    .parse()
+                    .map_err(|source| ReadDatasetError::Parse {
+                        line: line_no,
+                        source,
+                    })?;
+                let flushed = self.pending.replace(Cluster::erasure(reference));
+                if let Some(cluster) = flushed {
+                    return Ok(Some(cluster));
+                }
+            } else {
+                let read: Strand = if trimmed == EMPTY_READ_TOKEN {
+                    Strand::new()
+                } else {
+                    trimmed.parse().map_err(|source| ReadDatasetError::Parse {
+                        line: line_no,
+                        source,
+                    })?
+                };
+                match self.pending.as_mut() {
+                    Some(cluster) => cluster.push_read(read),
+                    None => return Err(ReadDatasetError::ReadBeforeReference { line: line_no }),
+                }
+            }
+        }
+        Ok(self.pending.take())
+    }
+}
+
+impl<R: BufRead> Iterator for DatasetReader<R> {
+    type Item = Result<Cluster, ReadDatasetError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_cluster().transpose()
+    }
+}
+
+impl<R: BufRead> ClusterSource for DatasetReader<R> {
+    fn next_batch(&mut self, max: usize) -> Result<Option<Batch>, DnasimError> {
+        if max == 0 {
+            return Err(DnasimError::config(
+                "batch_size",
+                "streaming batch size must be at least 1",
+            ));
+        }
+        let start = self.emitted;
+        let mut clusters = Vec::new();
+        while clusters.len() < max {
+            match self.next_cluster()? {
+                Some(cluster) => clusters.push(cluster),
+                None => break,
+            }
+        }
+        if clusters.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Batch::new(start, clusters)))
+        }
+    }
+}
+
+/// An incremental cluster-file emitter: writes one [`Cluster`] at a time,
+/// buffering nothing beyond the underlying writer.
+///
+/// The streaming face of [`write_dataset`] (now a thin wrapper), and a
+/// [`ClusterSink`](dnasim_core::ClusterSink) so the bounded-window
+/// pipeline can emit straight to disk. Output is byte-identical to the
+/// whole-dataset writer: a blank line *before* every cluster except the
+/// first, so interleaving or re-batching never changes the file.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_core::Cluster;
+/// use dnasim_dataset::{read_dataset, DatasetWriter};
+///
+/// let mut buf = Vec::new();
+/// let mut writer = DatasetWriter::new(&mut buf);
+/// writer.write_cluster(&Cluster::erasure("ACGT".parse()?))?;
+/// writer.write_cluster(&Cluster::erasure("TTTT".parse()?))?;
+/// assert_eq!(writer.clusters_written(), 2);
+/// assert_eq!(read_dataset(buf.as_slice())?.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DatasetWriter<W: Write> {
+    writer: W,
+    clusters: usize,
+    reads: usize,
+    erasures: usize,
+}
+
+impl<W: Write> DatasetWriter<W> {
+    /// Creates a streaming writer over `writer`.
+    pub fn new(writer: W) -> DatasetWriter<W> {
+        DatasetWriter {
+            writer,
+            clusters: 0,
+            reads: 0,
+            erasures: 0,
+        }
+    }
+
+    /// Number of clusters written so far.
+    pub fn clusters_written(&self) -> usize {
+        self.clusters
+    }
+
+    /// Number of reads written so far.
+    pub fn reads_written(&self) -> usize {
+        self.reads
+    }
+
+    /// Number of erasure clusters written so far.
+    pub fn erasures_written(&self) -> usize {
+        self.erasures
+    }
+
+    /// Appends one cluster in cluster-file text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the writer.
+    pub fn write_cluster(&mut self, cluster: &Cluster) -> io::Result<()> {
+        if self.clusters > 0 {
+            writeln!(self.writer)?;
+        }
+        writeln!(self.writer, ">{}", cluster.reference())?;
+        for read in cluster.reads() {
+            if read.is_empty() {
+                writeln!(self.writer, "{EMPTY_READ_TOKEN}")?;
+            } else {
+                writeln!(self.writer, "{read}")?;
+            }
+        }
+        self.clusters += 1;
+        self.reads += cluster.coverage();
+        if cluster.is_erasure() {
+            self.erasures += 1;
+        }
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the flush.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> ClusterSink for DatasetWriter<W> {
+    /// Writes the batch, requiring contiguity: the batch must start at the
+    /// number of clusters already written.
+    fn accept(&mut self, batch: Batch) -> Result<(), DnasimError> {
+        if batch.start() != self.clusters {
+            return Err(DnasimError::config(
+                "stream",
+                format!(
+                    "batch starts at global index {} but writer has emitted {} clusters",
+                    batch.start(),
+                    self.clusters
+                ),
+            ));
+        }
+        for cluster in batch.clusters() {
+            self.write_cluster(cluster).map_err(DnasimError::Io)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), DnasimError> {
+        self.writer.flush().map_err(DnasimError::Io)
+    }
+}
+
 /// Reads a dataset from cluster-file text.
+///
+/// A thin wrapper over [`DatasetReader`] that materialises the whole file.
 ///
 /// # Errors
 ///
@@ -118,45 +393,8 @@ impl From<ReadDatasetError> for DnasimError {
 /// ```
 pub fn read_dataset<R: BufRead>(reader: R) -> Result<Dataset, ReadDatasetError> {
     let mut dataset = Dataset::new();
-    let mut current: Option<Cluster> = None;
-    for (idx, line) in reader.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            if let Some(cluster) = current.take() {
-                dataset.push(cluster);
-            }
-            continue;
-        }
-        if let Some(reference_text) = trimmed.strip_prefix('>') {
-            if let Some(cluster) = current.take() {
-                dataset.push(cluster);
-            }
-            let reference: Strand = reference_text
-                .trim()
-                .parse()
-                .map_err(|source| ReadDatasetError::Parse {
-                    line: line_no,
-                    source,
-                })?;
-            current = Some(Cluster::erasure(reference));
-        } else {
-            let read: Strand = if trimmed == EMPTY_READ_TOKEN {
-                Strand::new()
-            } else {
-                trimmed.parse().map_err(|source| ReadDatasetError::Parse {
-                    line: line_no,
-                    source,
-                })?
-            };
-            match current.as_mut() {
-                Some(cluster) => cluster.push_read(read),
-                None => return Err(ReadDatasetError::ReadBeforeReference { line: line_no }),
-            }
-        }
-    }
-    if let Some(cluster) = current.take() {
+    let mut source = DatasetReader::new(reader);
+    while let Some(cluster) = source.next_cluster()? {
         dataset.push(cluster);
     }
     Ok(dataset)
@@ -164,24 +402,17 @@ pub fn read_dataset<R: BufRead>(reader: R) -> Result<Dataset, ReadDatasetError> 
 
 /// Writes a dataset in cluster-file text format.
 ///
+/// A thin wrapper over [`DatasetWriter`].
+///
 /// # Errors
 ///
 /// Propagates I/O failures from the writer.
-pub fn write_dataset<W: Write>(dataset: &Dataset, mut writer: W) -> io::Result<()> {
-    for (i, cluster) in dataset.iter().enumerate() {
-        if i > 0 {
-            writeln!(writer)?;
-        }
-        writeln!(writer, ">{}", cluster.reference())?;
-        for read in cluster.reads() {
-            if read.is_empty() {
-                writeln!(writer, "{EMPTY_READ_TOKEN}")?;
-            } else {
-                writeln!(writer, "{read}")?;
-            }
-        }
+pub fn write_dataset<W: Write>(dataset: &Dataset, writer: W) -> io::Result<()> {
+    let mut sink = DatasetWriter::new(writer);
+    for cluster in dataset.iter() {
+        sink.write_cluster(cluster)?;
     }
-    Ok(())
+    sink.into_inner().map(drop)
 }
 
 #[cfg(test)]
@@ -262,5 +493,68 @@ mod tests {
         write_dataset(&ds, &mut buf).unwrap();
         let back = read_dataset(buf.as_slice()).unwrap();
         assert_eq!(back.erasure_count(), 1);
+    }
+
+    #[test]
+    fn streaming_reader_matches_whole_file_parse() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let streamed: Dataset = DatasetReader::new(buf.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, ds);
+    }
+
+    #[test]
+    fn streaming_writer_output_is_byte_identical_at_any_batching() {
+        let ds = sample();
+        let mut whole = Vec::new();
+        write_dataset(&ds, &mut whole).unwrap();
+        for batch_size in [1, 2, 4, usize::MAX] {
+            let mut buf = Vec::new();
+            let mut sink = DatasetWriter::new(&mut buf);
+            dnasim_core::pump(&mut ds.stream(), &mut sink, batch_size, Ok).unwrap();
+            assert_eq!(buf, whole, "batch_size={batch_size}");
+        }
+    }
+
+    #[test]
+    fn reader_source_batches_have_stable_indices() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let mut source = DatasetReader::new(buf.as_slice());
+        let first = source.next_batch(4).unwrap().unwrap();
+        assert_eq!(first.global_indices(), 0..4);
+        let second = source.next_batch(4).unwrap().unwrap();
+        assert_eq!(second.global_indices(), 4..6);
+        assert!(source.next_batch(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn reader_is_fused_after_error() {
+        let mut reader = DatasetReader::new(">AC\nAX\n\n>GT\nGT\n".as_bytes());
+        assert!(reader.next_cluster().is_err());
+        assert!(reader.next_cluster().unwrap().is_none());
+    }
+
+    #[test]
+    fn writer_sink_rejects_gap() {
+        let mut sink = DatasetWriter::new(Vec::new());
+        let batch = Batch::new(3, vec![Cluster::erasure("AC".parse().unwrap())]);
+        assert!(sink.accept(batch).is_err());
+    }
+
+    #[test]
+    fn writer_counts_reads_and_erasures() {
+        let ds = sample();
+        let mut sink = DatasetWriter::new(Vec::new());
+        for cluster in ds.iter() {
+            sink.write_cluster(cluster).unwrap();
+        }
+        assert_eq!(sink.clusters_written(), ds.len());
+        assert_eq!(sink.reads_written(), ds.total_reads());
+        assert_eq!(sink.erasures_written(), ds.erasure_count());
     }
 }

@@ -29,5 +29,5 @@ mod io;
 mod twin;
 
 pub use generators::{generate_references, ReferenceStyle};
-pub use io::{read_dataset, write_dataset, ReadDatasetError};
+pub use io::{read_dataset, write_dataset, DatasetReader, DatasetWriter, ReadDatasetError};
 pub use twin::{GroundTruthChannel, NanoporeTwinConfig, TwinProfile};

@@ -13,7 +13,7 @@
 
 use dnasim_channel::{CoverageModel, ErrorModel};
 use dnasim_core::rng::{SeedSequence, SimRng};
-use dnasim_core::{Base, Cluster, Dataset, DnasimError, Strand};
+use dnasim_core::{Base, Batch, Cluster, ClusterSink, Dataset, DnasimError, Strand, WindowStats};
 use dnasim_core::rng::RngExt;
 use dnasim_par::ThreadPool;
 
@@ -173,6 +173,58 @@ impl NanoporeTwinConfig {
             self.generate_cluster(index, &channel, &coverage, &mut rng)
         })?;
         Ok(Dataset::from_clusters(clusters))
+    }
+
+    /// Streaming counterpart of [`NanoporeTwinConfig::generate_on`]:
+    /// generates the twin in bounded batches of at most `batch_size`
+    /// clusters, pushing each finished batch into `sink` — at no point
+    /// does more than one batch exist in memory.
+    ///
+    /// Cluster `i` is always generated on [`SeedSequence::fork`]`(i)` of
+    /// its global index, so the emitted clusters are byte-identical to
+    /// [`NanoporeTwinConfig::generate`] for every batch size and thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::Config`] for `batch_size == 0`,
+    /// [`DnasimError::Degraded`] if a worker panicked, or whatever the
+    /// sink reports.
+    pub fn generate_stream<K>(
+        &self,
+        batch_size: usize,
+        pool: &ThreadPool,
+        sink: &mut K,
+    ) -> Result<WindowStats, DnasimError>
+    where
+        K: ClusterSink + ?Sized,
+    {
+        if batch_size == 0 {
+            return Err(DnasimError::config(
+                "batch_size",
+                "streaming batch size must be at least 1",
+            ));
+        }
+        let seq = SeedSequence::new(self.seed);
+        let channel = self.channel();
+        let coverage = self.coverage_model();
+        let mut stats = WindowStats::default();
+        let mut start = 0usize;
+        while start < self.cluster_count {
+            let len = batch_size.min(self.cluster_count - start);
+            let clusters = pool.par_map_len(len, |i| {
+                let index = start + i;
+                let mut rng = seq.fork_rng(index as u64);
+                self.generate_cluster(index, &channel, &coverage, &mut rng)
+            })?;
+            stats.batches += 1;
+            stats.clusters += len;
+            stats.high_watermark = stats.high_watermark.max(len);
+            sink.accept(Batch::new(start, clusters))?;
+            start += len;
+        }
+        sink.finish()?;
+        Ok(stats)
     }
 
     fn channel(&self) -> GroundTruthChannel {
@@ -482,6 +534,33 @@ mod tests {
             let par = config.generate_on(&ThreadPool::new(threads)).unwrap();
             assert_eq!(par, serial);
         }
+    }
+
+    #[test]
+    fn generate_stream_matches_generate_at_any_batch_size() {
+        let mut config = NanoporeTwinConfig::small();
+        config.cluster_count = 30;
+        let whole = config.generate();
+        for batch_size in [1, 7, 30, usize::MAX] {
+            for threads in [1, 4] {
+                let mut streamed = Dataset::new();
+                let stats = config
+                    .generate_stream(batch_size, &ThreadPool::new(threads), &mut streamed)
+                    .unwrap();
+                assert_eq!(streamed, whole, "batch_size={batch_size} threads={threads}");
+                assert_eq!(stats.clusters, 30);
+                assert!(stats.high_watermark <= batch_size);
+            }
+        }
+    }
+
+    #[test]
+    fn generate_stream_rejects_zero_batch() {
+        let config = NanoporeTwinConfig::small();
+        let mut out = Dataset::new();
+        assert!(config
+            .generate_stream(0, &ThreadPool::serial(), &mut out)
+            .is_err());
     }
 
     #[test]

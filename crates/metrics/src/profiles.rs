@@ -108,18 +108,24 @@ impl PositionalProfile {
             .collect()
     }
 
-    /// Merges another profile of the same kind and length into this one.
+    /// Merges another profile of the same kind into this one.
+    ///
+    /// Profiles of different lengths merge by growing to the longer
+    /// length (counts stay in their original buckets) — the streaming
+    /// pipeline accumulates per-batch profiles and a batch of erasure
+    /// clusters legitimately reports length 0. Merging arbitrary
+    /// partitions of a recording sequence at a fixed length equals the
+    /// single-pass profile (see `crates/profile/tests/merge_properties`).
     ///
     /// # Panics
     ///
-    /// Panics if the kinds or lengths differ.
+    /// Panics if the kinds differ — Hamming and gestalt-aligned counts
+    /// measure different things and must never be pooled.
     pub fn merge(&mut self, other: &PositionalProfile) {
         assert_eq!(self.kind, other.kind, "cannot merge profiles of different kinds");
-        assert_eq!(
-            self.counts.len(),
-            other.counts.len(),
-            "cannot merge profiles of different lengths"
-        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -232,6 +238,16 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counts(), &[1, 1]);
         assert_eq!(a.comparisons(), 2);
+    }
+
+    #[test]
+    fn merge_grows_to_longer_profile() {
+        let mut a = PositionalProfile::new(ProfileKind::Hamming, 0);
+        let mut b = PositionalProfile::new(ProfileKind::Hamming, 2);
+        b.record(&s("AC"), &s("TC"));
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 0]);
+        assert_eq!(a.comparisons(), 1);
     }
 
     #[test]

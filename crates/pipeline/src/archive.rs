@@ -12,7 +12,7 @@ use dnasim_channel::NaiveModel;
 use dnasim_cluster::GreedyClusterer;
 use dnasim_codec::{LayoutError, OuterRsCode, RecoveryOutcome, RsError, StrandLayout, XorParity};
 use dnasim_core::rng::SimRng;
-use dnasim_core::{Cluster, Dataset, DnasimError};
+use dnasim_core::{Cluster, Dataset, DnasimError, WindowStats};
 use dnasim_dataset::GroundTruthChannel;
 use dnasim_par::{PoolError, ThreadPool};
 use dnasim_reconstruct::{
@@ -221,6 +221,49 @@ pub fn archive_round_trip_on(
     rng: &mut SimRng,
     workers: &ThreadPool,
 ) -> Result<ArchiveReport, ArchiveError> {
+    archive_round_trip_windowed(data, config, rng, workers, usize::MAX)
+        .map(|(report, _)| report)
+}
+
+/// [`archive_round_trip_on`] with the reconstruct-and-decode stage run
+/// over a bounded window of at most `batch_size` clusters at a time.
+///
+/// The channel stages still materialise the molecule pool (PCR amplifies
+/// a shared population, so those stages are inherently whole-pool), but
+/// the decode stage — the expensive one — holds only `batch_size`
+/// clusters' worth of estimates in flight, merging decoded strands into
+/// their slots in cluster order. The report is byte-identical to
+/// [`archive_round_trip_on`] for every batch size and thread count; the
+/// returned [`WindowStats`] exposes the decode window's high-watermark
+/// for tests to audit.
+///
+/// # Errors
+///
+/// [`DnasimError::Config`] for `batch_size == 0`, plus everything
+/// [`archive_round_trip_on`] reports (converted into [`DnasimError`]).
+pub fn archive_round_trip_stream(
+    data: &[u8],
+    config: &ArchiveConfig,
+    rng: &mut SimRng,
+    workers: &ThreadPool,
+    batch_size: usize,
+) -> Result<(ArchiveReport, WindowStats), DnasimError> {
+    if batch_size == 0 {
+        return Err(DnasimError::config(
+            "batch_size",
+            "streaming batch size must be at least 1",
+        ));
+    }
+    archive_round_trip_windowed(data, config, rng, workers, batch_size).map_err(DnasimError::from)
+}
+
+fn archive_round_trip_windowed(
+    data: &[u8],
+    config: &ArchiveConfig,
+    rng: &mut SimRng,
+    workers: &ThreadPool,
+    batch_size: usize,
+) -> Result<(ArchiveReport, WindowStats), ArchiveError> {
     // --- Encode: chunk → RS payload → strands; protect groups with XOR. ---
     let layout = StrandLayout::new(config.rs_codeword_len, config.rs_data_len, rng)
         .map_err(ArchiveError::Layout)?;
@@ -298,21 +341,33 @@ pub fn archive_round_trip_on(
         Box::new(MajorityVote),
     ];
     let chunk = layout.payload_bytes();
-    let decoded = workers
-        .par_map_indexed(dataset.clusters(), |_, cluster| {
-            decode_cluster(cluster, &ensemble, &layout)
-        })
-        .map_err(ArchiveError::Worker)?;
-    // Merge serially in cluster order (first-wins per slot) so quarantine
-    // counts and recovered bytes are independent of worker scheduling.
+    // Decode over a bounded window: at most `batch_size` clusters'
+    // estimates exist at once, and each window merges serially in cluster
+    // order (first-wins per slot) so quarantine counts and recovered
+    // bytes are independent of both worker scheduling and batch size.
     let mut received: Vec<Option<Vec<u8>>> = vec![None; protected.len()];
-    for (index, bytes) in decoded.into_iter().flatten() {
-        // Each strand carries `chunk` bytes of the flat protected stream;
-        // the strand index orders them.
-        let slot = index as usize;
-        if slot < received.len() && received[slot].is_none() {
-            received[slot] = Some(bytes);
+    let mut window = WindowStats::default();
+    let clusters = dataset.clusters();
+    let mut start = 0usize;
+    while start < clusters.len() {
+        let len = batch_size.min(clusters.len() - start);
+        let decoded = workers
+            .par_map_indexed(&clusters[start..start + len], |_, cluster| {
+                decode_cluster(cluster, &ensemble, &layout)
+            })
+            .map_err(ArchiveError::Worker)?;
+        window.batches += 1;
+        window.clusters += len;
+        window.high_watermark = window.high_watermark.max(len);
+        for (index, bytes) in decoded.into_iter().flatten() {
+            // Each strand carries `chunk` bytes of the flat protected
+            // stream; the strand index orders them.
+            let slot = index as usize;
+            if slot < received.len() && received[slot].is_none() {
+                received[slot] = Some(bytes);
+            }
         }
+        start += len;
     }
     // --- Erasure recovery: quarantined slots become erasures for the
     // outer code. Strict mode aborts on any budget overrun; lenient mode
@@ -354,16 +409,19 @@ pub fn archive_round_trip_on(
         }
     }
     out.truncate(data.len().max(1));
-    Ok(ArchiveReport {
-        data: out,
-        strands_written: references.len(),
-        reads_sequenced,
-        strands_recovered_by_parity: outcome.recovered,
-        clusters_quarantined,
-        loss_budget_per_group,
-        groups_exceeding_budget: outcome.failed_groups.len(),
-        strands_unrecovered,
-    })
+    Ok((
+        ArchiveReport {
+            data: out,
+            strands_written: references.len(),
+            reads_sequenced,
+            strands_recovered_by_parity: outcome.recovered,
+            clusters_quarantined,
+            loss_budget_per_group,
+            groups_exceeding_budget: outcome.failed_groups.len(),
+            strands_unrecovered,
+        },
+        window,
+    ))
 }
 
 #[cfg(test)]
@@ -409,6 +467,39 @@ mod tests {
             .unwrap();
             assert_eq!(par, serial);
         }
+    }
+
+    #[test]
+    fn streamed_round_trip_matches_whole_at_any_batch_size() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(300).collect();
+        let whole =
+            archive_round_trip(&data, &ArchiveConfig::default(), &mut seeded(31)).unwrap();
+        for batch_size in [1, 4, 32, usize::MAX] {
+            let (streamed, window) = archive_round_trip_stream(
+                &data,
+                &ArchiveConfig::default(),
+                &mut seeded(31),
+                &ThreadPool::new(3),
+                batch_size,
+            )
+            .unwrap();
+            assert_eq!(streamed, whole, "batch_size={batch_size}");
+            assert!(window.high_watermark <= batch_size);
+            assert_eq!(window.clusters, whole.strands_written);
+        }
+    }
+
+    #[test]
+    fn streamed_round_trip_rejects_zero_batch() {
+        let err = archive_round_trip_stream(
+            &[1, 2, 3],
+            &ArchiveConfig::default(),
+            &mut seeded(1),
+            &ThreadPool::serial(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DnasimError::Config { .. }));
     }
 
     #[test]

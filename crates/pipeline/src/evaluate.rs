@@ -1,7 +1,7 @@
 //! Dataset-level evaluation: run a reconstructor over every cluster and
 //! collect accuracy and positional error profiles.
 
-use dnasim_core::{Dataset, DnasimError};
+use dnasim_core::{ClusterSource, Dataset, DnasimError, WindowStats};
 use dnasim_metrics::{AccuracyReport, PositionalProfile, ProfileKind};
 use dnasim_par::ThreadPool;
 use dnasim_reconstruct::TraceReconstructor;
@@ -76,6 +76,62 @@ where
     Ok(report)
 }
 
+/// Streaming counterpart of [`evaluate_reconstruction_on`]: pulls
+/// clusters from `source` in bounded batches of at most `batch_size`,
+/// reconstructs each batch on `pool`, and folds the accuracy report in
+/// cluster order — at no point are more than `batch_size` clusters (plus
+/// their estimates) in flight.
+///
+/// Reconstruction is pure, so the report is byte-identical to the
+/// in-memory path for every batch size and thread count.
+///
+/// # Errors
+///
+/// [`DnasimError::Config`] for `batch_size == 0`,
+/// [`DnasimError::Degraded`] if a worker panicked, or whatever the
+/// source reports.
+pub fn evaluate_reconstruction_stream<S, A>(
+    source: &mut S,
+    algorithm: &A,
+    batch_size: usize,
+    pool: &ThreadPool,
+) -> Result<(AccuracyReport, WindowStats), DnasimError>
+where
+    S: ClusterSource + ?Sized,
+    A: TraceReconstructor + Sync + ?Sized,
+{
+    if batch_size == 0 {
+        return Err(DnasimError::config(
+            "batch_size",
+            "streaming batch size must be at least 1",
+        ));
+    }
+    let mut report = AccuracyReport::new();
+    let mut window = WindowStats::default();
+    while let Some(batch) = source.next_batch(batch_size)? {
+        if batch.is_empty() {
+            continue;
+        }
+        window.batches += 1;
+        window.clusters += batch.len();
+        window.high_watermark = window.high_watermark.max(batch.len());
+        let estimates = pool.par_map_indexed(batch.clusters(), |_, cluster| {
+            if cluster.is_erasure() {
+                None
+            } else {
+                Some(algorithm.reconstruct(cluster.reads(), cluster.reference().len()))
+            }
+        })?;
+        for (cluster, estimate) in batch.clusters().iter().zip(&estimates) {
+            match estimate {
+                Some(estimate) => report.record(cluster.reference(), estimate),
+                None => report.record_erasure(cluster.reference()),
+            }
+        }
+    }
+    Ok((report, window))
+}
+
 /// Post-reconstruction positional profiles: reconstruct every cluster and
 /// compare the estimate against the reference under both attribution rules.
 ///
@@ -112,6 +168,128 @@ pub fn pre_reconstruction_profiles(dataset: &Dataset) -> (PositionalProfile, Pos
         }
     }
     (hamming, gestalt)
+}
+
+/// Streaming counterpart of [`post_reconstruction_profiles`]: profiles
+/// accumulate batch-by-batch via [`PositionalProfile::merge`], with
+/// reconstruction fanned out on `pool`.
+///
+/// The profile length is pinned by the first cluster seen (exactly as the
+/// in-memory path pins it with `dataset.strand_len()`), so overflow
+/// clamping — and therefore the counts — match the in-memory profiles for
+/// every batch size.
+///
+/// # Errors
+///
+/// [`DnasimError::Config`] for `batch_size == 0`,
+/// [`DnasimError::Degraded`] if a worker panicked, or whatever the
+/// source reports.
+pub fn post_reconstruction_profiles_stream<S, A>(
+    source: &mut S,
+    algorithm: &A,
+    batch_size: usize,
+    pool: &ThreadPool,
+) -> Result<(PositionalProfile, PositionalProfile, WindowStats), DnasimError>
+where
+    S: ClusterSource + ?Sized,
+    A: TraceReconstructor + Sync + ?Sized,
+{
+    if batch_size == 0 {
+        return Err(DnasimError::config(
+            "batch_size",
+            "streaming batch size must be at least 1",
+        ));
+    }
+    let mut hamming = PositionalProfile::new(ProfileKind::Hamming, 0);
+    let mut gestalt = PositionalProfile::new(ProfileKind::GestaltAligned, 0);
+    let mut len: Option<usize> = None;
+    let mut window = WindowStats::default();
+    while let Some(batch) = source.next_batch(batch_size)? {
+        if batch.is_empty() {
+            continue;
+        }
+        window.batches += 1;
+        window.clusters += batch.len();
+        window.high_watermark = window.high_watermark.max(batch.len());
+        let len = *len.get_or_insert_with(|| {
+            batch
+                .clusters()
+                .first()
+                .map(|c| c.reference().len())
+                .unwrap_or(0)
+        });
+        let estimates = pool.par_map_indexed(batch.clusters(), |_, cluster| {
+            if cluster.is_erasure() {
+                None
+            } else {
+                Some(algorithm.reconstruct(cluster.reads(), cluster.reference().len()))
+            }
+        })?;
+        let mut batch_hamming = PositionalProfile::new(ProfileKind::Hamming, len);
+        let mut batch_gestalt = PositionalProfile::new(ProfileKind::GestaltAligned, len);
+        for (cluster, estimate) in batch.clusters().iter().zip(&estimates) {
+            if let Some(estimate) = estimate {
+                batch_hamming.record(cluster.reference(), estimate);
+                batch_gestalt.record(cluster.reference(), estimate);
+            }
+        }
+        hamming.merge(&batch_hamming);
+        gestalt.merge(&batch_gestalt);
+    }
+    Ok((hamming, gestalt, window))
+}
+
+/// Streaming counterpart of [`pre_reconstruction_profiles`]: compares
+/// every raw read against its reference, one bounded batch at a time,
+/// merging per-batch profiles into the totals.
+///
+/// # Errors
+///
+/// [`DnasimError::Config`] for `batch_size == 0`, or whatever the source
+/// reports.
+pub fn pre_reconstruction_profiles_stream<S>(
+    source: &mut S,
+    batch_size: usize,
+) -> Result<(PositionalProfile, PositionalProfile, WindowStats), DnasimError>
+where
+    S: ClusterSource + ?Sized,
+{
+    if batch_size == 0 {
+        return Err(DnasimError::config(
+            "batch_size",
+            "streaming batch size must be at least 1",
+        ));
+    }
+    let mut hamming = PositionalProfile::new(ProfileKind::Hamming, 0);
+    let mut gestalt = PositionalProfile::new(ProfileKind::GestaltAligned, 0);
+    let mut len: Option<usize> = None;
+    let mut window = WindowStats::default();
+    while let Some(batch) = source.next_batch(batch_size)? {
+        if batch.is_empty() {
+            continue;
+        }
+        window.batches += 1;
+        window.clusters += batch.len();
+        window.high_watermark = window.high_watermark.max(batch.len());
+        let len = *len.get_or_insert_with(|| {
+            batch
+                .clusters()
+                .first()
+                .map(|c| c.reference().len())
+                .unwrap_or(0)
+        });
+        let mut batch_hamming = PositionalProfile::new(ProfileKind::Hamming, len);
+        let mut batch_gestalt = PositionalProfile::new(ProfileKind::GestaltAligned, len);
+        for cluster in batch.clusters() {
+            for read in cluster.reads() {
+                batch_hamming.record(cluster.reference(), read);
+                batch_gestalt.record(cluster.reference(), read);
+            }
+        }
+        hamming.merge(&batch_hamming);
+        gestalt.merge(&batch_gestalt);
+    }
+    Ok((hamming, gestalt, window))
 }
 
 /// The §3.2 fixed-coverage protocol: keep only clusters with coverage ≥
@@ -171,6 +349,67 @@ mod tests {
                 .unwrap();
             assert_eq!(par, serial);
         }
+    }
+
+    #[test]
+    fn streaming_evaluation_matches_in_memory() {
+        let mut ds = clean_dataset(7, 3, 20);
+        ds.push(Cluster::erasure(Strand::random(20, &mut seeded(9))));
+        let whole = evaluate_reconstruction(&ds, &MajorityVote);
+        for batch_size in [1, 3, 5, usize::MAX] {
+            for threads in [1, 4] {
+                let (report, window) = evaluate_reconstruction_stream(
+                    &mut ds.stream(),
+                    &MajorityVote,
+                    batch_size,
+                    &ThreadPool::new(threads),
+                )
+                .unwrap();
+                assert_eq!(report, whole, "batch_size={batch_size} threads={threads}");
+                assert_eq!(window.clusters, ds.len());
+                assert!(window.high_watermark <= batch_size);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_profiles_match_in_memory() {
+        let mut rng = seeded(5);
+        let mut ds = Dataset::new();
+        for _ in 0..6 {
+            let r = Strand::random(20, &mut rng);
+            let reads = (0..3).map(|_| Strand::random(19, &mut rng)).collect();
+            ds.push(Cluster::new(r, reads));
+        }
+        let (post_h, post_g) = post_reconstruction_profiles(&ds, &MajorityVote);
+        let (pre_h, pre_g) = pre_reconstruction_profiles(&ds);
+        for batch_size in [1, 2, 4, usize::MAX] {
+            let (h, g, _) = post_reconstruction_profiles_stream(
+                &mut ds.stream(),
+                &MajorityVote,
+                batch_size,
+                &ThreadPool::serial(),
+            )
+            .unwrap();
+            assert_eq!(h, post_h, "post hamming batch_size={batch_size}");
+            assert_eq!(g, post_g, "post gestalt batch_size={batch_size}");
+            let (h, g, _) =
+                pre_reconstruction_profiles_stream(&mut ds.stream(), batch_size).unwrap();
+            assert_eq!(h, pre_h, "pre hamming batch_size={batch_size}");
+            assert_eq!(g, pre_g, "pre gestalt batch_size={batch_size}");
+        }
+    }
+
+    #[test]
+    fn streaming_evaluation_rejects_zero_batch() {
+        let ds = clean_dataset(2, 2, 10);
+        assert!(evaluate_reconstruction_stream(
+            &mut ds.stream(),
+            &MajorityVote,
+            0,
+            &ThreadPool::serial()
+        )
+        .is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Accuracy-after-reconstruction remains the paper's headline metric;
 //! these closed-form distances are cheap complements for quick iteration.
 
-use dnasim_core::{Dataset, EditOp};
+use dnasim_core::{ClusterSource, Dataset, DnasimError, EditOp, WindowStats};
 use dnasim_metrics::{chi_square_distance, gestalt_score, normalize_histogram};
 use dnasim_profile::{ErrorStats, TieBreak};
 
@@ -83,6 +83,115 @@ pub fn simulator_fidelity(
     let real_stats = ErrorStats::from_dataset(real, TieBreak::PreferSubstitution, rng);
     let sim_stats = ErrorStats::from_dataset(simulated, TieBreak::PreferSubstitution, rng);
 
+    let mean_gestalt = |ds: &Dataset| -> f64 {
+        let mut acc = GestaltAccumulator::default();
+        for cluster in ds.iter() {
+            acc.record_cluster(cluster);
+        }
+        acc.mean()
+    };
+    report_from_parts(
+        &real_stats,
+        &sim_stats,
+        mean_gestalt(real),
+        mean_gestalt(simulated),
+    )
+}
+
+/// Streaming counterpart of [`simulator_fidelity`]: pulls the real and
+/// simulated clusters from two [`ClusterSource`]s in bounded batches of
+/// at most `batch_size`, accumulating the error statistics (via
+/// [`ErrorStats::merge`]) and the mean gestalt score incrementally.
+///
+/// The real source drains first, then the simulated one — the same order
+/// [`simulator_fidelity`] profiles the two datasets — so the report is
+/// identical for every batch size.
+///
+/// # Errors
+///
+/// [`DnasimError::Config`] for `batch_size == 0`, or whatever either
+/// source reports.
+pub fn simulator_fidelity_stream<S1, S2>(
+    real: &mut S1,
+    simulated: &mut S2,
+    batch_size: usize,
+    rng: &mut SimRng,
+) -> Result<(FidelityReport, WindowStats), DnasimError>
+where
+    S1: ClusterSource + ?Sized,
+    S2: ClusterSource + ?Sized,
+{
+    let (real_stats, real_gestalt, mut window) = drain_fidelity_inputs(real, batch_size, rng)?;
+    let (sim_stats, sim_gestalt, sim_window) = drain_fidelity_inputs(simulated, batch_size, rng)?;
+    window.absorb(sim_window);
+    Ok((
+        report_from_parts(&real_stats, &sim_stats, real_gestalt, sim_gestalt),
+        window,
+    ))
+}
+
+/// Mean gestalt score over (reference, read) pairs, accumulated one
+/// cluster at a time.
+#[derive(Debug, Default, Clone, Copy)]
+struct GestaltAccumulator {
+    total: f64,
+    count: usize,
+}
+
+impl GestaltAccumulator {
+    fn record_cluster(&mut self, cluster: &dnasim_core::Cluster) {
+        for read in cluster.reads() {
+            self.total += gestalt_score(cluster.reference().as_bases(), read.as_bases());
+            self.count += 1;
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            1.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+}
+
+fn drain_fidelity_inputs<S: ClusterSource + ?Sized>(
+    source: &mut S,
+    batch_size: usize,
+    rng: &mut SimRng,
+) -> Result<(ErrorStats, f64, WindowStats), DnasimError> {
+    if batch_size == 0 {
+        return Err(DnasimError::config(
+            "batch_size",
+            "streaming batch size must be at least 1",
+        ));
+    }
+    let mut stats = ErrorStats::new();
+    let mut gestalt = GestaltAccumulator::default();
+    let mut window = WindowStats::default();
+    while let Some(batch) = source.next_batch(batch_size)? {
+        if batch.is_empty() {
+            continue;
+        }
+        window.batches += 1;
+        window.clusters += batch.len();
+        window.high_watermark = window.high_watermark.max(batch.len());
+        let mut partial = ErrorStats::new();
+        for cluster in batch.clusters() {
+            partial.record_cluster(cluster, TieBreak::PreferSubstitution, rng);
+            gestalt.record_cluster(cluster);
+        }
+        stats.merge(&partial);
+    }
+    Ok((stats, gestalt.mean(), window))
+}
+
+fn report_from_parts(
+    real_stats: &ErrorStats,
+    sim_stats: &ErrorStats,
+    real_gestalt: f64,
+    sim_gestalt: f64,
+) -> FidelityReport {
     // Error-type histogram over the union of observed specific errors.
     let mut ops: Vec<EditOp> = real_stats
         .second_order_errors()
@@ -104,29 +213,14 @@ pub fn simulator_fidelity(
             .collect();
         normalize_histogram(&counts)
     };
-    let error_type_distance = chi_square_distance(&histogram(&real_stats), &histogram(&sim_stats));
+    let error_type_distance = chi_square_distance(&histogram(real_stats), &histogram(sim_stats));
 
     let positional_distance = chi_square_distance(
         &normalize_histogram(real_stats.positional_errors()),
         &normalize_histogram(sim_stats.positional_errors()),
     );
 
-    let mean_gestalt = |ds: &Dataset| -> f64 {
-        let mut total = 0.0;
-        let mut count = 0usize;
-        for cluster in ds.iter() {
-            for read in cluster.reads() {
-                total += gestalt_score(cluster.reference().as_bases(), read.as_bases());
-                count += 1;
-            }
-        }
-        if count == 0 {
-            1.0
-        } else {
-            total / count as f64
-        }
-    };
-    let gestalt_gap = (mean_gestalt(real) - mean_gestalt(simulated)).abs();
+    let gestalt_gap = (real_gestalt - sim_gestalt).abs();
 
     let aggregate_rate_gap =
         (real_stats.aggregate_error_rate() - sim_stats.aggregate_error_rate()).abs();
@@ -191,6 +285,38 @@ mod tests {
             skew_report.positional_distance,
             naive_report.positional_distance
         );
+    }
+
+    #[test]
+    fn streaming_fidelity_matches_in_memory() {
+        let real = twin(20);
+        let simulated = {
+            let mut rng = seeded(3);
+            Simulator::new(
+                KeoliyaModel::new(
+                    LearnedModel::from_stats(
+                        &ErrorStats::from_dataset(&real, TieBreak::Random, &mut rng),
+                        10,
+                    ),
+                    SimulatorLayer::Naive,
+                ),
+                CoverageModel::Fixed(0),
+            )
+            .resimulate_matching(&real, &mut rng)
+        };
+        let whole = simulator_fidelity(&real, &simulated, &mut seeded(5));
+        for batch_size in [1, 3, 8, usize::MAX] {
+            let (streamed, window) = simulator_fidelity_stream(
+                &mut real.stream(),
+                &mut simulated.stream(),
+                batch_size,
+                &mut seeded(5),
+            )
+            .unwrap();
+            assert_eq!(streamed, whole, "batch_size={batch_size}");
+            assert_eq!(window.clusters, real.len() + simulated.len());
+            assert!(window.high_watermark <= batch_size);
+        }
     }
 
     #[test]

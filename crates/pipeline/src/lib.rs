@@ -11,6 +11,12 @@
 //! * [`archive_round_trip`] — the full write→store→read pipeline
 //!   composing codec, multi-stage channel, clustering and reconstruction.
 //!
+//! Every evaluation entry point has a `_stream` counterpart
+//! ([`evaluate_reconstruction_stream`], [`archive_round_trip_stream`],
+//! [`simulator_fidelity_stream`], the profile functions) that runs
+//! source→batch→pool→sink with a bounded window of clusters and
+//! byte-identical output (DESIGN.md §11).
+//!
 //! # Examples
 //!
 //! ```
@@ -35,14 +41,15 @@ mod experiments;
 mod table;
 
 pub use archive::{
-    archive_round_trip, archive_round_trip_on, ArchiveConfig, ArchiveError, ArchiveMode,
-    ArchiveReport, ErasureScheme,
+    archive_round_trip, archive_round_trip_on, archive_round_trip_stream, ArchiveConfig,
+    ArchiveError, ArchiveMode, ArchiveReport, ErasureScheme,
 };
-pub use fidelity::{simulator_fidelity, FidelityReport};
+pub use fidelity::{simulator_fidelity, simulator_fidelity_stream, FidelityReport};
 pub use random_access::{FilePool, PoolConfig, PoolError};
 pub use evaluate::{
-    evaluate_reconstruction, evaluate_reconstruction_on, fixed_coverage_protocol,
-    post_reconstruction_profiles, pre_reconstruction_profiles,
+    evaluate_reconstruction, evaluate_reconstruction_on, evaluate_reconstruction_stream,
+    fixed_coverage_protocol, post_reconstruction_profiles, post_reconstruction_profiles_stream,
+    pre_reconstruction_profiles, pre_reconstruction_profiles_stream,
 };
 pub use experiments::{cross_dataset_robustness, references_of, Experiments, SensitivityPoint};
 pub use table::{AccuracyCell, Table, TableRow};

@@ -9,7 +9,10 @@
 
 use std::collections::HashMap;
 
-use dnasim_core::{Base, Cluster, Dataset, EditOp, EditScript, ErrorKind, Strand};
+use dnasim_core::{
+    Base, Cluster, ClusterSource, Dataset, DnasimError, EditOp, EditScript, ErrorKind, Strand,
+    WindowStats,
+};
 use dnasim_core::rng::Rng;
 
 use crate::editops::{edit_script_with, EditScratch, TieBreak};
@@ -92,6 +95,55 @@ impl ErrorStats {
             stats.record_cluster_with(&mut scratch, cluster, tie_break, rng);
         }
         stats
+    }
+
+    /// Streaming counterpart of [`ErrorStats::from_dataset`]: pulls
+    /// clusters from `source` in bounded batches of at most `batch_size`,
+    /// profiles each batch into a batch-local accumulator, and
+    /// [`merge`](ErrorStats::merge)s it into the running total.
+    ///
+    /// The RNG is threaded serially through clusters in global order —
+    /// exactly as [`ErrorStats::from_dataset`] threads it — so the result
+    /// is identical for every batch size (tie-break draws see the same
+    /// RNG state either way).
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::Config`] for `batch_size == 0`, or whatever the
+    /// source reports.
+    pub fn from_source<S, R>(
+        source: &mut S,
+        batch_size: usize,
+        tie_break: TieBreak,
+        rng: &mut R,
+    ) -> Result<(ErrorStats, WindowStats), DnasimError>
+    where
+        S: ClusterSource + ?Sized,
+        R: Rng + ?Sized,
+    {
+        if batch_size == 0 {
+            return Err(DnasimError::config(
+                "batch_size",
+                "streaming batch size must be at least 1",
+            ));
+        }
+        let mut total = ErrorStats::new();
+        let mut window = WindowStats::default();
+        let mut scratch = EditScratch::new();
+        while let Some(batch) = source.next_batch(batch_size)? {
+            if batch.is_empty() {
+                continue;
+            }
+            window.batches += 1;
+            window.clusters += batch.len();
+            window.high_watermark = window.high_watermark.max(batch.len());
+            let mut partial = ErrorStats::new();
+            for cluster in batch.clusters() {
+                partial.record_cluster_with(&mut scratch, cluster, tie_break, rng);
+            }
+            total.merge(&partial);
+        }
+        Ok((total, window))
     }
 
     /// Records every read of one cluster.
@@ -604,6 +656,37 @@ mod tests {
         assert_eq!(stats.read_count(), 3);
         assert_eq!(stats.total_errors(), 2);
         assert_eq!(stats.strand_len(), 8);
+    }
+
+    #[test]
+    fn from_source_matches_from_dataset_at_any_batch_size() {
+        let clusters = vec![
+            Cluster::new(s("ACGTACGT"), vec![s("ACGTACG"), s("ACGTTACGT")]),
+            Cluster::new(s("TTTTCCCC"), vec![s("TTTCCCC"), s("TTTTCCCC")]),
+            Cluster::erasure(s("GGGGGGGG")),
+            Cluster::new(s("ACACACAC"), vec![s("ACACAAC")]),
+        ];
+        let dataset = Dataset::from_clusters(clusters);
+        let mut rng = seeded(10);
+        let whole = ErrorStats::from_dataset(&dataset, TieBreak::Random, &mut rng);
+        for batch_size in [1, 2, 3, usize::MAX] {
+            let mut rng = seeded(10);
+            let (streamed, window) =
+                ErrorStats::from_source(&mut dataset.stream(), batch_size, TieBreak::Random, &mut rng)
+                    .unwrap();
+            assert_eq!(streamed, whole, "batch_size={batch_size}");
+            assert_eq!(window.clusters, dataset.len());
+            assert!(window.high_watermark <= batch_size);
+        }
+    }
+
+    #[test]
+    fn from_source_rejects_zero_batch() {
+        let dataset = Dataset::from_clusters(vec![Cluster::erasure(s("ACGT"))]);
+        let mut rng = seeded(1);
+        assert!(
+            ErrorStats::from_source(&mut dataset.stream(), 0, TieBreak::Random, &mut rng).is_err()
+        );
     }
 }
 

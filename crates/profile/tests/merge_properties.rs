@@ -1,0 +1,141 @@
+//! Property tests for the incremental accumulators behind the streaming
+//! pipeline (DESIGN.md §11): recording a dataset in **arbitrary partitions**
+//! and merging the partials must equal one single-pass accumulation —
+//! [`ErrorStats::merge`] and [`PositionalProfile::merge`] are exactly the
+//! operations that make batch boundaries invisible.
+
+use dnasim_testkit::prelude::*;
+
+use dnasim_channel::{ErrorModel, NaiveModel};
+use dnasim_core::rng::seeded;
+use dnasim_core::{Base, Strand};
+use dnasim_metrics::{PositionalProfile, ProfileKind};
+use dnasim_profile::{ErrorStats, TieBreak};
+
+fn strand(len: std::ops::Range<usize>) -> impl Strategy<Value = Strand> {
+    dnasim_testkit::collection::vec(0usize..4, len).prop_map(|idx| {
+        idx.into_iter()
+            .map(|i| Base::from_index(i).expect("index < 4"))
+            .collect()
+    })
+}
+
+/// (reference, read) pairs simulated through the naive channel.
+fn corrupted_pairs(reference: &Strand, count: usize, seed: u64) -> Vec<(Strand, Strand)> {
+    let model = NaiveModel::with_total_rate(0.12);
+    let mut rng = seeded(seed);
+    (0..count)
+        .map(|_| (reference.clone(), model.corrupt(reference, &mut rng)))
+        .collect()
+}
+
+/// Splits `len` items into chunk lengths decided by `cuts` (any u8 noise
+/// maps to a valid partition; every partition shape is reachable).
+fn partition_lens(len: usize, cuts: &[u8]) -> Vec<usize> {
+    let mut lens = Vec::new();
+    let mut remaining = len;
+    let mut i = 0;
+    while remaining > 0 {
+        let take = (cuts.get(i).copied().unwrap_or(1) as usize % remaining) + 1;
+        lens.push(take);
+        remaining -= take;
+        i += 1;
+    }
+    lens
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn error_stats_partitioned_merge_equals_single_pass(
+        reference in strand(10..50),
+        seed in any::<u64>(),
+        cuts in dnasim_testkit::collection::vec(any::<u8>(), 0..12),
+    ) {
+        let pairs = corrupted_pairs(&reference, 9, seed);
+        // Deterministic tie-break: both paths must see identical scripts
+        // regardless of how many rng draws happened before each pair.
+        let mut rng = seeded(seed ^ 0xABCD);
+        let mut single = ErrorStats::new();
+        for (reference, read) in &pairs {
+            single.record_pair(reference, read, TieBreak::PreferSubstitution, &mut rng);
+        }
+        let mut merged = ErrorStats::new();
+        let mut offset = 0;
+        for len in partition_lens(pairs.len(), &cuts) {
+            let mut partial = ErrorStats::new();
+            for (reference, read) in &pairs[offset..offset + len] {
+                partial.record_pair(reference, read, TieBreak::PreferSubstitution, &mut rng);
+            }
+            merged.merge(&partial);
+            offset += len;
+        }
+        prop_assert_eq!(merged, single);
+    }
+
+    #[test]
+    fn error_stats_merge_with_empty_is_identity(
+        reference in strand(10..40),
+        seed in any::<u64>(),
+    ) {
+        let pairs = corrupted_pairs(&reference, 4, seed);
+        let mut rng = seeded(seed);
+        let mut stats = ErrorStats::new();
+        for (reference, read) in &pairs {
+            stats.record_pair(reference, read, TieBreak::PreferSubstitution, &mut rng);
+        }
+        let baseline = stats.clone();
+        stats.merge(&ErrorStats::new());
+        prop_assert_eq!(&stats, &baseline);
+        let mut empty = ErrorStats::new();
+        empty.merge(&baseline);
+        prop_assert_eq!(empty, baseline);
+    }
+
+    #[test]
+    fn positional_profile_partitioned_merge_equals_single_pass(
+        reference in strand(10..50),
+        seed in any::<u64>(),
+        cuts in dnasim_testkit::collection::vec(any::<u8>(), 0..12),
+        pre in any::<bool>(),
+    ) {
+        let kind = if pre { ProfileKind::Hamming } else { ProfileKind::GestaltAligned };
+        let pairs = corrupted_pairs(&reference, 9, seed);
+        let mut single = PositionalProfile::new(kind, reference.len());
+        for (reference, read) in &pairs {
+            single.record(reference, read);
+        }
+        let mut merged = PositionalProfile::new(kind, reference.len());
+        let mut offset = 0;
+        for len in partition_lens(pairs.len(), &cuts) {
+            let mut partial = PositionalProfile::new(kind, reference.len());
+            for (reference, read) in &pairs[offset..offset + len] {
+                partial.record(reference, read);
+            }
+            merged.merge(&partial);
+            offset += len;
+        }
+        prop_assert_eq!(merged.counts(), single.counts());
+        prop_assert_eq!(merged.comparisons(), single.comparisons());
+        prop_assert_eq!(merged.total_errors(), single.total_errors());
+    }
+
+    #[test]
+    fn positional_profile_merge_grows_to_longest(
+        short_len in 0usize..20,
+        long_len in 20usize..60,
+        reference in strand(20..60),
+    ) {
+        // Streamed erasure-only batches yield length-0 partials; merge must
+        // adopt the longer histogram rather than reject it.
+        let mut short = PositionalProfile::new(ProfileKind::Hamming, short_len);
+        let mut long = PositionalProfile::new(ProfileKind::Hamming, long_len.min(reference.len()));
+        long.record(&reference, &reference);
+        let expected = long.counts().to_vec();
+        short.merge(&long);
+        prop_assert_eq!(short.counts().len(), expected.len().max(short_len));
+        prop_assert_eq!(&short.counts()[..expected.len()], &expected[..]);
+        prop_assert_eq!(short.comparisons(), long.comparisons());
+    }
+}

@@ -24,9 +24,15 @@
 #    evaluation trust) must stay free of registry dependencies too.
 # 8. Run the kernel differential suite: the Myers bit-parallel kernels
 #    must agree bit-for-bit with the scalar DP oracle.
-# 9. Bench smoke: scripts/bench.sh --fast must produce a parseable report
+# 9. Streaming equivalence: the bounded-memory pipeline
+#    (tests/streaming_equivalence.rs) must be byte-identical to the
+#    in-memory path at DNASIM_THREADS=1 and =4, and the CLI `--stream` /
+#    `--batch-size` paths must reproduce the whole-dataset files exactly
+#    (DESIGN.md §11).
+# 10. Bench smoke: scripts/bench.sh --fast must produce a parseable report
 #    covering the kernel/clustering/pipeline groups, and the committed
-#    BENCH_004.json (when present) must still validate.
+#    BENCH_004.json / BENCH_005.json reports (when present) must still
+#    validate.
 #
 # Usage: scripts/verify.sh
 
@@ -162,6 +168,26 @@ CARGO_NET_OFFLINE=true DNASIM_BENCH_FAST=1 cargo test -q -p dnasim-faults --test
 echo "== kernel differential suite (Myers vs scalar oracle) =="
 CARGO_NET_OFFLINE=true cargo test -q -p dnasim-metrics --test myers_differential
 
+echo "== streaming equivalence suite (DNASIM_THREADS=1 and 4) =="
+CARGO_NET_OFFLINE=true DNASIM_THREADS=1 cargo test -q --test streaming_equivalence
+CARGO_NET_OFFLINE=true DNASIM_THREADS=4 cargo test -q --test streaming_equivalence
+
+echo "== streaming CLI smoke (bounded-memory end to end) =="
+dnasim=target/release/dnasim
+stream_dir=$(mktemp -d /tmp/dnasim-stream-smoke.XXXXXX)
+"$dnasim" generate --out "$stream_dir/twin.txt" --small --clusters 48 --seed 9
+"$dnasim" generate --out "$stream_dir/twin-stream.txt" --small --clusters 48 --seed 9 \
+    --stream --batch-size 32
+cmp "$stream_dir/twin.txt" "$stream_dir/twin-stream.txt"
+"$dnasim" simulate --data "$stream_dir/twin.txt" --model keoliya:spatial \
+    --out "$stream_dir/sim.txt"
+"$dnasim" simulate --data "$stream_dir/twin.txt" --model keoliya:spatial \
+    --out "$stream_dir/sim-stream.txt" --stream --batch-size 32
+cmp "$stream_dir/sim.txt" "$stream_dir/sim-stream.txt"
+"$dnasim" archive --bytes 512 --batch-size 32 | grep -q "round-trip OK"
+rm -rf "$stream_dir"
+echo "ok: streamed CLI output is byte-identical; archive decode window bounded"
+
 echo "== bench smoke (fast mode) =="
 smoke_report=$(mktemp /tmp/dnasim-bench-smoke.XXXXXX.json)
 trap 'rm -f "$smoke_report"' EXIT
@@ -169,10 +195,12 @@ scripts/bench.sh --fast --out "$smoke_report"
 CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
     check "$smoke_report"
 
-if [ -f BENCH_004.json ]; then
-    echo "== committed benchmark report =="
-    CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
-        check BENCH_004.json
-fi
+for report in BENCH_004.json BENCH_005.json; do
+    if [ -f "$report" ]; then
+        echo "== committed benchmark report ($report) =="
+        CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
+            check "$report"
+    fi
+done
 
 echo "verify: OK"

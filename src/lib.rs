@@ -66,13 +66,19 @@ pub mod prelude {
         NaiveModel, ParametricModel, Simulator, SimulatorLayer, SpatialDistribution,
     };
     pub use dnasim_core::rng::{seeded, SeedSequence, SimRng};
-    pub use dnasim_core::{Base, Cluster, Dataset, EditOp, EditScript, ErrorKind, Strand};
-    pub use dnasim_dataset::{read_dataset, write_dataset, NanoporeTwinConfig};
+    pub use dnasim_core::{
+        pump, Base, Batch, Cluster, ClusterSink, ClusterSource, Dataset, EditOp, EditScript,
+        ErrorKind, Strand, WindowStats,
+    };
+    pub use dnasim_dataset::{
+        read_dataset, write_dataset, DatasetReader, DatasetWriter, NanoporeTwinConfig,
+    };
     pub use dnasim_metrics::{gestalt_score, hamming, levenshtein, AccuracyReport};
     pub use dnasim_par::ThreadPool;
     pub use dnasim_pipeline::{
-        archive_round_trip, archive_round_trip_on, evaluate_reconstruction,
-        evaluate_reconstruction_on, fixed_coverage_protocol, simulator_fidelity, ArchiveConfig,
+        archive_round_trip, archive_round_trip_on, archive_round_trip_stream,
+        evaluate_reconstruction, evaluate_reconstruction_on, evaluate_reconstruction_stream,
+        fixed_coverage_protocol, simulator_fidelity, simulator_fidelity_stream, ArchiveConfig,
         Experiments, FilePool, PoolConfig,
     };
     pub use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};

@@ -1,0 +1,204 @@
+//! Streaming ⇔ in-memory equivalence: the bounded-memory pipeline must be
+//! **byte-identical** to the whole-dataset path for every batch size and
+//! thread count (DESIGN.md §11).
+//!
+//! Why this holds by construction: every cluster's error stream is forked
+//! from the root seed by its *global* index (`SeedSequence::fork`), so
+//! neither the batch boundaries nor the scheduling order can change a
+//! single byte. These tests pin that argument down empirically at batch
+//! sizes {1, 7, 64, ∞}, three seeds, and 1 vs 4 worker threads — and
+//! re-diff the checked-in `golden_pipeline.txt` snapshot through the
+//! streaming entry points.
+
+use std::fmt::Write as _;
+
+use dnasim::cluster::GreedyClusterer;
+use dnasim::dataset::NanoporeTwinConfig;
+use dnasim::par::ThreadPool;
+use dnasim::prelude::*;
+
+const BATCH_SIZES: [usize; 4] = [1, 7, 64, usize::MAX];
+const SEEDS: [u64; 3] = [0x601D_E2, 11, 4242];
+
+fn twin_config(seed: u64) -> NanoporeTwinConfig {
+    NanoporeTwinConfig {
+        cluster_count: 33,
+        erasure_count: 2,
+        seed,
+        ..NanoporeTwinConfig::small()
+    }
+}
+
+fn to_bytes(dataset: &Dataset) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_dataset(dataset, &mut bytes).expect("write to memory");
+    bytes
+}
+
+#[test]
+fn streamed_generation_is_byte_identical() {
+    for seed in SEEDS {
+        let config = twin_config(seed);
+        let whole = to_bytes(&config.generate());
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            for batch_size in BATCH_SIZES {
+                let mut writer = DatasetWriter::new(Vec::new());
+                let window = config
+                    .generate_stream(batch_size, &pool, &mut writer)
+                    .expect("stream generation");
+                assert!(
+                    window.high_watermark <= batch_size,
+                    "window exceeded batch size: {} > {batch_size}",
+                    window.high_watermark
+                );
+                assert_eq!(window.clusters, config.cluster_count);
+                let bytes = writer.into_inner().expect("flush");
+                assert_eq!(
+                    bytes, whole,
+                    "seed={seed} threads={threads} batch_size={batch_size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_resimulation_is_byte_identical() {
+    for seed in SEEDS {
+        let twin = twin_config(seed).generate();
+        let mut rng = seeded(seed);
+        let stats = ErrorStats::from_dataset(&twin, TieBreak::Random, &mut rng);
+        let model = KeoliyaModel::new(
+            LearnedModel::from_stats(&stats, 10),
+            SimulatorLayer::SecondOrder,
+        );
+        let simulator = Simulator::new(model, CoverageModel::Fixed(0));
+        let seq = SeedSequence::new(seed);
+        let whole = to_bytes(
+            &simulator
+                .resimulate_matching_on(&twin, &seq, &ThreadPool::serial())
+                .expect("in-memory resimulation"),
+        );
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            for batch_size in BATCH_SIZES {
+                let mut source = twin.stream();
+                let mut writer = DatasetWriter::new(Vec::new());
+                let window = simulator
+                    .resimulate_stream(&mut source, &seq, batch_size, &pool, &mut writer)
+                    .expect("stream resimulation");
+                assert!(window.high_watermark <= batch_size);
+                assert_eq!(window.clusters, twin.len());
+                let bytes = writer.into_inner().expect("flush");
+                assert_eq!(
+                    bytes, whole,
+                    "seed={seed} threads={threads} batch_size={batch_size}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_round_trip_through_io_is_lossless() {
+    // dataset → text → DatasetReader (as a ClusterSource) → Dataset sink,
+    // pumped at every batch size, must reproduce the text byte for byte.
+    for seed in SEEDS {
+        let twin = twin_config(seed).generate();
+        let text = to_bytes(&twin);
+        for batch_size in BATCH_SIZES {
+            let mut reader = DatasetReader::new(&text[..]);
+            let mut copy = Dataset::new();
+            let window =
+                pump(&mut reader, &mut copy, batch_size, |batch| Ok(batch)).expect("pump");
+            assert!(window.high_watermark <= batch_size);
+            assert_eq!(to_bytes(&copy), text, "seed={seed} batch_size={batch_size}");
+        }
+    }
+}
+
+/// Re-runs the checked-in golden pipeline (`tests/golden_pipeline.rs`)
+/// with every stage swapped for its streaming counterpart — twin
+/// generation through a [`DatasetWriter`]-less [`Dataset`] sink, and
+/// reconstruction through [`evaluate_reconstruction_stream`] — and diffs
+/// the summary against the same `golden_pipeline.txt` snapshot.
+#[test]
+fn streamed_pipeline_matches_golden_snapshot() {
+    const SEED: u64 = 0x601D_E2;
+    let pool = ThreadPool::from_env();
+    let config = NanoporeTwinConfig {
+        cluster_count: 60,
+        erasure_count: 2,
+        seed: SEED,
+        ..NanoporeTwinConfig::small()
+    };
+    let expected = {
+        let manifest_dir = env!("CARGO_MANIFEST_DIR");
+        std::fs::read_to_string(std::path::Path::new(manifest_dir).join("golden_pipeline.txt"))
+            .expect("golden snapshot (regenerate via golden_pipeline test)")
+    };
+    for batch_size in BATCH_SIZES {
+        // --- Simulate, streamed. ---
+        let mut twin = Dataset::new();
+        let window = config
+            .generate_stream(batch_size, &pool, &mut twin)
+            .expect("stream generation");
+        assert!(window.high_watermark <= batch_size);
+
+        // --- Cluster (same in-memory stage as the golden test). ---
+        let references = dnasim::pipeline::references_of(&twin);
+        let mut rng = seeded(SEED ^ 0xC1);
+        let reads = twin.clone().into_read_pool(&mut rng);
+        let clustered =
+            GreedyClusterer::default().cluster_against_references(&reads, &references);
+
+        // --- Reconstruct, streamed. ---
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "golden end-to-end pipeline (seed {SEED:#x}, {} clusters, strand len 110)",
+            config.cluster_count
+        );
+        let _ = writeln!(
+            out,
+            "twin: reads={} mean_coverage={:.4} erasures={}",
+            twin.total_reads(),
+            twin.mean_coverage(),
+            twin.erasure_count()
+        );
+        let _ = writeln!(
+            out,
+            "clustered: clusters={} reads={} erasures={}",
+            clustered.len(),
+            clustered.total_reads(),
+            clustered.erasure_count()
+        );
+        for algorithm in [
+            Box::new(BmaLookahead::default()) as Box<dyn TraceReconstructor + Send + Sync>,
+            Box::new(Iterative::default()),
+            Box::new(TwoWayIterative::default()),
+            Box::new(MajorityVote),
+        ] {
+            let (report, window) = evaluate_reconstruction_stream(
+                &mut clustered.stream(),
+                &algorithm,
+                batch_size,
+                &pool,
+            )
+            .expect("streamed evaluation");
+            assert!(window.high_watermark <= batch_size);
+            let _ = writeln!(
+                out,
+                "reconstruct {}: strand={:.4}% char={:.4}%",
+                algorithm.name(),
+                report.per_strand_percent(),
+                report.per_char_percent()
+            );
+        }
+        assert_eq!(
+            out, expected,
+            "streamed pipeline (batch_size={batch_size}) drifted from golden_pipeline.txt"
+        );
+    }
+}
