@@ -1,0 +1,121 @@
+//! Serve-tier throughput (DESIGN.md §12): requests/sec through the
+//! `dnasim serve` batch RPC loop at 1, 2 and 4 worker threads, over a
+//! fixed mixed-op traffic batch. Record ids carry the worker count
+//! (`serve/loop/threads-N`); divide the request count below by the median
+//! to get requests/sec. The single-request `serve/execute/*` records
+//! isolate per-op dispatch latency from the loop's admission machinery.
+
+use std::time::Duration;
+
+use dnasim_testkit::bench::Criterion;
+use dnasim_testkit::{criterion_group, criterion_main};
+use std::hint::black_box;
+
+use dnasim_core::rng::{seeded, RngExt, SeedSequence};
+use dnasim_par::ThreadPool;
+use dnasim_serve::{execute, serve, Request, ServeConfig};
+
+/// Requests per benchmarked serve session.
+const REQUESTS: usize = 64;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// A deterministic mixed-op traffic batch across four tenants — the same
+/// op mix the soak harness uses, scaled to bench size.
+fn traffic() -> String {
+    let tenants = ["acme", "betalab", "cryogen", "deepsea"];
+    let mut rng = seeded(0xBE_5E);
+    let mut input = String::new();
+    for i in 0..REQUESTS {
+        let tenant = tenants[rng.random_range(0..tenants.len())];
+        let line = match i % 4 {
+            0 => format!(
+                "{{\"tenant\":\"{tenant}\",\"request_id\":\"r{i}\",\"op\":\"generate\",\
+                 \"clusters\":{},\"len\":32}}",
+                rng.random_range(2..9usize)
+            ),
+            1 | 2 => format!(
+                "{{\"tenant\":\"{tenant}\",\"request_id\":\"r{i}\",\"op\":\"corrupt\",\
+                 \"count\":{},\"len\":32,\"reads\":3}}",
+                rng.random_range(2..7usize)
+            ),
+            // Lenient archives: at this read depth a few round trips
+            // degrade, which is fine for a throughput measurement.
+            _ => format!(
+                "{{\"tenant\":\"{tenant}\",\"request_id\":\"r{i}\",\"op\":\"archive\",\
+                 \"bytes\":48,\"reads\":4,\"lenient\":true}}"
+            ),
+        };
+        input.push_str(&line);
+        input.push('\n');
+    }
+    input
+}
+
+fn bench_serve_loop(c: &mut Criterion) {
+    let input = traffic();
+    let config = ServeConfig {
+        window: 16,
+        batch_size: 64,
+        ..ServeConfig::default()
+    };
+    for threads in THREADS {
+        let pool = ThreadPool::new(threads);
+        c.bench_function(format!("serve/loop/threads-{threads}"), |b| {
+            b.iter(|| {
+                let mut output = Vec::new();
+                let report = serve(black_box(input.as_bytes()), &mut output, &config, &pool)
+                    .expect("bench traffic serves cleanly");
+                assert_eq!(report.requests, REQUESTS);
+                assert_eq!(report.ok + report.degraded, REQUESTS);
+                assert_eq!(report.errors + report.rejected, 0);
+                output.len()
+            })
+        });
+    }
+}
+
+fn bench_serve_execute(c: &mut Criterion) {
+    let root = SeedSequence::new(0xBE_5E);
+    let cases = [
+        (
+            "corrupt",
+            "{\"tenant\":\"acme\",\"request_id\":\"r\",\"op\":\"corrupt\",\
+             \"count\":4,\"len\":32,\"reads\":3}",
+        ),
+        (
+            "generate",
+            "{\"tenant\":\"acme\",\"request_id\":\"r\",\"op\":\"generate\",\
+             \"clusters\":4,\"len\":32}",
+        ),
+        (
+            "archive",
+            "{\"tenant\":\"acme\",\"request_id\":\"r\",\"op\":\"archive\",\
+             \"bytes\":48,\"reads\":4,\"lenient\":true}",
+        ),
+    ];
+    for (name, line) in cases {
+        let request = Request::parse(line, 1, 4096).expect("bench request parses");
+        c.bench_function(format!("serve/execute/{name}"), |b| {
+            b.iter(|| {
+                let outcome = execute(black_box(&request), &root, 64);
+                assert!(
+                    outcome.line.contains("\"status\":\"ok\"")
+                        || outcome.line.contains("\"status\":\"degraded\"")
+                );
+                outcome.line.len()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // A full 64-request session is tens of milliseconds: keep the sample
+    // budget modest so the suite stays CI-sized.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_serve_loop, bench_serve_execute
+}
+criterion_main!(benches);

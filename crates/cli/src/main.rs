@@ -11,6 +11,8 @@
 //! dnasim experiment  <id> [--full]     # table-2.1, table-2.2, table-3.1, ...
 //! dnasim archive     --bytes 4096 [--imperfect] [--strict|--lenient] [--threads N]
 //! dnasim chaos       [--smoke] [--seeds N] [--threads N]
+//! dnasim serve       [--seed S] [--window N] [--batch-size N] [--max-batch N]
+//!                    [--cluster-budget N] [--lenient] [--threads N]
 //! ```
 //!
 //! `simulate`, `archive` and `chaos` accept `--threads N` (default:
@@ -50,6 +52,7 @@ use dnasim_profile::{ErrorStats, LearnedModel, TieBreak};
 use dnasim_reconstruct::{
     BmaLookahead, DividerBma, Iterative, MajorityVote, TraceReconstructor, TwoWayIterative,
 };
+use dnasim_serve::{serve, ProtocolError, ServeConfig, ServeError};
 
 use args::{Args, ArgsError};
 
@@ -70,6 +73,7 @@ fn main() -> ExitCode {
         Some("experiment") => cmd_experiment(&args),
         Some("archive") => cmd_archive(&args),
         Some("chaos") => cmd_chaos(&args),
+        Some("serve") => cmd_serve(&args),
         Some("help") | None => {
             println!("{}", usage_text());
             Ok(CliOutcome::Ok)
@@ -84,7 +88,12 @@ fn main() -> ExitCode {
         Ok(CliOutcome::Degraded) => ExitCode::from(EXIT_DEGRADED),
         Err(e) => {
             eprintln!("error: {e}");
-            if e.downcast_ref::<ArgsError>().is_some() {
+            // Malformed serve requests are usage errors too: the JSONL
+            // protocol is part of the CLI contract, so a bad request line
+            // gets the same exit code and usage text as a bad flag.
+            if e.downcast_ref::<ArgsError>().is_some()
+                || e.downcast_ref::<ProtocolError>().is_some()
+            {
                 eprintln!("\n{}", usage_text());
                 ExitCode::from(EXIT_USAGE)
             } else {
@@ -120,7 +129,12 @@ fn usage_text() -> &'static str {
      \x20 experiment  ID [--full]   (table-2.1 table-2.2 table-3.1 table-3.2 fig-3.3 ext-twoway ext-layers fidelity)\n\
      \x20 archive     [--bytes N] [--imperfect] [--seed S] [--reads N] [--strict|--lenient]\n\
      \x20             [--threads N] [--batch-size N]\n\
-     \x20 chaos       [--smoke] [--seeds N] [--threads N]\n\n\
+     \x20 chaos       [--smoke] [--seeds N] [--threads N]\n\
+     \x20 serve       [--seed S] [--window N] [--batch-size N] [--max-batch N]\n\
+     \x20             [--cluster-budget N] [--lenient] [--threads N]\n\
+     \x20             JSONL requests on stdin -> JSONL responses on stdout; each\n\
+     \x20             line needs \"tenant\", \"request_id\" and \"op\" (generate |\n\
+     \x20             corrupt | simulate | evaluate | archive)\n\n\
      \x20 --threads N defaults to $DNASIM_THREADS, then to all cores; output\n\
      \x20 is byte-identical for every thread count\n\
      \x20 --stream processes at most --batch-size clusters at a time (default\n\
@@ -603,6 +617,46 @@ fn cmd_archive(args: &Args) -> CliResult {
     if !ok {
         return Err("payload mismatch after round trip".into());
     }
+    Ok(CliOutcome::Ok)
+}
+
+/// The long-lived batch RPC loop: JSONL requests on stdin, JSONL
+/// responses on stdout, session summary on stderr (stdout stays pure
+/// protocol). Strict mode turns the first malformed request line into a
+/// usage error (exit 2) after answering everything admitted before it;
+/// `--lenient` answers malformed lines in place with
+/// `"status":"rejected"` and keeps the stream alive.
+fn cmd_serve(args: &Args) -> CliResult {
+    let config = ServeConfig {
+        seed: args.get_or("seed", 0u64)?,
+        window: args.get_or("window", 8usize)?,
+        batch_size: batch_size(args)?,
+        max_batch: args.get_or("max-batch", 4096usize)?,
+        cluster_budget: match args.get("cluster-budget") {
+            Some(_) => Some(args.get_or("cluster-budget", 0usize)?),
+            None => None,
+        },
+        lenient: args.flag("lenient"),
+    };
+    let pool = thread_pool(args)?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    let report = serve(stdin.lock(), &mut out, &config, &pool).map_err(|e| match e {
+        ServeError::Protocol(p) => Box::new(p) as Box<dyn std::error::Error>,
+        ServeError::Runtime(r) => Box::new(r) as Box<dyn std::error::Error>,
+    })?;
+    drop(out);
+    eprintln!(
+        "served {} request(s) in {} window(s): {} ok, {} degraded, {} error, {} rejected",
+        report.requests, report.windows, report.ok, report.degraded, report.errors,
+        report.rejected
+    );
+    eprintln!(
+        "peak in-flight: {} request(s) / {} cluster(s); stream high-watermark {} cluster(s)",
+        report.peak_inflight_requests, report.peak_inflight_clusters,
+        report.stream.high_watermark
+    );
     Ok(CliOutcome::Ok)
 }
 

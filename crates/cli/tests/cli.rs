@@ -1,9 +1,30 @@
 //! End-to-end CLI tests: drive the `dnasim` binary as a user would.
 
-use std::process::Command;
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
 
 fn dnasim() -> Command {
     Command::new(env!("CARGO_BIN_EXE_dnasim"))
+}
+
+/// Runs `dnasim serve <args>` with `input` piped to stdin and both output
+/// streams captured.
+fn serve_with_input(args: &[&str], input: &str) -> Output {
+    let mut child = dnasim()
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    child.wait_with_output().unwrap()
 }
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -345,6 +366,110 @@ fn streamed_profile_prints_identical_statistics() {
         String::from_utf8_lossy(&whole.stdout),
         String::from_utf8_lossy(&streamed.stdout),
         "streamed profile must report the same statistics"
+    );
+}
+
+#[test]
+fn serve_answers_each_request_line_in_order() {
+    let input = "{\"tenant\":\"acme\",\"request_id\":\"g1\",\"op\":\"generate\",\
+                 \"clusters\":4,\"len\":30}\n\
+                 {\"tenant\":\"beta\",\"request_id\":\"a1\",\"op\":\"archive\",\"bytes\":64}\n";
+    let out = serve_with_input(&["--seed", "11"], input);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "one response per request line");
+    assert!(lines[0].contains("\"request_id\":\"g1\"") && lines[0].contains("\"status\":\"ok\""));
+    assert!(lines[1].contains("\"request_id\":\"a1\"") && lines[1].contains("\"round_trip\":true"));
+    // The session summary goes to stderr; stdout stays pure JSONL.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("served 2 request(s)"));
+}
+
+#[test]
+fn serve_malformed_json_is_a_usage_error_with_diagnostic() {
+    let input = "{\"tenant\":\"acme\",\"request_id\":\"g1\",\"op\":\"generate\",\
+                 \"clusters\":2,\"len\":20}\n\
+                 this is not json\n";
+    let out = serve_with_input(&[], input);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("request line 2"), "diagnostic must locate the line: {stderr}");
+    assert!(stderr.contains("commands:"), "usage must be printed on stderr");
+    // The request admitted before the bad line was still answered.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 1);
+    assert!(stdout.contains("\"request_id\":\"g1\""));
+}
+
+#[test]
+fn serve_unknown_op_is_a_usage_error_with_diagnostic() {
+    let out = serve_with_input(
+        &[],
+        "{\"tenant\":\"acme\",\"request_id\":\"r1\",\"op\":\"frobnicate\"}\n",
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frobnicate"), "diagnostic must name the op: {stderr}");
+    assert!(stderr.contains("commands:"), "usage must be printed on stderr");
+}
+
+#[test]
+fn serve_oversized_batch_is_a_usage_error_with_diagnostic() {
+    let out = serve_with_input(
+        &["--max-batch", "100"],
+        "{\"tenant\":\"acme\",\"request_id\":\"r1\",\"op\":\"generate\",\"clusters\":101}\n",
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("admission cap"),
+        "diagnostic must explain the rejection: {stderr}"
+    );
+    assert!(stderr.contains("commands:"), "usage must be printed on stderr");
+}
+
+#[test]
+fn serve_missing_identity_is_a_usage_error() {
+    let out = serve_with_input(&[], "{\"op\":\"generate\",\"clusters\":2}\n");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("tenant"));
+}
+
+#[test]
+fn serve_lenient_mode_answers_malformed_lines_in_place() {
+    let input = "garbage\n\
+                 {\"tenant\":\"acme\",\"request_id\":\"g1\",\"op\":\"generate\",\
+                 \"clusters\":2,\"len\":20}\n\
+                 {\"tenant\":\"beta\",\"request_id\":\"x\",\"op\":\"warp\"}\n";
+    let out = serve_with_input(&["--lenient"], input);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"status\":\"rejected\""));
+    assert!(lines[1].contains("\"status\":\"ok\""));
+    assert!(lines[2].contains("\"status\":\"rejected\""));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("2 rejected"));
+}
+
+#[test]
+fn serve_responses_replay_identically_across_thread_counts() {
+    let mut input = String::new();
+    for i in 0..6 {
+        input.push_str(&format!(
+            "{{\"tenant\":\"t{}\",\"request_id\":\"r{i}\",\"op\":\"corrupt\",\
+             \"count\":3,\"len\":25,\"reads\":2}}\n",
+            i % 2
+        ));
+    }
+    let serial = serve_with_input(&["--seed", "3", "--threads", "1"], &input);
+    let parallel = serve_with_input(&["--seed", "3", "--threads", "4"], &input);
+    assert_eq!(serial.status.code(), Some(0));
+    assert_eq!(parallel.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "serve responses must be byte-identical for every --threads value"
     );
 }
 

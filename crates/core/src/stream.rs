@@ -391,6 +391,92 @@ mod tests {
         assert_eq!(stats.high_watermark, 4);
     }
 
+    /// A source that interposes empty batches between real windows; `pump`
+    /// must skip them without counting a batch or disturbing contiguity.
+    struct EmptyBatchSource<'a> {
+        inner: DatasetStream<'a>,
+        emit_empty: bool,
+    }
+
+    impl ClusterSource for EmptyBatchSource<'_> {
+        fn next_batch(&mut self, max: usize) -> Result<Option<Batch>, DnasimError> {
+            if self.emit_empty {
+                self.emit_empty = false;
+                // An empty batch at the current cursor position.
+                return Ok(Some(Batch::new(0, Vec::new())));
+            }
+            self.emit_empty = true;
+            self.inner.next_batch(max)
+        }
+    }
+
+    #[test]
+    fn pump_skips_empty_batches_without_counting_them() {
+        let ds = sample(6);
+        let mut source = EmptyBatchSource {
+            inner: ds.stream(),
+            emit_empty: true,
+        };
+        let mut out = Dataset::new();
+        let stats = pump(&mut source, &mut out, 2, Ok).unwrap();
+        assert_eq!(out, ds);
+        // Only the three non-empty windows count toward the stats.
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.clusters, 6);
+        assert_eq!(stats.high_watermark, 2);
+    }
+
+    #[test]
+    fn empty_source_yields_zeroed_stats_and_runs_finish() {
+        let ds = Dataset::new();
+        let mut sink = NullSink::new();
+        let stats = pump(&mut ds.stream(), &mut sink, 8, Ok).unwrap();
+        assert_eq!(stats, WindowStats::default());
+        assert_eq!(stats.high_watermark, 0);
+        assert_eq!(sink.clusters(), 0);
+    }
+
+    #[test]
+    fn single_cluster_window_pins_watermark_to_one() {
+        let ds = sample(5);
+        let mut out = Dataset::new();
+        let stats = pump(&mut ds.stream(), &mut out, 1, Ok).unwrap();
+        assert_eq!(out, ds);
+        assert_eq!(stats.batches, 5);
+        assert_eq!(stats.clusters, 5);
+        assert_eq!(stats.high_watermark, 1);
+    }
+
+    #[test]
+    fn high_watermark_is_monotone_under_interleaved_pump_drivers() {
+        // A serve-style aggregate absorbs WindowStats from many interleaved
+        // pump runs; the high-watermark must only ever ratchet upward and
+        // the batch/cluster counters must sum exactly.
+        let sizes = [3usize, 1, 7, 2, 5, 4];
+        let mut aggregate = WindowStats::default();
+        let mut last_watermark = 0;
+        let mut expected_clusters = 0;
+        for (round, &batch_size) in sizes.iter().enumerate() {
+            let ds = sample(8 + round);
+            let mut sink = NullSink::new();
+            let window = pump(&mut ds.stream(), &mut sink, batch_size, Ok).unwrap();
+            assert!(window.high_watermark <= batch_size);
+            aggregate.absorb(window);
+            assert!(
+                aggregate.high_watermark >= last_watermark,
+                "watermark regressed after round {round}"
+            );
+            last_watermark = aggregate.high_watermark;
+            expected_clusters += 8 + round;
+        }
+        assert_eq!(aggregate.clusters, expected_clusters);
+        assert_eq!(aggregate.high_watermark, 7);
+        // Absorbing a zeroed window (an admitted-but-empty request) is a
+        // no-op on the watermark.
+        aggregate.absorb(WindowStats::default());
+        assert_eq!(aggregate.high_watermark, 7);
+    }
+
     #[test]
     fn window_stats_absorb_takes_max_watermark() {
         let mut a = WindowStats {

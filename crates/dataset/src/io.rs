@@ -36,10 +36,20 @@ use dnasim_core::{
 const EMPTY_READ_TOKEN: &str = "-";
 
 /// Errors from reading a cluster file.
+///
+/// Every variant carries the 1-based line number the failure surfaced at
+/// (see [`line`](ReadDatasetError::line)), so a multi-megabyte cluster
+/// file with one bad byte is diagnosable without bisecting it by hand.
 #[derive(Debug)]
 pub enum ReadDatasetError {
     /// Underlying I/O failure.
-    Io(io::Error),
+    Io {
+        /// 1-based line number at which the read failed (the line after
+        /// the last one successfully read).
+        line: usize,
+        /// The I/O failure.
+        source: io::Error,
+    },
     /// A line failed to parse as a strand.
     Parse {
         /// 1-based line number.
@@ -54,10 +64,23 @@ pub enum ReadDatasetError {
     },
 }
 
+impl ReadDatasetError {
+    /// The 1-based line number the failure surfaced at.
+    pub fn line(&self) -> usize {
+        match self {
+            ReadDatasetError::Io { line, .. }
+            | ReadDatasetError::Parse { line, .. }
+            | ReadDatasetError::ReadBeforeReference { line } => *line,
+        }
+    }
+}
+
 impl fmt::Display for ReadDatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReadDatasetError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadDatasetError::Io { line, source } => {
+                write!(f, "line {line}: i/o error: {source}")
+            }
             ReadDatasetError::Parse { line, source } => {
                 write!(f, "line {line}: {source}")
             }
@@ -71,23 +94,22 @@ impl fmt::Display for ReadDatasetError {
 impl std::error::Error for ReadDatasetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ReadDatasetError::Io(e) => Some(e),
+            ReadDatasetError::Io { source, .. } => Some(source),
             ReadDatasetError::Parse { source, .. } => Some(source),
             ReadDatasetError::ReadBeforeReference { .. } => None,
         }
     }
 }
 
-impl From<io::Error> for ReadDatasetError {
-    fn from(e: io::Error) -> ReadDatasetError {
-        ReadDatasetError::Io(e)
-    }
-}
-
 impl From<ReadDatasetError> for DnasimError {
     fn from(e: ReadDatasetError) -> DnasimError {
         match e {
-            ReadDatasetError::Io(io) => DnasimError::Io(io),
+            // Re-wrap so the line number survives into the generic error;
+            // the original kind is preserved for retry/ENOENT dispatch.
+            ReadDatasetError::Io { line, source } => DnasimError::Io(io::Error::new(
+                source.kind(),
+                format!("cluster file line {line}: {source}"),
+            )),
             ReadDatasetError::Parse { line, source } => {
                 DnasimError::parse("cluster file", line, source.to_string())
             }
@@ -182,7 +204,10 @@ impl<R: BufRead> DatasetReader<R> {
     fn advance(&mut self) -> Result<Option<Cluster>, ReadDatasetError> {
         for (idx, line) in self.lines.by_ref() {
             let line_no = idx + 1;
-            let line = line?;
+            let line = line.map_err(|source| ReadDatasetError::Io {
+                line: line_no,
+                source,
+            })?;
             let trimmed = line.trim();
             if trimmed.is_empty() {
                 if let Some(cluster) = self.pending.take() {

@@ -5,7 +5,7 @@
 
 use dnasim_core::rng::seeded;
 use dnasim_core::{Cluster, Dataset, Strand};
-use dnasim_dataset::{read_dataset, write_dataset};
+use dnasim_dataset::{read_dataset, write_dataset, DatasetReader, ReadDatasetError};
 use dnasim_testkit::prelude::*;
 
 const CANONICAL: &str = ">ACGT\nACG\nACGT\n\n>TTTT\nTTT\n";
@@ -75,6 +75,95 @@ fn empty_read_distinct_from_erasure() {
     assert_eq!(ds.clusters()[0].coverage(), 1);
     assert!(ds.clusters()[0].reads()[0].is_empty());
     assert!(ds.clusters()[1].is_erasure());
+}
+
+/// A reader that yields `prefix` then fails every subsequent read — the
+/// shape of a dataset truncated by a mid-stream I/O fault.
+struct FailingReader<'a> {
+    prefix: &'a [u8],
+    served: usize,
+}
+
+impl std::io::Read for FailingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = &self.prefix[self.served..];
+        if remaining.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "injected fault",
+            ));
+        }
+        let n = remaining.len().min(buf.len());
+        buf[..n].copy_from_slice(&remaining[..n]);
+        self.served += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn every_reader_error_carries_the_offending_line() {
+    // Parse failure: bad base on line 5.
+    let err = read_dataset(">ACGT\nACG\n\n>TTTT\nTQT\n".as_bytes()).unwrap_err();
+    assert_eq!(err.line(), 5);
+    assert!(matches!(err, ReadDatasetError::Parse { line: 5, .. }));
+    assert!(err.to_string().contains("line 5"), "{err}");
+
+    // Contiguity failure: a read with no reference, on line 3.
+    let err = read_dataset(">ACGT\n\nACG\n".as_bytes()).unwrap_err();
+    assert_eq!(err.line(), 3);
+    assert!(matches!(
+        err,
+        ReadDatasetError::ReadBeforeReference { line: 3 }
+    ));
+
+    // I/O failure after two complete lines: surfaces at line 3.
+    let source = FailingReader {
+        prefix: b">ACGT\nACG\n",
+        served: 0,
+    };
+    let err = read_dataset(std::io::BufReader::new(source)).unwrap_err();
+    assert_eq!(err.line(), 3);
+    match &err {
+        ReadDatasetError::Io { line, source } => {
+            assert_eq!(*line, 3);
+            assert_eq!(source.kind(), std::io::ErrorKind::BrokenPipe);
+        }
+        other => panic!("expected Io, got {other}"),
+    }
+    assert!(err.to_string().contains("line 3"), "{err}");
+
+    // The line number also survives conversion into the generic error.
+    let source = FailingReader {
+        prefix: b">ACGT\nACG\n",
+        served: 0,
+    };
+    let err: dnasim_core::DnasimError = read_dataset(std::io::BufReader::new(source))
+        .unwrap_err()
+        .into();
+    assert!(err.to_string().contains("line 3"), "{err}");
+}
+
+#[test]
+fn reader_error_line_numbers_are_stable_across_batching() {
+    // The same corrupt file reports the same line regardless of whether
+    // it is consumed cluster-at-a-time or through the batch interface.
+    let text = ">ACGT\nACG\n\n>TTTT\nTTT\n\n>GGGG\nGXG\n";
+    let direct = read_dataset(text.as_bytes()).unwrap_err().line();
+    let mut reader = DatasetReader::new(text.as_bytes());
+    let mut batch_err = None;
+    loop {
+        match dnasim_core::ClusterSource::next_batch(&mut reader, 2) {
+            Ok(Some(_)) => continue,
+            Ok(None) => break,
+            Err(e) => {
+                batch_err = Some(e);
+                break;
+            }
+        }
+    }
+    let batch_err = batch_err.expect("corrupt file must error");
+    assert_eq!(direct, 8);
+    assert!(batch_err.to_string().contains("line 8"), "{batch_err}");
 }
 
 /// Builds a dataset exercising the representational extremes: erasure

@@ -94,6 +94,113 @@ fn fork_is_independent_of_sequence_state_and_order() {
 }
 
 #[test]
+fn tenant_request_namespaces_never_collide_across_10k_pairs() {
+    // The serve tier keys every request's randomness by
+    // derive_seq(tenant).derive_seq(request_id). 100 tenants × 100
+    // requests plus adversarial label shapes (shared prefixes, shared
+    // suffixes, concatenation aliases) must all land on distinct roots —
+    // a collision would let one tenant's request replay another's stream.
+    let root = SeedSequence::new(0x5E6E);
+    let mut seen = HashSet::with_capacity(10_000);
+    for tenant in 0..100u32 {
+        let tenant_ns = root.derive_seq(&format!("tenant-{tenant}"));
+        for request in 0..100u32 {
+            let ns = tenant_ns.derive_seq(&format!("req-{request}"));
+            assert!(
+                seen.insert(ns.root()),
+                "namespace collision at tenant-{tenant}/req-{request}"
+            );
+        }
+    }
+    assert_eq!(seen.len(), 10_000);
+    // Concatenation must not alias the nested path: ("tenant-1", "2") vs
+    // ("tenant-", "12") and ("t", "x1") vs ("tx", "1").
+    for ((a1, a2), (b1, b2)) in [
+        (("tenant-1", "2"), ("tenant-", "12")),
+        (("t", "x1"), ("tx", "1")),
+        (("", "a"), ("a", "")),
+    ] {
+        assert_ne!(
+            root.derive_seq(a1).derive_seq(a2).root(),
+            root.derive_seq(b1).derive_seq(b2).root(),
+            "({a1:?},{a2:?}) aliases ({b1:?},{b2:?})"
+        );
+    }
+}
+
+#[test]
+fn tenant_request_namespace_roots_are_chi2_uniform() {
+    const BUCKETS: usize = 32;
+    let root = SeedSequence::new(0xCAFE);
+    let mut counts = [0usize; BUCKETS];
+    for tenant in 0..128u32 {
+        let tenant_ns = root.derive_seq(&format!("tenant-{tenant}"));
+        for request in 0..256u32 {
+            let ns = tenant_ns.derive_seq(&format!("req-{request}"));
+            counts[(ns.root() % BUCKETS as u64) as usize] += 1;
+        }
+    }
+    let distance = chi2_vs_uniform(&counts);
+    assert!(distance < 1e-3, "namespace roots χ² vs uniform: {distance}");
+}
+
+#[test]
+fn tenant_request_streams_are_statistically_independent() {
+    // Neighbouring namespaces (same tenant, adjacent requests; adjacent
+    // tenants, same request) must produce decorrelated draw histograms,
+    // and replaying a namespace in isolation reproduces it exactly.
+    let root = SeedSequence::new(99);
+    let histogram = |tenant: &str, request: &str| {
+        let mut rng = root.derive_seq(tenant).derive_seq(request).next_rng();
+        let mut counts = [0usize; 64];
+        for _ in 0..4096 {
+            counts[rng.random_range(0..64)] += 1;
+        }
+        counts
+    };
+    let pairs = [
+        (("alpha", "req-0"), ("alpha", "req-1")),
+        (("alpha", "req-0"), ("beta", "req-0")),
+        (("alpha", "req-999"), ("beta", "req-999")),
+    ];
+    for ((t1, r1), (t2, r2)) in pairs {
+        let lhs = normalize_histogram(&histogram(t1, r1));
+        let rhs = normalize_histogram(&histogram(t2, r2));
+        assert!(
+            chi_square_distance(&lhs, &rhs) > 0.0,
+            "({t1},{r1}) and ({t2},{r2}) streams coincide"
+        );
+    }
+    assert_eq!(histogram("gamma", "req-7"), histogram("gamma", "req-7"));
+}
+
+#[test]
+fn namespace_family_avoids_fork_and_next_seed_families() {
+    // Request namespaces must not land on the per-cluster fork streams the
+    // ops themselves consume, or a request could correlate with one of its
+    // own clusters.
+    let mut seq = SeedSequence::new(0xBEEF);
+    let mut seen = HashSet::new();
+    for index in 0..10_000u64 {
+        assert!(seen.insert(seq.fork(index).root()), "fork self-collision");
+    }
+    for step in 0..10_000u64 {
+        assert!(seen.insert(seq.next_seed()), "next_seed collision at {step}");
+    }
+    let root = SeedSequence::new(0xBEEF);
+    for tenant in 0..32u32 {
+        let tenant_ns = root.derive_seq(&format!("tenant-{tenant}"));
+        for request in 0..32u32 {
+            let ns = tenant_ns.derive_seq(&format!("req-{request}"));
+            assert!(
+                seen.insert(ns.root()),
+                "namespace tenant-{tenant}/req-{request} landed on an existing seed"
+            );
+        }
+    }
+}
+
+#[test]
 fn fork_family_avoids_next_seed_and_derive_families() {
     // The three derivation families (indexed fork, ordered next_seed,
     // labelled derive) partition the seed space in practice: no collisions

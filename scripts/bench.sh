@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Performance measurement for the dnasim workspace, run fully offline.
 #
-# Runs the four benchmark suites that track the paper pipeline's hot
+# Runs the five benchmark suites that track the paper pipeline's hot
 # paths — kernel (edit-distance metrics), clustering, end-to-end pipeline,
-# and the bounded-memory streaming path — with the harness's JSONL emission
-# enabled, then assembles the per-suite records into one machine-readable
+# the bounded-memory streaming path, and the serve batch RPC loop — with
+# the harness's JSONL emission enabled, then assembles the per-suite records into one machine-readable
 # report via `benchreport`.
 #
 # Usage: scripts/bench.sh [--fast] [--out FILE]
@@ -12,14 +12,14 @@
 #   --fast    smoke mode: DNASIM_BENCH_FAST=1 shrinks warmup/measurement to
 #             CI levels and the report is tagged "fast" (the kernel-speedup
 #             gate is skipped — smoke timings are not meaningful).
-#   --out     report path (default: BENCH_005.json at the repo root).
+#   --out     report path (default: BENCH_006.json at the repo root).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 mode=full
-out=BENCH_005.json
+out=BENCH_006.json
 while [ "$#" -gt 0 ]; do
     case "$1" in
         --fast) mode=fast ;;
@@ -55,6 +55,7 @@ run_suite kernel metrics
 run_suite clustering clustering
 run_suite pipeline pipeline
 run_suite streaming streaming
+run_suite serve serve
 
 echo "== assemble $out =="
 gate=()
@@ -64,11 +65,12 @@ if [ "$mode" = full ]; then
     gate=(--min-speedup 3.0)
 fi
 cargo run -q --release -p dnasim-bench --bin benchreport -- \
-    assemble --mode "$mode" --out "$out" --bench-id BENCH_005 "${gate[@]}" \
+    assemble --mode "$mode" --out "$out" --bench-id BENCH_006 "${gate[@]}" \
     kernel="$tmpdir/kernel.jsonl" \
     clustering="$tmpdir/clustering.jsonl" \
     pipeline="$tmpdir/pipeline.jsonl" \
-    streaming="$tmpdir/streaming.jsonl"
+    streaming="$tmpdir/streaming.jsonl" \
+    serve="$tmpdir/serve.jsonl"
 
 cargo run -q --release -p dnasim-bench --bin benchreport -- check "$out"
 echo "bench: OK ($out)"

@@ -29,10 +29,15 @@
 #    in-memory path at DNASIM_THREADS=1 and =4, and the CLI `--stream` /
 #    `--batch-size` paths must reproduce the whole-dataset files exactly
 #    (DESIGN.md §11).
-# 10. Bench smoke: scripts/bench.sh --fast must produce a parseable report
+# 10. Serve soak smoke: the multi-tenant batch RPC tier must answer ≥200
+#    interleaved requests byte-identically to isolated serial execution
+#    (tests/serve_soak.rs in smoke mode), and the `dnasim serve` pipe must
+#    honour the exit-code contract (responses + exit 0 on valid JSONL,
+#    usage + exit 2 on a malformed line, never a panic).
+# 11. Bench smoke: scripts/bench.sh --fast must produce a parseable report
 #    covering the kernel/clustering/pipeline groups, and the committed
-#    BENCH_004.json / BENCH_005.json reports (when present) must still
-#    validate.
+#    BENCH_004.json / BENCH_005.json / BENCH_006.json reports (when
+#    present) must still validate.
 #
 # Usage: scripts/verify.sh
 
@@ -188,6 +193,28 @@ cmp "$stream_dir/sim.txt" "$stream_dir/sim-stream.txt"
 rm -rf "$stream_dir"
 echo "ok: streamed CLI output is byte-identical; archive decode window bounded"
 
+echo "== serve soak smoke (differential, multi-tenant) =="
+# ≥240 interleaved requests across 8 tenants at 1/2/4 workers, every
+# response diffed against isolated serial execution, injected faults
+# quarantined per tenant (tests/serve_soak.rs, smoke scale).
+CARGO_NET_OFFLINE=true DNASIM_BENCH_FAST=1 cargo test -q --test serve_soak
+
+echo "== serve CLI smoke (exit-code contract) =="
+serve_out=$(printf '%s\n' \
+    '{"tenant":"acme","request_id":"r1","op":"corrupt","count":3,"len":30,"reads":2}' \
+    '{"tenant":"beta","request_id":"r2","op":"archive","bytes":48,"reads":4}' \
+    | "$dnasim" serve --seed 7)
+[ "$(printf '%s\n' "$serve_out" | wc -l)" -eq 2 ]
+printf '%s' "$serve_out" | grep -q '"request_id":"r1"'
+# A malformed line must exit 2 with a diagnostic on stderr, never panic.
+set +e
+serve_err=$(printf 'not json\n' | "$dnasim" serve 2>&1 >/dev/null)
+serve_code=$?
+set -e
+[ "$serve_code" -eq 2 ]
+printf '%s' "$serve_err" | grep -q "request line 1"
+echo "ok: serve answers valid JSONL and rejects malformed lines with exit 2"
+
 echo "== bench smoke (fast mode) =="
 smoke_report=$(mktemp /tmp/dnasim-bench-smoke.XXXXXX.json)
 trap 'rm -f "$smoke_report"' EXIT
@@ -195,7 +222,7 @@ scripts/bench.sh --fast --out "$smoke_report"
 CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
     check "$smoke_report"
 
-for report in BENCH_004.json BENCH_005.json; do
+for report in BENCH_004.json BENCH_005.json BENCH_006.json; do
     if [ -f "$report" ]; then
         echo "== committed benchmark report ($report) =="
         CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \

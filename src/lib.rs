@@ -20,7 +20,8 @@
 //! * [`codec`] — binary↔DNA codecs, Reed–Solomon, XOR parity, layout;
 //! * [`dataset`] — the Nanopore twin and cluster-file I/O;
 //! * [`pipeline`] — experiment protocols and the archival round trip;
-//! * [`faults`] — deterministic fault injection and the chaos suite.
+//! * [`faults`] — deterministic fault injection and the chaos suite;
+//! * [`serve`] — the multi-tenant batch RPC tier behind `dnasim serve`.
 //!
 //! # Quick start
 //!
@@ -58,6 +59,7 @@ pub use dnasim_par as par;
 pub use dnasim_pipeline as pipeline;
 pub use dnasim_profile as profile;
 pub use dnasim_reconstruct as reconstruct;
+pub use dnasim_serve as serve;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {

@@ -1,0 +1,291 @@
+//! The serve-tier soak harness: a deterministic multi-tenant traffic
+//! generator driven through `dnasim::serve`, diffed request by request
+//! against isolated serial execution.
+//!
+//! The serve contract under test (DESIGN.md §12):
+//!
+//! 1. **Replay isolation** — every request's randomness lives in the
+//!    namespace `derive_seq(tenant).derive_seq(request_id)`, so replaying
+//!    any single request alone (via [`execute`]) reproduces its in-service
+//!    response byte for byte, whatever traffic surrounded it.
+//! 2. **Thread invariance** — the full response stream is byte-identical
+//!    at 1, 2 and 4 worker threads.
+//! 3. **Per-tenant quarantine** — injected malformed lines and faulty
+//!    requests answer in place (`rejected` / `error`) and removing them
+//!    from the traffic leaves every other tenant's responses unchanged.
+//!
+//! The full soak interleaves ≥1000 requests across 8 tenants; with
+//! `DNASIM_BENCH_FAST=1` it shrinks to a ≥240-request smoke (used by
+//! scripts/verify.sh).
+
+use dnasim::core::rng::{seeded, RngExt, SeedSequence};
+use dnasim::par::ThreadPool;
+use dnasim::prelude::*;
+use dnasim::serve::{execute, serve, Request, ServeConfig};
+
+const TENANTS: [&str; 8] = [
+    "acme", "betalab", "cryogen", "deepsea", "eon", "fjord", "genomica", "helix",
+];
+
+/// Number of requests in the soak: ≥1000 full, ≥240 smoke.
+fn soak_size() -> usize {
+    let fast = std::env::var_os("DNASIM_BENCH_FAST").is_some_and(|v| v != "0" && !v.is_empty());
+    if fast {
+        240
+    } else {
+        1000
+    }
+}
+
+/// A small deterministic cluster file for simulate/evaluate requests,
+/// rendered as an escaped JSON string value.
+fn dataset_field(rng: &mut SimRng) -> String {
+    let clusters = rng.random_range(2..5usize);
+    let len = rng.random_range(18..30usize);
+    let mut text = String::new();
+    for _ in 0..clusters {
+        let reference = Strand::random(len, rng);
+        text.push('>');
+        text.push_str(&reference.to_string());
+        text.push_str("\\n");
+        for _ in 0..rng.random_range(2..5usize) {
+            // Clean reads: the channel model inside the op supplies noise.
+            text.push_str(&reference.to_string());
+            text.push_str("\\n");
+        }
+        text.push_str("\\n");
+    }
+    text
+}
+
+/// One deterministic request line. `index` seeds both the identity and the
+/// op mix; the generator never consults wall-clock or global state, so the
+/// same `(seed, index)` always produces the same line.
+fn request_line(rng: &mut SimRng, tenant: &str, index: usize) -> String {
+    let id = format!("req-{index:05}");
+    match rng.random_range(0..8u32) {
+        0 | 1 => format!(
+            "{{\"tenant\":\"{tenant}\",\"request_id\":\"{id}\",\"op\":\"generate\",\
+             \"clusters\":{},\"len\":{}}}",
+            rng.random_range(2..9usize),
+            rng.random_range(20..41usize)
+        ),
+        2 | 3 => format!(
+            "{{\"tenant\":\"{tenant}\",\"request_id\":\"{id}\",\"op\":\"corrupt\",\
+             \"count\":{},\"len\":{},\"reads\":{}}}",
+            rng.random_range(2..7usize),
+            rng.random_range(20..41usize),
+            rng.random_range(1..5usize)
+        ),
+        // The archive round trip (codec + reconstruction) is by far the
+        // heaviest op, so it gets a 1/8 weight and a small payload — the
+        // soak measures interleaving and isolation, not archive throughput.
+        4 => format!(
+            "{{\"tenant\":\"{tenant}\",\"request_id\":\"{id}\",\"op\":\"archive\",\
+             \"bytes\":{},\"reads\":{}}}",
+            rng.random_range(24..97usize),
+            rng.random_range(3..7usize)
+        ),
+        5 | 6 => format!(
+            "{{\"tenant\":\"{tenant}\",\"request_id\":\"{id}\",\"op\":\"simulate\",\
+             \"model\":\"keoliya:naive\",\"dataset\":\"{}\"}}",
+            dataset_field(rng)
+        ),
+        _ => format!(
+            "{{\"tenant\":\"{tenant}\",\"request_id\":\"{id}\",\"op\":\"evaluate\",\
+             \"algorithm\":\"majority\",\"dataset\":\"{}\"}}",
+            dataset_field(rng)
+        ),
+    }
+}
+
+/// The deterministic soak traffic: `count` requests interleaved across all
+/// tenants in a seed-driven order.
+fn traffic(seed: u64, count: usize) -> Vec<String> {
+    let mut rng = seeded(seed);
+    (0..count)
+        .map(|i| {
+            let tenant = TENANTS[rng.random_range(0..TENANTS.len())];
+            request_line(&mut rng, tenant, i)
+        })
+        .collect()
+}
+
+fn run_serve(lines: &[String], config: &ServeConfig, threads: usize) -> String {
+    let input = lines.join("\n");
+    let mut output = Vec::new();
+    let report = serve(
+        input.as_bytes(),
+        &mut output,
+        config,
+        &ThreadPool::new(threads),
+    )
+    .expect("soak traffic must be served without a session error");
+    assert_eq!(
+        report.requests,
+        lines.len(),
+        "every non-blank line is a request"
+    );
+    String::from_utf8(output).expect("responses are UTF-8")
+}
+
+fn soak_config() -> ServeConfig {
+    ServeConfig {
+        seed: 0x5EA_50AC,
+        window: 16,
+        batch_size: 64,
+        ..ServeConfig::default()
+    }
+}
+
+/// The headline differential: thousands of interleaved multi-tenant
+/// requests, byte-identical across worker counts, and every response
+/// byte-identical to replaying its request alone through [`execute`].
+#[test]
+fn soak_responses_match_isolated_serial_execution_at_every_thread_count() {
+    let config = soak_config();
+    let lines = traffic(7, soak_size());
+    let baseline = run_serve(&lines, &config, 1);
+    for threads in [2, 4] {
+        let parallel = run_serve(&lines, &config, threads);
+        assert_eq!(
+            baseline, parallel,
+            "serve output diverged at {threads} worker threads"
+        );
+    }
+    // Isolated replay: each request alone, serial, fresh namespace root.
+    let root = SeedSequence::new(config.seed);
+    let responses: Vec<&str> = baseline.lines().collect();
+    assert_eq!(responses.len(), lines.len());
+    for (line_no, (line, response)) in lines.iter().zip(&responses).enumerate() {
+        let request = Request::parse(line, line_no + 1, config.max_batch)
+            .expect("soak generator emits only valid requests");
+        let isolated = execute(&request, &root, config.batch_size);
+        assert_eq!(
+            *response, isolated.line,
+            "request {line_no} is not reproducible in isolation"
+        );
+    }
+}
+
+/// Responses must not depend on admission windowing: reshaping the
+/// in-flight window (size and cluster budget) cannot change a byte.
+#[test]
+fn soak_responses_are_invariant_to_admission_window_shape() {
+    let lines = traffic(21, soak_size() / 4);
+    let baseline = run_serve(&lines, &soak_config(), 2);
+    for (window, budget) in [(1, None), (4, Some(96)), (64, Some(1 << 20))] {
+        let config = ServeConfig {
+            window,
+            cluster_budget: budget,
+            ..soak_config()
+        };
+        assert_eq!(
+            baseline,
+            run_serve(&lines, &config, 2),
+            "window={window} budget={budget:?} changed the response stream"
+        );
+    }
+}
+
+/// Builds mixed traffic where one tenant ("mallory") injects malformed
+/// lines and runtime-faulty requests at deterministic positions.
+fn traffic_with_faults(seed: u64, count: usize) -> Vec<String> {
+    let mut lines = traffic(seed, count);
+    for i in (0..count).step_by(17) {
+        lines[i] = match i % 3 {
+            // Malformed JSON: rejected at the protocol layer.
+            0 => format!("{{\"tenant\":\"mallory\",\"request_id\":\"bad-{i}\", broken"),
+            // Valid JSON, unknown op: rejected with identity attached.
+            1 => format!(
+                "{{\"tenant\":\"mallory\",\"request_id\":\"bad-{i}\",\"op\":\"selfdestruct\"}}"
+            ),
+            // Well-formed request whose dataset fails at runtime: an
+            // isolated per-request "error" response.
+            _ => format!(
+                "{{\"tenant\":\"mallory\",\"request_id\":\"bad-{i}\",\"op\":\"simulate\",\
+                 \"dataset\":\">ACGT\\nAXGT\\n\"}}"
+            ),
+        };
+    }
+    lines
+}
+
+/// Picks the responses belonging to `tenant` out of a response stream.
+fn responses_for<'t>(output: &'t str, tenant: &str) -> Vec<&'t str> {
+    let needle = format!("\"tenant\":\"{tenant}\"");
+    output.lines().filter(|l| l.contains(&needle)).collect()
+}
+
+/// Per-tenant quarantine: faulty traffic answers in place and removing it
+/// leaves every other tenant's responses byte-identical — no panic, no
+/// cross-tenant contamination.
+#[test]
+fn injected_faults_are_quarantined_per_tenant() {
+    let config = ServeConfig {
+        lenient: true,
+        ..soak_config()
+    };
+    let count = (soak_size() / 2).max(200);
+    let with_faults = traffic_with_faults(33, count);
+    let output = run_serve(&with_faults, &config, 4);
+    assert_eq!(output.lines().count(), count);
+
+    // Every injected line answered in place with a non-ok status.
+    let mallory = responses_for(&output, "mallory");
+    assert!(!mallory.is_empty(), "fault injection produced no traffic");
+    for response in &mallory {
+        assert!(
+            response.contains("\"status\":\"rejected\"")
+                || response.contains("\"status\":\"error\""),
+            "faulty request not quarantined: {response}"
+        );
+    }
+
+    // Filtered traffic: the same stream with mallory's lines removed.
+    let clean: Vec<String> = with_faults
+        .iter()
+        .filter(|l| !l.contains("mallory"))
+        .cloned()
+        .collect();
+    let clean_output = run_serve(&clean, &config, 4);
+    for tenant in TENANTS {
+        assert_eq!(
+            responses_for(&output, tenant),
+            responses_for(&clean_output, tenant),
+            "removing mallory's faulty requests changed tenant {tenant}'s responses"
+        );
+    }
+}
+
+/// Strict mode honours the abort contract under the same soak traffic:
+/// the response stream is a faithful prefix, then the session fails with
+/// the offending line number.
+#[test]
+fn strict_mode_soak_aborts_at_the_first_injected_fault() {
+    let config = soak_config();
+    let count = soak_size() / 4;
+    let lines = traffic_with_faults(55, count);
+    let first_bad = (0..count)
+        .step_by(17)
+        .find(|i| i % 3 != 2)
+        .expect("traffic contains protocol faults");
+    let input = lines.join("\n");
+    let mut output = Vec::new();
+    let err = serve(
+        input.as_bytes(),
+        &mut output,
+        &config,
+        &ThreadPool::new(2),
+    )
+    .expect_err("strict mode must abort on the injected protocol fault");
+    let message = err.to_string();
+    assert!(
+        message.contains(&format!("request line {}", first_bad + 1)),
+        "abort must cite line {}: {message}",
+        first_bad + 1
+    );
+    // Everything before the fault was answered; nothing after it was.
+    let answered = String::from_utf8(output).expect("utf8");
+    assert_eq!(answered.lines().count(), first_bad);
+}
