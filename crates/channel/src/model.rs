@@ -2,7 +2,8 @@
 
 use dnasim_core::rng::{SeedSequence, SimRng};
 use dnasim_core::{
-    pump, Batch, Cluster, ClusterSink, ClusterSource, Dataset, DnasimError, Strand, WindowStats,
+    pump_budgeted, Batch, Budget, Cluster, ClusterSink, ClusterSource, Dataset, DnasimError,
+    Strand, WindowStats,
 };
 use dnasim_par::ThreadPool;
 
@@ -212,6 +213,31 @@ impl<M: ErrorModel> Simulator<M> {
         M: Sync,
         K: ClusterSink + ?Sized,
     {
+        self.simulate_stream_budgeted(references, seq, batch_size, pool, &Budget::unlimited(), sink)
+    }
+
+    /// [`Simulator::simulate_stream`] metered by a [`Budget`]: one work
+    /// unit per cluster, admitted in the serial batch loop so exhaustion
+    /// lands on the same global cluster index at any batch size or thread
+    /// count. The admitted prefix is still emitted before the typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::DeadlineExceeded`] on exhaustion or cancellation,
+    /// plus everything [`Simulator::simulate_stream`] can report.
+    pub fn simulate_stream_budgeted<K>(
+        &self,
+        references: &[Strand],
+        seq: &SeedSequence,
+        batch_size: usize,
+        pool: &ThreadPool,
+        budget: &Budget,
+        sink: &mut K,
+    ) -> Result<WindowStats, DnasimError>
+    where
+        M: Sync,
+        K: ClusterSink + ?Sized,
+    {
         if batch_size == 0 {
             return Err(DnasimError::config(
                 "batch_size",
@@ -221,19 +247,25 @@ impl<M: ErrorModel> Simulator<M> {
         let mut stats = WindowStats::default();
         let mut start = 0usize;
         while start < references.len() {
+            budget.check("simulate")?;
             let len = batch_size.min(references.len() - start);
             let chunk = &references[start..start + len];
-            let clusters = pool.par_map_indexed(chunk, |i, reference| {
+            let (clusters, admitted) = pool.par_map_admitted(budget, chunk, |i, reference| {
                 let index = start + i;
                 let mut rng = seq.fork_rng(index as u64);
                 let coverage = self.coverage.sample(index, &mut rng);
                 self.simulate_cluster(reference, coverage, &mut rng)
             })?;
-            stats.batches += 1;
-            stats.clusters += len;
-            stats.high_watermark = stats.high_watermark.max(len);
-            sink.accept(Batch::new(start, clusters))?;
-            start += len;
+            if admitted > 0 {
+                stats.batches += 1;
+                stats.clusters += admitted;
+                stats.high_watermark = stats.high_watermark.max(admitted);
+                sink.accept(Batch::new(start, clusters))?;
+                start += admitted;
+            }
+            if admitted < len {
+                return Err(budget.exceeded("simulate"));
+            }
         }
         sink.finish()?;
         Ok(stats)
@@ -265,7 +297,32 @@ impl<M: ErrorModel> Simulator<M> {
         S: ClusterSource + ?Sized,
         K: ClusterSink + ?Sized,
     {
-        pump(source, sink, batch_size, |batch| {
+        self.resimulate_stream_budgeted(source, seq, batch_size, pool, &Budget::unlimited(), sink)
+    }
+
+    /// [`Simulator::resimulate_stream`] metered by a [`Budget`] through
+    /// [`pump_budgeted`]: one work unit per cluster pulled, with the
+    /// admitted prefix emitted before the typed deadline error.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::DeadlineExceeded`] on exhaustion or cancellation,
+    /// plus everything [`Simulator::resimulate_stream`] can report.
+    pub fn resimulate_stream_budgeted<S, K>(
+        &self,
+        source: &mut S,
+        seq: &SeedSequence,
+        batch_size: usize,
+        pool: &ThreadPool,
+        budget: &Budget,
+        sink: &mut K,
+    ) -> Result<WindowStats, DnasimError>
+    where
+        M: Sync,
+        S: ClusterSource + ?Sized,
+        K: ClusterSink + ?Sized,
+    {
+        pump_budgeted(source, sink, batch_size, budget, "resimulate", |batch| {
             let start = batch.start();
             let clusters = pool.par_map_indexed(batch.clusters(), |i, cluster| {
                 let mut rng = seq.fork_rng((start + i) as u64);

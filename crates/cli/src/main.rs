@@ -10,9 +10,10 @@
 //! dnasim evaluate    --real real.txt --sim sim.txt [--coverage N]
 //! dnasim experiment  <id> [--full]     # table-2.1, table-2.2, table-3.1, ...
 //! dnasim archive     --bytes 4096 [--imperfect] [--strict|--lenient] [--threads N]
-//! dnasim chaos       [--smoke] [--seeds N] [--threads N]
+//! dnasim chaos       [--smoke] [--seeds N] [--threads N] [--json]
 //! dnasim serve       [--seed S] [--window N] [--batch-size N] [--max-batch N]
 //!                    [--cluster-budget N] [--lenient] [--threads N]
+//!                    [--default-deadline N] [--retries N]
 //! ```
 //!
 //! `simulate`, `archive` and `chaos` accept `--threads N` (default:
@@ -26,7 +27,8 @@
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error (usage is
 //! printed to stderr), `3` archive completed degraded (lenient mode with
-//! unrecoverable strands).
+//! unrecoverable strands), `4` serve's response consumer hung up (broken
+//! pipe on stdout — a clean shutdown, not a server fault).
 
 mod args;
 
@@ -60,6 +62,9 @@ use args::{Args, ArgsError};
 const EXIT_USAGE: u8 = 2;
 /// Exit code for a lenient archive that completed with data loss.
 const EXIT_DEGRADED: u8 = 3;
+/// Exit code for a serve session whose response consumer hung up (broken
+/// pipe on stdout) — a clean shutdown, not a server fault.
+const EXIT_OUTPUT_CLOSED: u8 = 4;
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -86,6 +91,7 @@ fn main() -> ExitCode {
     match result {
         Ok(CliOutcome::Ok) => ExitCode::SUCCESS,
         Ok(CliOutcome::Degraded) => ExitCode::from(EXIT_DEGRADED),
+        Ok(CliOutcome::OutputClosed) => ExitCode::from(EXIT_OUTPUT_CLOSED),
         Err(e) => {
             eprintln!("error: {e}");
             // Malformed serve requests are usage errors too: the JSONL
@@ -109,6 +115,8 @@ enum CliOutcome {
     Ok,
     /// The command finished but with degraded results — exit 3.
     Degraded,
+    /// The serve response consumer closed the pipe — exit 4.
+    OutputClosed,
 }
 
 type CliResult = Result<CliOutcome, Box<dyn std::error::Error>>;
@@ -129,17 +137,24 @@ fn usage_text() -> &'static str {
      \x20 experiment  ID [--full]   (table-2.1 table-2.2 table-3.1 table-3.2 fig-3.3 ext-twoway ext-layers fidelity)\n\
      \x20 archive     [--bytes N] [--imperfect] [--seed S] [--reads N] [--strict|--lenient]\n\
      \x20             [--threads N] [--batch-size N]\n\
-     \x20 chaos       [--smoke] [--seeds N] [--threads N]\n\
+     \x20 chaos       [--smoke] [--seeds N] [--threads N] [--json]\n\
      \x20 serve       [--seed S] [--window N] [--batch-size N] [--max-batch N]\n\
      \x20             [--cluster-budget N] [--lenient] [--threads N]\n\
+     \x20             [--default-deadline N] [--retries N]\n\
      \x20             JSONL requests on stdin -> JSONL responses on stdout; each\n\
      \x20             line needs \"tenant\", \"request_id\" and \"op\" (generate |\n\
-     \x20             corrupt | simulate | evaluate | archive)\n\n\
+     \x20             corrupt | simulate | evaluate | archive), plus an optional\n\
+     \x20             per-request \"deadline\" in work units (1 unit = 1 cluster)\n\n\
      \x20 --threads N defaults to $DNASIM_THREADS, then to all cores; output\n\
      \x20 is byte-identical for every thread count\n\
      \x20 --stream processes at most --batch-size clusters at a time (default\n\
-     \x20 256); streamed output is byte-identical to the in-memory path\n\n\
-     exit codes: 0 success, 1 runtime failure, 2 usage error, 3 degraded archive"
+     \x20 256); streamed output is byte-identical to the in-memory path\n\
+     \x20 --default-deadline N meters requests without their own deadline;\n\
+     \x20 --retries N grants seeded retries to requests that fail at runtime;\n\
+     \x20 with --cluster-budget N, requests estimated over N clusters of total\n\
+     \x20 work are shed with status \"rejected\", reason \"overloaded\"\n\n\
+     exit codes: 0 success, 1 runtime failure, 2 usage error, 3 degraded\n\
+     archive, 4 serve response consumer hung up (broken pipe)"
 }
 
 fn load(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
@@ -637,20 +652,43 @@ fn cmd_serve(args: &Args) -> CliResult {
             None => None,
         },
         lenient: args.flag("lenient"),
+        default_deadline: match args.get("default-deadline") {
+            Some(_) => Some(args.get_or("default-deadline", 0u64)?),
+            None => None,
+        },
+        retries: args.get_or("retries", 0usize)?,
     };
+    if config.default_deadline == Some(0) {
+        return Err(ArgsError::UnknownChoice {
+            name: "default-deadline",
+            value: "0".to_owned(),
+            choices: "a work-unit count of at least 1",
+        }
+        .into());
+    }
     let pool = thread_pool(args)?;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
-    let report = serve(stdin.lock(), &mut out, &config, &pool).map_err(|e| match e {
-        ServeError::Protocol(p) => Box::new(p) as Box<dyn std::error::Error>,
-        ServeError::Runtime(r) => Box::new(r) as Box<dyn std::error::Error>,
-    })?;
+    let result = serve(stdin.lock(), &mut out, &config, &pool);
     drop(out);
+    let report = match result {
+        Ok(report) => report,
+        // The consumer hung up: everything written so far was delivered,
+        // nothing was lost on the server side. Exit 4 tells the operator
+        // it was the pipe, not the pipeline.
+        Err(e) if e.is_broken_pipe() => {
+            eprintln!("serve: response consumer hung up; shutting down");
+            return Ok(CliOutcome::OutputClosed);
+        }
+        Err(ServeError::Protocol(p)) => return Err(Box::new(p)),
+        Err(e) => return Err(Box::new(e)),
+    };
     eprintln!(
-        "served {} request(s) in {} window(s): {} ok, {} degraded, {} error, {} rejected",
+        "served {} request(s) in {} window(s): {} ok, {} degraded, {} error, {} rejected, \
+         {} deadline, {} shed",
         report.requests, report.windows, report.ok, report.degraded, report.errors,
-        report.rejected
+        report.rejected, report.deadlines, report.shed
     );
     eprintln!(
         "peak in-flight: {} request(s) / {} cluster(s); stream high-watermark {} cluster(s)",
@@ -669,15 +707,25 @@ fn cmd_chaos(args: &Args) -> CliResult {
         ChaosSuite::from_env()
     };
     let pool = thread_pool(args)?;
-    println!(
-        "running {} fault-injection cases on {} threads…",
-        suite.planned_cases(),
-        pool.threads()
-    );
+    let json = args.flag("json");
+    if !json {
+        println!(
+            "running {} fault-injection cases on {} threads…",
+            suite.planned_cases(),
+            pool.threads()
+        );
+    }
     let report = suite.run_on(&pool);
-    println!("{}", report.summary());
+    if json {
+        // Machine-readable: stdout is exactly one JSON object.
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.summary());
+    }
     if report.is_clean() {
         Ok(CliOutcome::Ok)
+    } else if json {
+        Err("chaos suite caught panics (see \"panics\" in the JSON summary)".into())
     } else {
         Err("chaos suite caught panics (see summary above)".into())
     }

@@ -474,6 +474,204 @@ fn serve_responses_replay_identically_across_thread_counts() {
 }
 
 #[test]
+fn serve_per_request_deadline_answers_with_a_typed_deadline_response() {
+    let input = "{\"tenant\":\"acme\",\"request_id\":\"d1\",\"op\":\"generate\",\
+                 \"clusters\":12,\"len\":30,\"deadline\":3}\n\
+                 {\"tenant\":\"acme\",\"request_id\":\"d2\",\"op\":\"generate\",\
+                 \"clusters\":4,\"len\":30}\n";
+    let out = serve_with_input(&["--seed", "5"], input);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(
+        lines[0].contains("\"status\":\"deadline\"")
+            && lines[0].contains("\"spent\":3")
+            && lines[0].contains("\"limit\":3")
+            && lines[0].contains("\"stage\":"),
+        "deadline response must be typed: {}",
+        lines[0]
+    );
+    assert!(lines[1].contains("\"status\":\"ok\""), "unmetered request unaffected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("1 deadline"));
+}
+
+#[test]
+fn serve_default_deadline_meters_all_requests_and_zero_is_a_usage_error() {
+    let input = "{\"tenant\":\"acme\",\"request_id\":\"m1\",\"op\":\"generate\",\
+                 \"clusters\":10,\"len\":25}\n";
+    let out = serve_with_input(&["--default-deadline", "2"], input);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"status\":\"deadline\""));
+
+    let out = serve_with_input(&["--default-deadline", "0"], input);
+    assert_eq!(out.status.code(), Some(2), "a zero deadline is meaningless");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("default-deadline"));
+}
+
+#[test]
+fn serve_retries_report_attempts_in_responses() {
+    let input = "{\"tenant\":\"acme\",\"request_id\":\"r1\",\"op\":\"generate\",\
+                 \"clusters\":2,\"len\":20}\n";
+    let out = serve_with_input(&["--retries", "2"], input);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"attempts\":1"),
+        "retry policy must surface the attempt count: {stdout}"
+    );
+}
+
+#[test]
+fn serve_sheds_requests_over_the_cluster_budget_as_overloaded() {
+    let input = "{\"tenant\":\"acme\",\"request_id\":\"big\",\"op\":\"generate\",\
+                 \"clusters\":500,\"len\":24}\n\
+                 {\"tenant\":\"acme\",\"request_id\":\"small\",\"op\":\"generate\",\
+                 \"clusters\":3,\"len\":24}\n";
+    let out = serve_with_input(&["--cluster-budget", "32"], input);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(
+        lines[0].contains("\"status\":\"rejected\"")
+            && lines[0].contains("\"reason\":\"overloaded\""),
+        "oversized request must be shed: {}",
+        lines[0]
+    );
+    assert!(lines[1].contains("\"status\":\"ok\""), "in-budget request unaffected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("1 shed"));
+}
+
+#[test]
+fn serve_broken_stdout_exits_cleanly_with_code_4() {
+    let mut child = dnasim()
+        .args(["serve", "--lenient"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Hang up the response stream before any request is served.
+    drop(child.stdout.take());
+    let mut stdin = child.stdin.take().unwrap();
+    // Keep feeding requests until the server notices the dead pipe; it
+    // may exit (closing our stdin pipe) before we finish writing.
+    for i in 0..256 {
+        let line = format!(
+            "{{\"tenant\":\"acme\",\"request_id\":\"p{i}\",\"op\":\"generate\",\
+             \"clusters\":2,\"len\":20}}\n"
+        );
+        if stdin.write_all(line.as_bytes()).is_err() {
+            break;
+        }
+    }
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "a hung-up consumer is a clean shutdown, not a crash: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("hung up"));
+}
+
+#[test]
+fn chaos_json_emits_a_machine_readable_summary() {
+    let out = dnasim().args(["chaos", "--seeds", "1", "--json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("{\"cases\":"),
+        "stdout must be the JSON object alone: {stdout}"
+    );
+    assert!(stdout.contains("\"clean\":true"));
+    assert!(stdout.contains("\"verdicts\":"));
+    assert!(stdout.contains("\"budget-exhaustion\""));
+    assert!(!stdout.contains("chaos:"), "human summary must not pollute JSON mode");
+}
+
+#[test]
+fn serve_lenient_rejects_oversized_archive_bytes_in_place() {
+    let input = "{\"tenant\":\"acme\",\"request_id\":\"a1\",\"op\":\"archive\",\
+                 \"bytes\":999999}\n\
+                 {\"tenant\":\"acme\",\"request_id\":\"a2\",\"op\":\"archive\",\"bytes\":64}\n";
+    let out = serve_with_input(&["--lenient", "--max-batch", "100"], input);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(
+        lines[0].contains("\"status\":\"rejected\"") && lines[0].contains("admission cap"),
+        "oversized archive must be rejected in place: {}",
+        lines[0]
+    );
+    assert!(lines[1].contains("\"round_trip\":true"));
+}
+
+#[test]
+fn serve_lenient_answers_unknown_op_after_valid_ops() {
+    let input = "{\"tenant\":\"acme\",\"request_id\":\"v1\",\"op\":\"generate\",\
+                 \"clusters\":2,\"len\":20}\n\
+                 {\"tenant\":\"acme\",\"request_id\":\"v2\",\"op\":\"archive\",\"bytes\":48}\n\
+                 {\"tenant\":\"acme\",\"request_id\":\"u1\",\"op\":\"teleport\"}\n";
+    let out = serve_with_input(&["--lenient"], input);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"status\":\"ok\""));
+    assert!(lines[1].contains("\"round_trip\":true"));
+    assert!(
+        lines[2].contains("\"status\":\"rejected\"") && lines[2].contains("teleport"),
+        "unknown op must answer in place after valid ops: {}",
+        lines[2]
+    );
+}
+
+#[test]
+fn serve_lenient_isolates_a_tenant_whose_requests_all_fault() {
+    // "evil" sends only runtime-faulting datasets; "good" sends healthy ops.
+    let mut with_evil = String::new();
+    let mut good_only = String::new();
+    for i in 0..4 {
+        let good = format!(
+            "{{\"tenant\":\"good\",\"request_id\":\"g{i}\",\"op\":\"generate\",\
+             \"clusters\":3,\"len\":22}}\n"
+        );
+        with_evil.push_str(&good);
+        good_only.push_str(&good);
+        with_evil.push_str(&format!(
+            "{{\"tenant\":\"evil\",\"request_id\":\"e{i}\",\"op\":\"simulate\",\
+             \"dataset\":\">ACGT\\nAXGT\\n\"}}\n"
+        ));
+    }
+    let mixed = serve_with_input(&["--lenient", "--seed", "9"], &with_evil);
+    let solo = serve_with_input(&["--lenient", "--seed", "9"], &good_only);
+    assert_eq!(mixed.status.code(), Some(0));
+    assert_eq!(solo.status.code(), Some(0));
+    let mixed_out = String::from_utf8_lossy(&mixed.stdout);
+    for line in mixed_out.lines().filter(|l| l.contains("\"tenant\":\"evil\"")) {
+        assert!(
+            line.contains("\"status\":\"error\""),
+            "evil's faults must answer in place: {line}"
+        );
+    }
+    let good_lines = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("\"tenant\":\"good\""))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        good_lines(&mixed_out),
+        good_lines(&String::from_utf8_lossy(&solo.stdout)),
+        "a fully-faulting tenant must not perturb another tenant's responses"
+    );
+}
+
+#[test]
 fn archive_with_bounded_decode_window_round_trips() {
     let out = dnasim()
         .args(["archive", "--bytes", "256", "--batch-size", "16"])

@@ -1,0 +1,294 @@
+//! Deterministic work budgets and cooperative cancellation.
+//!
+//! Wall-clock deadlines are useless for a reproducible simulator: the same
+//! request must produce the same bytes on a loaded laptop and an idle
+//! server. Instead the workspace meters *work units* — clusters pumped
+//! through a stage, decode windows attempted — and a [`Budget`] bounds how
+//! many a computation may spend. Exhaustion is detected in the serial
+//! driver loop of each stage (never inside parallel workers), so the point
+//! at which a budget runs out is a pure function of the limit: cluster
+//! `limit` is always the first one refused, at any thread count and any
+//! batch size (DESIGN.md §13).
+//!
+//! [`CancelToken`] is the cooperative-shutdown half: a cloneable flag a
+//! session owner can raise. Budgets observe their linked token at the same
+//! serial checkpoints, so cancellation also lands on a deterministic batch
+//! boundary. Both exhaustion and cancellation surface as the typed
+//! [`DnasimError::DeadlineExceeded`], never as a panic or a hang.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::DnasimError;
+
+/// A cloneable cancellation flag shared between a controller (which calls
+/// [`CancelToken::cancel`]) and any number of [`Budget`]s observing it.
+///
+/// The token is purely cooperative: raising it does not interrupt running
+/// work, it makes the next budget checkpoint (a batch boundary) return
+/// [`DnasimError::DeadlineExceeded`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on this
+    /// token or any clone of it.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// A deterministic work-unit meter.
+///
+/// A budget holds a fixed `limit` of work units and an atomic `spent`
+/// counter. Stages consume units through [`admit`](Budget::admit) (take as
+/// many of `n` units as remain) or [`charge`](Budget::charge) (all-or-error),
+/// always from their serial driver loop, which is what keeps the exhaustion
+/// point byte-deterministic.
+///
+/// [`Budget::unlimited`] is the no-op meter existing entry points delegate
+/// through: it never exhausts and costs one atomic add per batch.
+#[derive(Debug)]
+pub struct Budget {
+    limit: u64,
+    spent: AtomicU64,
+    token: CancelToken,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never exhausts (limit `u64::MAX`).
+    pub fn unlimited() -> Budget {
+        Budget::limited(u64::MAX)
+    }
+
+    /// A budget of exactly `limit` work units.
+    pub fn limited(limit: u64) -> Budget {
+        Budget {
+            limit,
+            spent: AtomicU64::new(0),
+            token: CancelToken::new(),
+        }
+    }
+
+    /// Links this budget to an external cancellation token: every
+    /// checkpoint observes `token` in addition to the meter.
+    pub fn with_token(mut self, token: CancelToken) -> Budget {
+        self.token = token;
+        self
+    }
+
+    /// The configured limit (`u64::MAX` for unlimited budgets).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Work units consumed so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Acquire)
+    }
+
+    /// Work units still available (0 when cancelled).
+    pub fn remaining(&self) -> u64 {
+        if self.is_cancelled() {
+            return 0;
+        }
+        self.limit.saturating_sub(self.spent())
+    }
+
+    /// Whether the linked token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// The cancellation token this budget observes (clone it to keep a
+    /// handle that can cancel the work).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Checkpoint for cancellation only: `Err` iff the linked token has
+    /// been raised. Stages call this at every batch boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::DeadlineExceeded`] naming `stage`, with the limit
+    /// collapsed to what was already spent (cancellation is modelled as
+    /// the budget shrinking to its spent amount).
+    pub fn check(&self, stage: &'static str) -> Result<(), DnasimError> {
+        if self.is_cancelled() {
+            let spent = self.spent();
+            return Err(DnasimError::DeadlineExceeded {
+                spent,
+                limit: spent,
+                stage,
+            });
+        }
+        Ok(())
+    }
+
+    /// Atomically takes up to `units` work units, returning how many were
+    /// admitted: `units` while the meter has room, the remaining prefix as
+    /// it runs dry, and 0 thereafter (or immediately when cancelled).
+    ///
+    /// Callers process exactly the admitted prefix, which is what makes
+    /// partial output a deterministic function of the limit.
+    pub fn admit(&self, units: u64) -> u64 {
+        if units == 0 || self.is_cancelled() {
+            return 0;
+        }
+        let mut current = self.spent.load(Ordering::Acquire);
+        loop {
+            let granted = units.min(self.limit.saturating_sub(current));
+            if granted == 0 {
+                return 0;
+            }
+            match self.spent.compare_exchange_weak(
+                current,
+                current + granted,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return granted,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Takes exactly `units` work units or fails: checkpoint plus meter in
+    /// one call, for stages that cannot make partial progress.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::DeadlineExceeded`] when cancelled or when fewer than
+    /// `units` remain (whatever remains is still consumed, so the meter
+    /// reads `spent == limit` afterwards).
+    pub fn charge(&self, stage: &'static str, units: u64) -> Result<(), DnasimError> {
+        self.check(stage)?;
+        if self.admit(units) < units {
+            return Err(self.exceeded(stage));
+        }
+        Ok(())
+    }
+
+    /// The typed error describing this budget's exhaustion at `stage`.
+    pub fn exceeded(&self, stage: &'static str) -> DnasimError {
+        DnasimError::DeadlineExceeded {
+            spent: self.spent().min(self.limit),
+            limit: self.limit,
+            stage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let budget = Budget::unlimited();
+        assert_eq!(budget.admit(1 << 40), 1 << 40);
+        budget.charge("stage", 12).unwrap();
+        budget.check("stage").unwrap();
+        assert!(budget.remaining() > 0);
+    }
+
+    #[test]
+    fn admit_hands_out_the_exact_prefix_then_zero() {
+        let budget = Budget::limited(10);
+        assert_eq!(budget.admit(4), 4);
+        assert_eq!(budget.admit(4), 4);
+        // Only 2 remain: the partial admit is the deterministic cut point.
+        assert_eq!(budget.admit(4), 2);
+        assert_eq!(budget.admit(4), 0);
+        assert_eq!(budget.spent(), 10);
+        assert_eq!(budget.remaining(), 0);
+    }
+
+    #[test]
+    fn charge_fails_with_typed_error_and_saturates() {
+        let budget = Budget::limited(5);
+        budget.charge("pump", 3).unwrap();
+        let err = budget.charge("pump", 3).unwrap_err();
+        match err {
+            DnasimError::DeadlineExceeded { spent, limit, stage } => {
+                assert_eq!(spent, 5);
+                assert_eq!(limit, 5);
+                assert_eq!(stage, "pump");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(budget.spent(), 5);
+    }
+
+    #[test]
+    fn cancellation_trips_every_checkpoint() {
+        let budget = Budget::limited(100);
+        assert_eq!(budget.admit(10), 10);
+        let handle = budget.token().clone();
+        handle.cancel();
+        assert!(budget.is_cancelled());
+        assert_eq!(budget.admit(10), 0);
+        assert_eq!(budget.remaining(), 0);
+        let err = budget.check("drain").unwrap_err();
+        match err {
+            DnasimError::DeadlineExceeded { spent, limit, stage } => {
+                assert_eq!(spent, 10);
+                assert_eq!(limit, 10, "cancel collapses the limit to spent");
+                assert_eq!(stage, "drain");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linked_token_is_shared_across_budgets() {
+        let token = CancelToken::new();
+        let a = Budget::limited(8).with_token(token.clone());
+        let b = Budget::unlimited().with_token(token.clone());
+        assert!(a.check("a").is_ok() && b.check("b").is_ok());
+        token.cancel();
+        assert!(a.check("a").is_err());
+        assert!(b.check("b").is_err());
+    }
+
+    #[test]
+    fn concurrent_admits_never_oversubscribe() {
+        let budget = std::sync::Arc::new(Budget::limited(1000));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let budget = std::sync::Arc::clone(&budget);
+            handles.push(std::thread::spawn(move || {
+                let mut taken = 0u64;
+                loop {
+                    let got = budget.admit(7);
+                    if got == 0 {
+                        return taken;
+                    }
+                    taken += got;
+                }
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000, "every unit handed out exactly once");
+        assert_eq!(budget.spent(), 1000);
+    }
+}

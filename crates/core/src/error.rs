@@ -29,6 +29,7 @@ use std::io;
 /// | [`Config`](DnasimError::Config) | degenerate or out-of-range configuration |
 /// | [`Codec`](DnasimError::Codec) | encode/decode failures inside a strand |
 /// | [`Degraded`](DnasimError::Degraded) | losses beyond the redundancy budget |
+/// | [`DeadlineExceeded`](DnasimError::DeadlineExceeded) | a deterministic work budget ran out |
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum DnasimError {
@@ -63,6 +64,18 @@ pub enum DnasimError {
         missing: usize,
         /// Total slots the redundancy layer could have absorbed.
         budget: usize,
+    },
+    /// A deterministic work budget ran out (or its cancellation token was
+    /// raised) before the stage finished. Work units are logical — clusters
+    /// pumped, decode windows attempted — never wall-clock, so the same
+    /// request exhausts at the same point on any machine (DESIGN.md §13).
+    DeadlineExceeded {
+        /// Work units consumed when the deadline tripped.
+        spent: u64,
+        /// The configured budget (collapses to `spent` on cancellation).
+        limit: u64,
+        /// The stage whose checkpoint detected exhaustion.
+        stage: &'static str,
     },
 }
 
@@ -116,6 +129,10 @@ impl fmt::Display for DnasimError {
                 "degradation budget exceeded: {missing} strand(s) unrecoverable \
                  (redundancy budget {budget})"
             ),
+            DnasimError::DeadlineExceeded { spent, limit, stage } => write!(
+                f,
+                "deadline exceeded in stage {stage}: spent {spent} of {limit} work unit(s)"
+            ),
         }
     }
 }
@@ -156,6 +173,14 @@ mod tests {
                     budget: 2,
                 },
                 "budget exceeded",
+            ),
+            (
+                DnasimError::DeadlineExceeded {
+                    spent: 64,
+                    limit: 64,
+                    stage: "pump",
+                },
+                "deadline exceeded in stage pump",
             ),
         ];
         for (err, needle) in cases {

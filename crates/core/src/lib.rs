@@ -16,6 +16,8 @@
 //! * [`Cluster`] / [`Dataset`] — reads grouped per reference strand;
 //! * [`Batch`] / [`ClusterSource`] / [`ClusterSink`] — bounded-memory
 //!   streaming flow over the same clusters (see [`stream`]);
+//! * [`Budget`] / [`CancelToken`] — deterministic work metering and
+//!   cooperative cancellation (see [`budget`]);
 //! * [`EditOp`] / [`EditScript`] — the IDS error vocabulary;
 //! * [`DnasimError`] — the workspace-wide failure taxonomy;
 //! * [`rng`] — deterministic seeding utilities;
@@ -38,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 mod base;
+pub mod budget;
 mod cluster;
 mod dataset;
 mod edit;
@@ -50,10 +53,13 @@ pub mod tech;
 mod strand;
 
 pub use base::{Base, ParseBaseError};
+pub use budget::{Budget, CancelToken};
 pub use cluster::Cluster;
 pub use dataset::Dataset;
 pub use edit::{ApplyScriptError, EditOp, EditScript, ErrorKind, Mismatch};
 pub use error::DnasimError;
 pub use packed::PackedStrand;
 pub use strand::{ParseStrandError, Strand};
-pub use stream::{pump, Batch, ClusterSink, ClusterSource, DatasetStream, NullSink, WindowStats};
+pub use stream::{
+    pump, pump_budgeted, Batch, ClusterSink, ClusterSource, DatasetStream, NullSink, WindowStats,
+};

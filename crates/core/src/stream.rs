@@ -37,6 +37,7 @@
 
 use std::ops::Range;
 
+use crate::budget::Budget;
 use crate::cluster::Cluster;
 use crate::dataset::Dataset;
 use crate::error::DnasimError;
@@ -97,6 +98,13 @@ impl Batch {
     /// Consumes the batch, returning its start index and clusters.
     pub fn into_parts(self) -> (usize, Vec<Cluster>) {
         (self.start, self.clusters)
+    }
+
+    /// Keeps only the first `len` clusters, preserving the start index.
+    /// A no-op when the batch is already at most `len` long. This is how
+    /// a budgeted driver cuts a batch at the admitted prefix.
+    pub fn truncate(&mut self, len: usize) {
+        self.clusters.truncate(len);
     }
 }
 
@@ -196,6 +204,37 @@ pub fn pump<S, K, F>(
     source: &mut S,
     sink: &mut K,
     batch_size: usize,
+    transform: F,
+) -> Result<WindowStats, DnasimError>
+where
+    S: ClusterSource + ?Sized,
+    K: ClusterSink + ?Sized,
+    F: FnMut(Batch) -> Result<Batch, DnasimError>,
+{
+    pump_budgeted(source, sink, batch_size, &Budget::unlimited(), "pump", transform)
+}
+
+/// [`pump`] with a deterministic work [`Budget`]: each non-empty batch
+/// charges one unit per cluster, each empty batch charges one unit (so a
+/// stalled source that yields empty batches forever exhausts the budget
+/// instead of spinning), and cancellation is observed at every batch
+/// boundary.
+///
+/// When the budget runs dry mid-batch the *admitted prefix* is still
+/// transformed and emitted, so the sink holds exactly the first `limit`
+/// clusters of the stream — at any batch size — before the typed error is
+/// returned. `stage` names this driver in the error.
+///
+/// # Errors
+///
+/// [`DnasimError::DeadlineExceeded`] on exhaustion or cancellation, plus
+/// everything [`pump`] can report.
+pub fn pump_budgeted<S, K, F>(
+    source: &mut S,
+    sink: &mut K,
+    batch_size: usize,
+    budget: &Budget,
+    stage: &'static str,
     mut transform: F,
 ) -> Result<WindowStats, DnasimError>
 where
@@ -206,8 +245,17 @@ where
     let batch_size = checked_batch_size(batch_size)?;
     let mut stats = WindowStats::default();
     let mut expected_start = 0usize;
-    while let Some(batch) = source.next_batch(batch_size)? {
+    loop {
+        budget.check(stage)?;
+        let Some(mut batch) = source.next_batch(batch_size)? else {
+            break;
+        };
         if batch.is_empty() {
+            // Progress guard: an empty batch costs one unit, so a source
+            // that stalls (empty batches forever) deterministically trips
+            // the deadline instead of looping. Real sources never emit
+            // empty batches, so metered runs stay byte-identical.
+            budget.charge(stage, 1)?;
             continue;
         }
         if batch.start() != expected_start {
@@ -220,19 +268,27 @@ where
                 ),
             ));
         }
-        let (start, len) = (batch.start(), batch.len());
-        stats.batches += 1;
-        stats.clusters += len;
-        stats.high_watermark = stats.high_watermark.max(len);
-        let out = transform(batch)?;
-        if out.start() != start || out.len() != len {
-            return Err(DnasimError::config(
-                "stream",
-                "streaming transform must map batches 1:1 (same start and length)",
-            ));
+        let full_len = batch.len();
+        let admitted = budget.admit(full_len as u64) as usize;
+        batch.truncate(admitted);
+        if admitted > 0 {
+            let (start, len) = (batch.start(), batch.len());
+            stats.batches += 1;
+            stats.clusters += len;
+            stats.high_watermark = stats.high_watermark.max(len);
+            let out = transform(batch)?;
+            if out.start() != start || out.len() != len {
+                return Err(DnasimError::config(
+                    "stream",
+                    "streaming transform must map batches 1:1 (same start and length)",
+                ));
+            }
+            sink.accept(out)?;
+            expected_start = start + len;
         }
-        sink.accept(out)?;
-        expected_start = start + len;
+        if admitted < full_len {
+            return Err(budget.exceeded(stage));
+        }
     }
     sink.finish()?;
     Ok(stats)
@@ -475,6 +531,69 @@ mod tests {
         // no-op on the watermark.
         aggregate.absorb(WindowStats::default());
         assert_eq!(aggregate.high_watermark, 7);
+    }
+
+    #[test]
+    fn budgeted_pump_emits_exactly_the_limit_prefix_at_any_batch_size() {
+        let ds = sample(10);
+        for limit in [0u64, 1, 4, 9, 10, 50] {
+            let expected: Vec<Cluster> =
+                ds.clusters()[..ds.len().min(limit as usize)].to_vec();
+            for batch_size in [1, 3, 7, 64] {
+                let budget = Budget::limited(limit);
+                let mut out = Dataset::new();
+                let result =
+                    pump_budgeted(&mut ds.stream(), &mut out, batch_size, &budget, "copy", Ok);
+                if limit >= 10 {
+                    result.unwrap();
+                } else {
+                    match result.unwrap_err() {
+                        DnasimError::DeadlineExceeded { spent, limit: l, stage } => {
+                            assert_eq!(spent, limit);
+                            assert_eq!(l, limit);
+                            assert_eq!(stage, "copy");
+                        }
+                        other => panic!("expected DeadlineExceeded, got {other:?}"),
+                    }
+                }
+                assert_eq!(
+                    out.clusters(),
+                    expected.as_slice(),
+                    "limit={limit} batch_size={batch_size}"
+                );
+            }
+        }
+    }
+
+    /// A source that never produces a cluster: without the empty-batch
+    /// charge this would loop forever; with it, the budget trips.
+    struct StalledForever;
+
+    impl ClusterSource for StalledForever {
+        fn next_batch(&mut self, _max: usize) -> Result<Option<Batch>, DnasimError> {
+            Ok(Some(Batch::new(0, Vec::new())))
+        }
+    }
+
+    #[test]
+    fn budgeted_pump_detects_a_stalled_source() {
+        let budget = Budget::limited(16);
+        let mut sink = NullSink::new();
+        let err =
+            pump_budgeted(&mut StalledForever, &mut sink, 4, &budget, "stall", Ok).unwrap_err();
+        assert!(matches!(err, DnasimError::DeadlineExceeded { .. }));
+        assert_eq!(sink.clusters(), 0);
+    }
+
+    #[test]
+    fn cancelled_budget_stops_pump_at_the_next_batch_boundary() {
+        let ds = sample(8);
+        let budget = Budget::unlimited();
+        budget.token().cancel();
+        let mut out = Dataset::new();
+        let err = pump_budgeted(&mut ds.stream(), &mut out, 2, &budget, "drain", Ok).unwrap_err();
+        assert!(matches!(err, DnasimError::DeadlineExceeded { .. }));
+        assert!(out.is_empty(), "cancellation before the first batch emits nothing");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use dnasim_channel::{CoverageModel, ErrorModel};
 use dnasim_core::rng::{SeedSequence, SimRng};
-use dnasim_core::{Base, Batch, Cluster, ClusterSink, Dataset, DnasimError, Strand, WindowStats};
+use dnasim_core::{Base, Batch, Budget, Cluster, ClusterSink, Dataset, DnasimError, Strand, WindowStats};
 use dnasim_core::rng::RngExt;
 use dnasim_par::ThreadPool;
 
@@ -199,6 +199,29 @@ impl NanoporeTwinConfig {
     where
         K: ClusterSink + ?Sized,
     {
+        self.generate_stream_budgeted(batch_size, pool, &Budget::unlimited(), sink)
+    }
+
+    /// [`NanoporeTwinConfig::generate_stream`] metered by a [`Budget`]:
+    /// one work unit per generated cluster, admitted in the serial batch
+    /// loop, so an exhausted budget always cuts the twin at global cluster
+    /// `limit` — at any batch size or thread count — after emitting the
+    /// admitted prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::DeadlineExceeded`] on exhaustion or cancellation,
+    /// plus everything [`NanoporeTwinConfig::generate_stream`] can report.
+    pub fn generate_stream_budgeted<K>(
+        &self,
+        batch_size: usize,
+        pool: &ThreadPool,
+        budget: &Budget,
+        sink: &mut K,
+    ) -> Result<WindowStats, DnasimError>
+    where
+        K: ClusterSink + ?Sized,
+    {
         if batch_size == 0 {
             return Err(DnasimError::config(
                 "batch_size",
@@ -211,17 +234,24 @@ impl NanoporeTwinConfig {
         let mut stats = WindowStats::default();
         let mut start = 0usize;
         while start < self.cluster_count {
+            budget.check("generate")?;
             let len = batch_size.min(self.cluster_count - start);
-            let clusters = pool.par_map_len(len, |i| {
+            let admitted = usize::try_from(budget.admit(len as u64)).unwrap_or(usize::MAX);
+            let clusters = pool.par_map_len(admitted, |i| {
                 let index = start + i;
                 let mut rng = seq.fork_rng(index as u64);
                 self.generate_cluster(index, &channel, &coverage, &mut rng)
             })?;
-            stats.batches += 1;
-            stats.clusters += len;
-            stats.high_watermark = stats.high_watermark.max(len);
-            sink.accept(Batch::new(start, clusters))?;
-            start += len;
+            if admitted > 0 {
+                stats.batches += 1;
+                stats.clusters += admitted;
+                stats.high_watermark = stats.high_watermark.max(admitted);
+                sink.accept(Batch::new(start, clusters))?;
+                start += admitted;
+            }
+            if admitted < len {
+                return Err(budget.exceeded("generate"));
+            }
         }
         sink.finish()?;
         Ok(stats)

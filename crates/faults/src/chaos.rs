@@ -14,7 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use dnasim_channel::{CoverageModel, KeoliyaModel, NaiveModel, Simulator, SimulatorLayer};
 use dnasim_codec::{OuterRsCode, ReedSolomon, StrandLayout};
 use dnasim_core::rng::{seeded, RngExt};
-use dnasim_core::DnasimError;
+use dnasim_core::{pump_budgeted, Budget, Cluster, Dataset, DnasimError, NullSink};
 use dnasim_dataset::{
     generate_references, read_dataset, write_dataset, ReadDatasetError, ReferenceStyle,
 };
@@ -26,6 +26,7 @@ use crate::inject::{
     corrupt_cluster_text, corrupt_model_text, degenerate_rs_params, FaultCategory, FaultKind,
 };
 use crate::reader::{FaultyReader, ReaderFaultPlan};
+use crate::stream_faults::{FailingSink, StallingSource};
 
 /// Seed-mixing constant so injection randomness differs from data
 /// generation randomness for the same case seed.
@@ -117,6 +118,89 @@ impl ChaosReport {
         }
         out
     }
+
+    /// A machine-readable summary (used by `dnasim chaos --json`):
+    /// aggregate verdict counts, per-fault-kind counts in grid order, and
+    /// the full reproduction coordinates of any panic. Key order is
+    /// deterministic, so the output is diffable across runs.
+    pub fn to_json(&self) -> String {
+        let mut tolerated = 0usize;
+        let mut typed = 0usize;
+        let mut quarantined = 0usize;
+        let mut panicked = 0usize;
+        for outcome in &self.outcomes {
+            match outcome.verdict {
+                Verdict::Tolerated => tolerated += 1,
+                Verdict::TypedError(_) => typed += 1,
+                Verdict::Quarantined(_) => quarantined += 1,
+                Verdict::Panicked(_) => panicked += 1,
+            }
+        }
+        let mut out = format!(
+            "{{\"cases\":{},\"clean\":{},\"verdicts\":{{\"tolerated\":{tolerated},\
+             \"typed_error\":{typed},\"quarantined\":{quarantined},\
+             \"panicked\":{panicked}}},\"faults\":{{",
+            self.cases(),
+            self.is_clean(),
+        );
+        let mut first = true;
+        for fault in FaultKind::ALL {
+            let mut cases = 0usize;
+            let mut bad = 0usize;
+            for outcome in self.outcomes.iter().filter(|o| o.fault == fault) {
+                cases += 1;
+                if matches!(outcome.verdict, Verdict::Panicked(_)) {
+                    bad += 1;
+                }
+            }
+            if cases == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\"{}\":{{\"cases\":{cases},\"panicked\":{bad}}}",
+                fault.name()
+            ));
+        }
+        out.push_str("},\"panics\":[");
+        for (i, bad) in self.panicked().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let message = match &bad.verdict {
+                Verdict::Panicked(msg) => msg.as_str(),
+                _ => "",
+            };
+            out.push_str(&format!(
+                "{{\"fault\":\"{}\",\"seed\":{},\"message\":\"{}\"}}",
+                bad.fault.name(),
+                bad.seed,
+                escape_json(message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for panic messages.
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Sweeps every [`FaultKind`] over a seed grid.
@@ -236,18 +320,24 @@ fn exercise(fault: FaultKind, seed: u64) -> Verdict {
         FaultCategory::ByteStream => exercise_byte_stream(fault, seed),
         FaultCategory::ModelParams => exercise_model_params(fault, seed),
         FaultCategory::CodecParams => exercise_codec_params(seed),
+        FaultCategory::Streaming => exercise_streaming(fault, seed),
     }
 }
 
-/// A small clean cluster file to corrupt, deterministic in the seed.
-fn base_dataset_text(seed: u64) -> String {
+/// A small clean dataset, deterministic in the seed.
+fn base_dataset(seed: u64) -> Dataset {
     let mut rng = seeded(seed);
     let references = generate_references(5, 48, ReferenceStyle::Uniform, &mut rng);
     let simulator = Simulator::new(
         NaiveModel::with_total_rate(0.05),
         CoverageModel::Fixed(4),
     );
-    let dataset = simulator.simulate(&references, &mut rng);
+    simulator.simulate(&references, &mut rng)
+}
+
+/// A small clean cluster file to corrupt, deterministic in the seed.
+fn base_dataset_text(seed: u64) -> String {
+    let dataset = base_dataset(seed);
     let mut buf = Vec::new();
     // Writes to a Vec are infallible; a failure here would surface as an
     // empty corpus, which every injector handles.
@@ -328,6 +418,60 @@ fn exercise_model_params(fault: FaultKind, seed: u64) -> Verdict {
     }
 }
 
+/// Push a pump through a stalled source, a failing sink, or an exhausted
+/// budget and classify the answer. The robustness contract for each:
+/// stalls and mid-batch exhaustion must surface a typed
+/// `DeadlineExceeded` (the already-pumped prefix is intact in the sink —
+/// the quarantine shape), and a failing sink must surface its typed I/O
+/// error — never a panic, never a spin.
+fn exercise_streaming(fault: FaultKind, seed: u64) -> Verdict {
+    let dataset = base_dataset(seed);
+    let clusters: Vec<Cluster> = dataset.iter().cloned().collect();
+    let total = clusters.len() as u64;
+    let mut rng = seeded(seed ^ SEED_MIX);
+    match fault {
+        FaultKind::StalledSource => {
+            // The source wedges after a random prefix; the budget has
+            // room for every real cluster plus a little slack, so only
+            // the stall can exhaust it.
+            let keep = rng.random_range(0..=clusters.len());
+            let mut source = StallingSource::new(clusters[..keep].to_vec());
+            let mut sink = NullSink::new();
+            let budget = Budget::limited(total + 4);
+            match pump_budgeted(&mut source, &mut sink, 3, &budget, "pump", Ok) {
+                Err(e) => Verdict::TypedError(e.to_string()),
+                Ok(_) => Verdict::Tolerated,
+            }
+        }
+        FaultKind::SinkWriteFailure => {
+            let capacity = rng.random_range(0..clusters.len().max(1));
+            let mut source = dataset.stream();
+            let mut sink = FailingSink::new(capacity);
+            match pump_budgeted(&mut source, &mut sink, 2, &Budget::unlimited(), "pump", Ok) {
+                Err(e) => Verdict::TypedError(e.to_string()),
+                Ok(_) => Verdict::Tolerated,
+            }
+        }
+        _ => {
+            // BudgetExhaustion: a budget strictly smaller than the corpus
+            // runs out mid-stream; the admitted prefix reaches the sink
+            // and the remainder is quarantined behind a typed error.
+            let limit = rng.random_range(0..total.max(1));
+            let mut source = dataset.stream();
+            let mut sink = NullSink::new();
+            let budget = Budget::limited(limit);
+            match pump_budgeted(&mut source, &mut sink, 4, &budget, "pump", Ok) {
+                Err(DnasimError::DeadlineExceeded { spent, .. }) => {
+                    debug_assert_eq!(sink.clusters() as u64, spent);
+                    Verdict::Quarantined((total - spent.min(total)) as usize)
+                }
+                Err(e) => Verdict::TypedError(e.to_string()),
+                Ok(_) => Verdict::Tolerated,
+            }
+        }
+    }
+}
+
 fn exercise_codec_params(seed: u64) -> Verdict {
     let mut rng = seeded(seed ^ SEED_MIX);
     let (n, k) = degenerate_rs_params(&mut rng);
@@ -390,5 +534,44 @@ mod tests {
         let report = ChaosSuite::smoke().run();
         let summary = report.summary();
         assert!(summary.contains(&format!("{} cases", report.cases())), "{summary}");
+    }
+
+    #[test]
+    fn streaming_faults_yield_typed_or_quarantined_verdicts() {
+        for seed in 0..8 {
+            let stalled = run_case(FaultKind::StalledSource, seed);
+            assert!(
+                matches!(stalled.verdict, Verdict::TypedError(ref m) if m.contains("deadline")),
+                "seed {seed}: {:?}",
+                stalled.verdict
+            );
+            let sink = run_case(FaultKind::SinkWriteFailure, seed);
+            assert!(
+                matches!(sink.verdict, Verdict::TypedError(_)),
+                "seed {seed}: {:?}",
+                sink.verdict
+            );
+            let exhausted = run_case(FaultKind::BudgetExhaustion, seed);
+            assert!(
+                matches!(exhausted.verdict, Verdict::Quarantined(n) if n > 0),
+                "seed {seed}: {:?}",
+                exhausted.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn json_summary_is_deterministic_and_counts_match() {
+        let report = ChaosSuite::smoke().run();
+        let json = report.to_json();
+        assert_eq!(json, ChaosSuite::smoke().run().to_json());
+        assert!(json.starts_with(&format!("{{\"cases\":{}", report.cases())), "{json}");
+        assert!(json.contains("\"clean\":true"), "{json}");
+        assert!(json.contains("\"stalled-source\":{\"cases\":2,\"panicked\":0}"), "{json}");
+        assert!(json.ends_with("\"panics\":[]}"), "{json}");
+        // Every fault kind appears exactly once.
+        for fault in FaultKind::ALL {
+            assert_eq!(json.matches(&format!("\"{}\"", fault.name())).count(), 1, "{json}");
+        }
     }
 }

@@ -45,6 +45,14 @@ pub enum FaultKind {
     /// Reed–Solomon / layout parameters are degenerate (k = 0, n < k,
     /// n > field size).
     DegenerateRsParams,
+    /// A streaming source stops making progress without closing (wedged
+    /// pipe, hung fetch): empty batches forever.
+    StalledSource,
+    /// A streaming sink starts failing writes mid-stream (full disk,
+    /// consumer hang-up).
+    SinkWriteFailure,
+    /// The work budget metering a streaming stage runs out mid-batch.
+    BudgetExhaustion,
 }
 
 /// Which pipeline surface a [`FaultKind`] attacks.
@@ -58,11 +66,15 @@ pub enum FaultCategory {
     ModelParams,
     /// Degenerate codec parameters.
     CodecParams,
+    /// Mid-stream faults against the pump/budget machinery, delivered
+    /// through [`StallingSource`](crate::StallingSource) and
+    /// [`FailingSink`](crate::FailingSink).
+    Streaming,
 }
 
 impl FaultKind {
     /// Every fault in the grid.
-    pub const ALL: [FaultKind; 15] = [
+    pub const ALL: [FaultKind; 18] = [
         FaultKind::TruncatedFile,
         FaultKind::BitFlips,
         FaultKind::CrlfLineEndings,
@@ -78,6 +90,9 @@ impl FaultKind {
         FaultKind::NegativeModelParam,
         FaultKind::OutOfRangeModelParam,
         FaultKind::DegenerateRsParams,
+        FaultKind::StalledSource,
+        FaultKind::SinkWriteFailure,
+        FaultKind::BudgetExhaustion,
     ];
 
     /// The surface this fault attacks.
@@ -97,6 +112,9 @@ impl FaultKind {
             | FaultKind::NegativeModelParam
             | FaultKind::OutOfRangeModelParam => FaultCategory::ModelParams,
             FaultKind::DegenerateRsParams => FaultCategory::CodecParams,
+            FaultKind::StalledSource
+            | FaultKind::SinkWriteFailure
+            | FaultKind::BudgetExhaustion => FaultCategory::Streaming,
         }
     }
 
@@ -118,6 +136,9 @@ impl FaultKind {
             FaultKind::NegativeModelParam => "negative-model-param",
             FaultKind::OutOfRangeModelParam => "out-of-range-model-param",
             FaultKind::DegenerateRsParams => "degenerate-rs-params",
+            FaultKind::StalledSource => "stalled-source",
+            FaultKind::SinkWriteFailure => "sink-write-failure",
+            FaultKind::BudgetExhaustion => "budget-exhaustion",
         }
     }
 }

@@ -33,9 +33,11 @@
 mod chaos;
 mod inject;
 mod reader;
+mod stream_faults;
 
 pub use chaos::{ChaosOutcome, ChaosReport, ChaosSuite, Verdict};
 pub use inject::{
     corrupt_cluster_text, corrupt_model_text, degenerate_rs_params, FaultCategory, FaultKind,
 };
 pub use reader::{FaultyReader, ReaderFaultPlan};
+pub use stream_faults::{FailingSink, StallingSource};

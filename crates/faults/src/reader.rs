@@ -95,10 +95,7 @@ impl<R: Read> Read for FaultyReader<R> {
         }
         if let Some(err_at) = self.plan.io_error_after {
             if self.delivered >= err_at {
-                return Err(io::Error::new(
-                    io::ErrorKind::Other,
-                    "injected stream fault",
-                ));
+                return Err(io::Error::other("injected stream fault"));
             }
             budget = budget.min((err_at - self.delivered).max(1));
         }

@@ -160,8 +160,12 @@ pub fn distance_with(scratch: &mut MyersScratch, a: &PackedStrand, b: &PackedStr
     for c in t.codes() {
         let eqs = p.eq_by_code(c);
         let mut hin = 1i32;
-        for w in 0..last {
-            hin = step(&mut scratch.pv[w], &mut scratch.mv[w], eqs[w], hin, 1 << 63);
+        for ((pv, mv), &eq) in scratch.pv[..last]
+            .iter_mut()
+            .zip(scratch.mv[..last].iter_mut())
+            .zip(&eqs[..last])
+        {
+            hin = step(pv, mv, eq, hin, 1 << 63);
         }
         score += step(
             &mut scratch.pv[last],
@@ -216,8 +220,12 @@ pub fn within_with(
     for (j, c) in t.codes().enumerate() {
         let eqs = p.eq_by_code(c);
         let mut hin = 1i32;
-        for w in 0..last {
-            hin = step(&mut scratch.pv[w], &mut scratch.mv[w], eqs[w], hin, 1 << 63);
+        for ((pv, mv), &eq) in scratch.pv[..last]
+            .iter_mut()
+            .zip(scratch.mv[..last].iter_mut())
+            .zip(&eqs[..last])
+        {
+            hin = step(pv, mv, eq, hin, 1 << 63);
         }
         score += step(
             &mut scratch.pv[last],

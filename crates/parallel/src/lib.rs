@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use dnasim_core::rng::{SeedSequence, SimRng};
-use dnasim_core::DnasimError;
+use dnasim_core::{Budget, DnasimError};
 
 /// Environment variable overriding the default worker count
 /// ([`ThreadPool::from_env`]). `0`, empty, or unparsable values fall back
@@ -247,6 +247,92 @@ impl ThreadPool {
             let mut rng = seq.fork_rng(i as u64);
             f(i, &items[i], &mut rng)
         })
+    }
+
+    /// [`par_map_indexed`](ThreadPool::par_map_indexed) metered by a
+    /// [`Budget`]: charges one work unit per item *before* fanning out and
+    /// maps only the admitted prefix, returning `(results, admitted)`.
+    ///
+    /// The admission happens in the caller's (serial) thread, so the cut
+    /// point is a pure function of the budget — the parallel workers never
+    /// touch the meter and cannot perturb determinism. `admitted <
+    /// items.len()` means the budget ran dry; the caller decides whether
+    /// the prefix is usable (pump-style drivers emit it, all-or-nothing
+    /// stages discard it via [`par_map_budgeted`](ThreadPool::par_map_budgeted)).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError`] if any invocation of `f` panics.
+    pub fn par_map_admitted<T, R, F>(
+        &self,
+        budget: &Budget,
+        items: &[T],
+        f: F,
+    ) -> Result<(Vec<R>, usize), PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let admitted = usize::try_from(budget.admit(items.len() as u64)).unwrap_or(usize::MAX);
+        let out = self.par_map_len(admitted, |i| f(i, &items[i]))?;
+        Ok((out, admitted))
+    }
+
+    /// [`par_map_seeded`](ThreadPool::par_map_seeded) metered by a
+    /// [`Budget`]: the admitted prefix keeps the per-item
+    /// [`SeedSequence::fork`] discipline, so a budgeted run's prefix is
+    /// byte-identical to the unbudgeted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError`] if any invocation of `f` panics.
+    pub fn par_map_seeded_admitted<T, R, F>(
+        &self,
+        budget: &Budget,
+        seq: &SeedSequence,
+        items: &[T],
+        f: F,
+    ) -> Result<(Vec<R>, usize), PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T, &mut SimRng) -> R + Sync,
+    {
+        self.par_map_admitted(budget, items, |i, item| {
+            let mut rng = seq.fork_rng(i as u64);
+            f(i, item, &mut rng)
+        })
+    }
+
+    /// All-or-error form of [`par_map_admitted`](ThreadPool::par_map_admitted)
+    /// for stages that cannot use a partial result: checks the budget's
+    /// cancellation token, admits every item or fails with the typed
+    /// deadline error, and converts pool panics into [`DnasimError`].
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::DeadlineExceeded`] when cancelled or when fewer than
+    /// `items.len()` units remain; [`DnasimError::Degraded`] if a worker
+    /// panics.
+    pub fn par_map_budgeted<T, R, F>(
+        &self,
+        budget: &Budget,
+        stage: &'static str,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>, DnasimError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        budget.check(stage)?;
+        let (out, admitted) = self.par_map_admitted(budget, items, f)?;
+        if admitted < items.len() {
+            return Err(budget.exceeded(stage));
+        }
+        Ok(out)
     }
 }
 
@@ -481,6 +567,57 @@ mod tests {
             ));
         }
         std::panic::set_hook(previous);
+    }
+
+    #[test]
+    fn admitted_map_runs_exactly_the_budget_prefix() {
+        let items: Vec<u64> = (0..50).collect();
+        for threads in [1, 4] {
+            let budget = Budget::limited(20);
+            let (out, admitted) = ThreadPool::new(threads)
+                .par_map_admitted(&budget, &items, |_, &x| x * 2)
+                .expect("no panics");
+            assert_eq!(admitted, 20, "threads = {threads}");
+            assert_eq!(out, (0..20).map(|x| x * 2).collect::<Vec<u64>>());
+            assert_eq!(budget.spent(), 20);
+        }
+    }
+
+    #[test]
+    fn seeded_admitted_prefix_matches_unbudgeted_run() {
+        use dnasim_core::rng::RngExt;
+        let seq = SeedSequence::new(0xBEEF);
+        let items: Vec<u32> = (0..32).collect();
+        let draw = |_: usize, _: &u32, rng: &mut SimRng| rng.random::<u64>();
+        let full = ThreadPool::serial().par_map_seeded(&seq, &items, draw).expect("ok");
+        for threads in [1, 2, 4] {
+            let budget = Budget::limited(11);
+            let (prefix, admitted) = ThreadPool::new(threads)
+                .par_map_seeded_admitted(&budget, &seq, &items, draw)
+                .expect("ok");
+            assert_eq!(admitted, 11);
+            assert_eq!(prefix, full[..11], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn budgeted_map_is_all_or_typed_error() {
+        let items: Vec<u32> = (0..16).collect();
+        let pool = ThreadPool::new(2);
+        let ok = pool
+            .par_map_budgeted(&Budget::limited(16), "stage", &items, |_, &x| x + 1)
+            .expect("budget covers the input");
+        assert_eq!(ok.len(), 16);
+        let err = pool
+            .par_map_budgeted(&Budget::limited(15), "stage", &items, |_, &x| x + 1)
+            .expect_err("one unit short");
+        assert!(matches!(err, DnasimError::DeadlineExceeded { spent: 15, limit: 15, .. }));
+        let cancelled = Budget::unlimited();
+        cancelled.token().cancel();
+        let err = pool
+            .par_map_budgeted(&cancelled, "stage", &items, |_, &x| x + 1)
+            .expect_err("cancelled budgets refuse work");
+        assert!(matches!(err, DnasimError::DeadlineExceeded { .. }));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use dnasim_channel::NaiveModel;
 use dnasim_cluster::GreedyClusterer;
 use dnasim_codec::{LayoutError, OuterRsCode, RecoveryOutcome, RsError, StrandLayout, XorParity};
 use dnasim_core::rng::SimRng;
-use dnasim_core::{Cluster, Dataset, DnasimError, WindowStats};
+use dnasim_core::{Budget, Cluster, Dataset, DnasimError, WindowStats};
 use dnasim_dataset::GroundTruthChannel;
 use dnasim_par::{PoolError, ThreadPool};
 use dnasim_reconstruct::{
@@ -127,6 +127,10 @@ pub enum ArchiveError {
     Unrecoverable(LayoutError),
     /// A thread-pool worker panicked during parallel decoding.
     Worker(PoolError),
+    /// The work budget's cancellation token was raised mid-decode (budget
+    /// *exhaustion* does not take this path: it quarantines the undecoded
+    /// remainder and lets erasure recovery absorb the damage).
+    Cancelled(DnasimError),
 }
 
 impl fmt::Display for ArchiveError {
@@ -135,6 +139,7 @@ impl fmt::Display for ArchiveError {
             ArchiveError::Layout(e) => write!(f, "layout construction failed: {e}"),
             ArchiveError::Unrecoverable(e) => write!(f, "file unrecoverable: {e}"),
             ArchiveError::Worker(e) => write!(f, "parallel decode failed: {e}"),
+            ArchiveError::Cancelled(e) => write!(f, "archive cancelled: {e}"),
         }
     }
 }
@@ -147,6 +152,7 @@ impl From<ArchiveError> for DnasimError {
             ArchiveError::Layout(err) => DnasimError::config("archive", err.to_string()),
             ArchiveError::Unrecoverable(err) => DnasimError::codec(err.to_string()),
             ArchiveError::Worker(err) => DnasimError::from(err),
+            ArchiveError::Cancelled(err) => err,
         }
     }
 }
@@ -221,7 +227,7 @@ pub fn archive_round_trip_on(
     rng: &mut SimRng,
     workers: &ThreadPool,
 ) -> Result<ArchiveReport, ArchiveError> {
-    archive_round_trip_windowed(data, config, rng, workers, usize::MAX)
+    archive_round_trip_windowed(data, config, rng, workers, usize::MAX, &Budget::unlimited())
         .map(|(report, _)| report)
 }
 
@@ -248,13 +254,43 @@ pub fn archive_round_trip_stream(
     workers: &ThreadPool,
     batch_size: usize,
 ) -> Result<(ArchiveReport, WindowStats), DnasimError> {
+    archive_round_trip_stream_budgeted(data, config, rng, workers, batch_size, &Budget::unlimited())
+}
+
+/// [`archive_round_trip_stream`] metered by a [`Budget`]: one work unit
+/// per decode attempt (the expensive stage), admitted in the serial
+/// window loop.
+///
+/// Budget *exhaustion* does not abort the round trip — the archive layer
+/// already has a vocabulary for partial results, so undecoded clusters
+/// are quarantined as erasures and handed to the outer code, exactly as
+/// if the channel had destroyed them: within the redundancy budget the
+/// payload still comes back intact; beyond it, lenient mode reports
+/// degradation and strict mode fails with the existing `Unrecoverable`
+/// error. Cancellation, by contrast, returns
+/// [`DnasimError::DeadlineExceeded`] at the next window boundary. Both
+/// cut points are deterministic at any batch size or thread count.
+///
+/// # Errors
+///
+/// [`DnasimError::DeadlineExceeded`] on cancellation, plus everything
+/// [`archive_round_trip_stream`] reports.
+pub fn archive_round_trip_stream_budgeted(
+    data: &[u8],
+    config: &ArchiveConfig,
+    rng: &mut SimRng,
+    workers: &ThreadPool,
+    batch_size: usize,
+    budget: &Budget,
+) -> Result<(ArchiveReport, WindowStats), DnasimError> {
     if batch_size == 0 {
         return Err(DnasimError::config(
             "batch_size",
             "streaming batch size must be at least 1",
         ));
     }
-    archive_round_trip_windowed(data, config, rng, workers, batch_size).map_err(DnasimError::from)
+    archive_round_trip_windowed(data, config, rng, workers, batch_size, budget)
+        .map_err(DnasimError::from)
 }
 
 fn archive_round_trip_windowed(
@@ -263,6 +299,7 @@ fn archive_round_trip_windowed(
     rng: &mut SimRng,
     workers: &ThreadPool,
     batch_size: usize,
+    budget: &Budget,
 ) -> Result<(ArchiveReport, WindowStats), ArchiveError> {
     // --- Encode: chunk → RS payload → strands; protect groups with XOR. ---
     let layout = StrandLayout::new(config.rs_codeword_len, config.rs_data_len, rng)
@@ -350,15 +387,18 @@ fn archive_round_trip_windowed(
     let clusters = dataset.clusters();
     let mut start = 0usize;
     while start < clusters.len() {
+        budget.check("decode").map_err(ArchiveError::Cancelled)?;
         let len = batch_size.min(clusters.len() - start);
-        let decoded = workers
-            .par_map_indexed(&clusters[start..start + len], |_, cluster| {
+        let (decoded, admitted) = workers
+            .par_map_admitted(budget, &clusters[start..start + len], |_, cluster| {
                 decode_cluster(cluster, &ensemble, &layout)
             })
             .map_err(ArchiveError::Worker)?;
-        window.batches += 1;
-        window.clusters += len;
-        window.high_watermark = window.high_watermark.max(len);
+        if admitted > 0 {
+            window.batches += 1;
+            window.clusters += admitted;
+            window.high_watermark = window.high_watermark.max(admitted);
+        }
         for (index, bytes) in decoded.into_iter().flatten() {
             // Each strand carries `chunk` bytes of the flat protected
             // stream; the strand index orders them.
@@ -367,7 +407,12 @@ fn archive_round_trip_windowed(
                 received[slot] = Some(bytes);
             }
         }
-        start += len;
+        start += admitted;
+        if admitted < len {
+            // Budget exhausted mid-decode: the remaining clusters stay
+            // quarantined and erasure recovery absorbs what it can.
+            break;
+        }
     }
     // --- Erasure recovery: quarantined slots become erasures for the
     // outer code. Strict mode aborts on any budget overrun; lenient mode
@@ -402,7 +447,7 @@ fn archive_round_trip_windowed(
                     }))
                 }
                 ArchiveMode::Lenient => {
-                    out.extend(std::iter::repeat(0u8).take(chunk));
+                    out.extend(std::iter::repeat_n(0u8, chunk));
                     strands_unrecovered += 1;
                 }
             },

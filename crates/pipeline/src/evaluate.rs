@@ -1,7 +1,7 @@
 //! Dataset-level evaluation: run a reconstructor over every cluster and
 //! collect accuracy and positional error profiles.
 
-use dnasim_core::{ClusterSource, Dataset, DnasimError, WindowStats};
+use dnasim_core::{Budget, ClusterSource, Dataset, DnasimError, WindowStats};
 use dnasim_metrics::{AccuracyReport, PositionalProfile, ProfileKind};
 use dnasim_par::ThreadPool;
 use dnasim_reconstruct::TraceReconstructor;
@@ -100,6 +100,30 @@ where
     S: ClusterSource + ?Sized,
     A: TraceReconstructor + Sync + ?Sized,
 {
+    evaluate_reconstruction_stream_budgeted(source, algorithm, batch_size, pool, &Budget::unlimited())
+}
+
+/// [`evaluate_reconstruction_stream`] metered by a [`Budget`]: one work
+/// unit per reconstructed cluster (an empty batch charges one unit, so a
+/// stalled source trips the deadline instead of spinning). Admission
+/// happens in the serial fold loop, so exhaustion cuts the stream at the
+/// same global cluster at any batch size or thread count.
+///
+/// # Errors
+///
+/// [`DnasimError::DeadlineExceeded`] on exhaustion or cancellation, plus
+/// everything [`evaluate_reconstruction_stream`] can report.
+pub fn evaluate_reconstruction_stream_budgeted<S, A>(
+    source: &mut S,
+    algorithm: &A,
+    batch_size: usize,
+    pool: &ThreadPool,
+    budget: &Budget,
+) -> Result<(AccuracyReport, WindowStats), DnasimError>
+where
+    S: ClusterSource + ?Sized,
+    A: TraceReconstructor + Sync + ?Sized,
+{
     if batch_size == 0 {
         return Err(DnasimError::config(
             "batch_size",
@@ -108,25 +132,35 @@ where
     }
     let mut report = AccuracyReport::new();
     let mut window = WindowStats::default();
-    while let Some(batch) = source.next_batch(batch_size)? {
+    loop {
+        budget.check("reconstruct")?;
+        let Some(batch) = source.next_batch(batch_size)? else {
+            break;
+        };
         if batch.is_empty() {
+            budget.charge("reconstruct", 1)?;
             continue;
         }
-        window.batches += 1;
-        window.clusters += batch.len();
-        window.high_watermark = window.high_watermark.max(batch.len());
-        let estimates = pool.par_map_indexed(batch.clusters(), |_, cluster| {
+        let (estimates, admitted) = pool.par_map_admitted(budget, batch.clusters(), |_, cluster| {
             if cluster.is_erasure() {
                 None
             } else {
                 Some(algorithm.reconstruct(cluster.reads(), cluster.reference().len()))
             }
         })?;
-        for (cluster, estimate) in batch.clusters().iter().zip(&estimates) {
-            match estimate {
-                Some(estimate) => report.record(cluster.reference(), estimate),
-                None => report.record_erasure(cluster.reference()),
+        if admitted > 0 {
+            window.batches += 1;
+            window.clusters += admitted;
+            window.high_watermark = window.high_watermark.max(admitted);
+            for (cluster, estimate) in batch.clusters()[..admitted].iter().zip(&estimates) {
+                match estimate {
+                    Some(estimate) => report.record(cluster.reference(), estimate),
+                    None => report.record_erasure(cluster.reference()),
+                }
             }
+        }
+        if admitted < batch.len() {
+            return Err(budget.exceeded("reconstruct"));
         }
     }
     Ok((report, window))

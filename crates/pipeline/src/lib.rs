@@ -41,14 +41,16 @@ mod experiments;
 mod table;
 
 pub use archive::{
-    archive_round_trip, archive_round_trip_on, archive_round_trip_stream, ArchiveConfig,
-    ArchiveError, ArchiveMode, ArchiveReport, ErasureScheme,
+    archive_round_trip, archive_round_trip_on, archive_round_trip_stream,
+    archive_round_trip_stream_budgeted, ArchiveConfig, ArchiveError, ArchiveMode, ArchiveReport,
+    ErasureScheme,
 };
 pub use fidelity::{simulator_fidelity, simulator_fidelity_stream, FidelityReport};
 pub use random_access::{FilePool, PoolConfig, PoolError};
 pub use evaluate::{
     evaluate_reconstruction, evaluate_reconstruction_on, evaluate_reconstruction_stream,
-    fixed_coverage_protocol, post_reconstruction_profiles, post_reconstruction_profiles_stream,
+    evaluate_reconstruction_stream_budgeted, fixed_coverage_protocol,
+    post_reconstruction_profiles, post_reconstruction_profiles_stream,
     pre_reconstruction_profiles, pre_reconstruction_profiles_stream,
 };
 pub use experiments::{cross_dataset_robustness, references_of, Experiments, SensitivityPoint};

@@ -289,7 +289,7 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
-        if self.eat(b'-') {}
+        self.eat(b'-');
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }

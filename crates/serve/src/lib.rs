@@ -52,5 +52,6 @@ mod server;
 
 pub use request::{AlgorithmSpec, ModelSpec, Op, ProtocolError, Request};
 pub use server::{
-    execute, rejection, serve, Outcome, ResponseStatus, ServeConfig, ServeError, ServeReport,
+    execute, execute_with, rejection, serve, serve_with_shutdown, ExecPolicy, Outcome,
+    ResponseStatus, ServeConfig, ServeError, ServeReport,
 };

@@ -179,6 +179,9 @@ pub struct Request {
     pub request_id: String,
     /// What to run.
     pub op: Op,
+    /// Per-request work-unit deadline; overrides the server default when
+    /// present. Always at least 1 (a zero deadline is a protocol error).
+    pub deadline: Option<u64>,
 }
 
 impl Request {
@@ -204,6 +207,25 @@ impl Request {
             Op::Generate { clusters, .. } => (*clusters).min(cap),
             Op::Corrupt { count, .. } => (*count).min(cap),
             Op::Simulate { .. } | Op::Evaluate { .. } | Op::Archive { .. } => cap,
+        }
+    }
+
+    /// Total clusters the request processes end to end — the quantity
+    /// overload shedding compares against an explicit `--cluster-budget`.
+    /// Unlike [`Request::load_estimate`] this is *not* capped by the batch
+    /// size: a request can stream through a small window yet still demand
+    /// more total work than an operator is willing to spend on one tenant.
+    pub fn work_estimate(&self) -> usize {
+        match &self.op {
+            Op::Generate { clusters, .. } => *clusters,
+            Op::Corrupt { count, .. } => *count,
+            Op::Simulate { dataset, .. } | Op::Evaluate { dataset, .. } => dataset
+                .lines()
+                .filter(|line| line.starts_with('>'))
+                .count()
+                .max(1),
+            // One 16-byte Reed–Solomon data chunk becomes one strand.
+            Op::Archive { bytes, .. } => bytes.div_ceil(16),
         }
     }
 
@@ -316,10 +338,29 @@ impl Request {
                 )))
             }
         };
+        let deadline = match value.get("deadline") {
+            None => None,
+            Some(v) => {
+                let units = v.as_usize().ok_or_else(|| {
+                    attach(ProtocolError::new(
+                        line_no,
+                        "'deadline' must be a non-negative integer",
+                    ))
+                })?;
+                if units == 0 {
+                    return Err(attach(ProtocolError::new(
+                        line_no,
+                        "'deadline' must be at least 1 work unit",
+                    )));
+                }
+                Some(units as u64)
+            }
+        };
         Ok(Request {
             tenant,
             request_id,
             op,
+            deadline,
         })
     }
 }
@@ -494,6 +535,48 @@ mod tests {
         )
         .unwrap();
         assert_eq!(req.load_estimate(256), 256);
+    }
+
+    #[test]
+    fn deadline_parses_and_zero_is_rejected() {
+        let line = "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"generate\",\"deadline\":12}";
+        let req = Request::parse(line, 1, MAX).unwrap();
+        assert_eq!(req.deadline, Some(12));
+        let line = "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"generate\"}";
+        assert_eq!(Request::parse(line, 1, MAX).unwrap().deadline, None);
+        let zero = "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"generate\",\"deadline\":0}";
+        let err = Request::parse(zero, 1, MAX).unwrap_err();
+        assert!(err.message.contains("at least 1"));
+        assert_eq!(err.tenant.as_deref(), Some("t"));
+        let bad = "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"generate\",\"deadline\":\"x\"}";
+        assert!(Request::parse(bad, 1, MAX).is_err());
+    }
+
+    #[test]
+    fn work_estimate_is_uncapped_total_work() {
+        let req = Request::parse(
+            "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"generate\",\"clusters\":2000}",
+            1,
+            MAX,
+        )
+        .unwrap();
+        assert_eq!(req.work_estimate(), 2000);
+        assert_eq!(req.load_estimate(64), 64);
+        let req = Request::parse(
+            "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"archive\",\"bytes\":320}",
+            1,
+            MAX,
+        )
+        .unwrap();
+        assert_eq!(req.work_estimate(), 20);
+        let req = Request::parse(
+            "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"simulate\",\
+             \"dataset\":\">AC\\nAC\\n>GT\\nGT\\n\"}",
+            1,
+            MAX,
+        )
+        .unwrap();
+        assert_eq!(req.work_estimate(), 2);
     }
 
     #[test]

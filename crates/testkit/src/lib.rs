@@ -33,6 +33,10 @@
 //! }
 //! ```
 
+// The doc example above must show `#[test]` — that is how `proptest!` is
+// written in a real suite — even though doctests never run unit tests.
+#![allow(clippy::test_attr_in_doctest)]
+
 pub mod bench;
 pub mod collection;
 pub mod runner;

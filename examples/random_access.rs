@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Random access: amplify + sequence + reconstruct + decode one file.
     for (name, data) in &files {
         let recovered = pool.retrieve(name, &mut rng)?;
-        let ok = &recovered[..] == &data[..];
+        let ok = recovered[..] == data[..];
         println!(
             "retrieve '{name}': {} ({} bytes)",
             if ok { "OK" } else { "CORRUPT" },

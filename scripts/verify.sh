@@ -38,6 +38,12 @@
 #    covering the kernel/clustering/pipeline groups, and the committed
 #    BENCH_004.json / BENCH_005.json / BENCH_006.json reports (when
 #    present) must still validate.
+# 12. Cancellation chaos smoke: the `dnasim chaos --json` grid (including
+#    the stalled-source / sink-write-failure / budget-exhaustion
+#    streaming faults) must report clean, and a deadline-metered serve
+#    pipe must answer with a typed `deadline` response and exit 0
+#    (DESIGN.md §13).
+# 13. Lint gate: `cargo clippy --all-targets -- -D warnings` must pass.
 #
 # Usage: scripts/verify.sh
 
@@ -214,6 +220,30 @@ set -e
 [ "$serve_code" -eq 2 ]
 printf '%s' "$serve_err" | grep -q "request line 1"
 echo "ok: serve answers valid JSONL and rejects malformed lines with exit 2"
+
+echo "== cancellation chaos smoke (budgets, deadlines, shedding) =="
+# The machine-readable chaos grid must be clean, including the streaming
+# faults that attack budgets mid-flight (DESIGN.md §13).
+chaos_json=$("$dnasim" chaos --seeds 2 --json)
+printf '%s' "$chaos_json" | grep -q '"clean":true'
+printf '%s' "$chaos_json" | grep -q '"budget-exhaustion"'
+# A request that cannot meet its work-unit deadline answers with a typed
+# deadline response — exit 0, no abort, no panic.
+deadline_out=$(printf '%s\n' \
+    '{"tenant":"acme","request_id":"d1","op":"generate","clusters":12,"len":30,"deadline":3}' \
+    | "$dnasim" serve --seed 5)
+printf '%s' "$deadline_out" | grep -q '"status":"deadline"'
+printf '%s' "$deadline_out" | grep -q '"spent":3'
+# An explicit cluster budget sheds oversized requests as overloaded.
+shed_out=$(printf '%s\n' \
+    '{"tenant":"acme","request_id":"big","op":"generate","clusters":500,"len":24}' \
+    | "$dnasim" serve --cluster-budget 32)
+printf '%s' "$shed_out" | grep -q '"reason":"overloaded"'
+echo "ok: chaos grid clean; deadlines and shedding answer with typed responses"
+
+echo "== clippy lint gate =="
+CARGO_NET_OFFLINE=true cargo clippy --all-targets -q -- -D warnings
+echo "ok: clippy is clean at -D warnings"
 
 echo "== bench smoke (fast mode) =="
 smoke_report=$(mktemp /tmp/dnasim-bench-smoke.XXXXXX.json)

@@ -21,7 +21,7 @@ use dnasim::par::ThreadPool;
 use dnasim::prelude::*;
 
 const SNAPSHOT_PATH: &str = "golden_pipeline.txt";
-const SEED: u64 = 0x601D_E2;
+const SEED: u64 = 0x0060_1DE2;
 
 fn summary() -> String {
     let pool = ThreadPool::from_env();

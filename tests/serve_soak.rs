@@ -19,9 +19,12 @@
 //! scripts/verify.sh).
 
 use dnasim::core::rng::{seeded, RngExt, SeedSequence};
+use dnasim::core::CancelToken;
 use dnasim::par::ThreadPool;
 use dnasim::prelude::*;
-use dnasim::serve::{execute, serve, Request, ServeConfig};
+use dnasim::serve::{
+    execute, execute_with, serve, serve_with_shutdown, Request, ServeConfig, ServeReport,
+};
 
 const TENANTS: [&str; 8] = [
     "acme", "betalab", "cryogen", "deepsea", "eon", "fjord", "genomica", "helix",
@@ -288,4 +291,241 @@ fn strict_mode_soak_aborts_at_the_first_injected_fault() {
     // Everything before the fault was answered; nothing after it was.
     let answered = String::from_utf8(output).expect("utf8");
     assert_eq!(answered.lines().count(), first_bad);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation chaos soak: deadlines, shedding, retries, and shutdown drain
+// under the same multi-tenant traffic (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+/// The chaos session: lenient, budgeted, metered, and retrying. The
+/// cluster budget (96) sits far below the jumbo requests injected by
+/// [`chaos_traffic`] and far above every healthy op it emits, so shedding
+/// is exercised without ever touching good traffic.
+fn chaos_config() -> ServeConfig {
+    ServeConfig {
+        lenient: true,
+        cluster_budget: Some(96),
+        default_deadline: Some(100_000),
+        retries: 1,
+        ..soak_config()
+    }
+}
+
+/// Chaos traffic: the healthy soak mix interleaved with protocol poison
+/// (malformed JSON, unknown ops), oversized sheddable requests
+/// (`jumbo-*`), and requests carrying work-unit deadlines they cannot
+/// meet (`tight-*`). Deterministic in `(seed, count)` like [`traffic`].
+fn chaos_traffic(seed: u64, count: usize) -> Vec<String> {
+    let mut rng = seeded(seed);
+    (0..count)
+        .map(|i| {
+            let tenant = TENANTS[rng.random_range(0..TENANTS.len())];
+            match rng.random_range(0..10u32) {
+                0 => format!("{{\"tenant\":\"{tenant}\",\"request_id\":\"poison-{i:05}\", nope"),
+                1 => format!(
+                    "{{\"tenant\":\"{tenant}\",\"request_id\":\"poison-{i:05}\",\"op\":\"warp\"}}"
+                ),
+                // Estimated load far above chaos_config's cluster budget
+                // but well inside the max_batch admission cap: shed, not
+                // rejected.
+                2 => format!(
+                    "{{\"tenant\":\"{tenant}\",\"request_id\":\"jumbo-{i:05}\",\
+                     \"op\":\"generate\",\"clusters\":{},\"len\":24}}",
+                    rng.random_range(200..400usize)
+                ),
+                // More clusters than the deadline has work units for: the
+                // op is cut mid-stream with a typed deadline response.
+                3 => format!(
+                    "{{\"tenant\":\"{tenant}\",\"request_id\":\"tight-{i:05}\",\
+                     \"op\":\"generate\",\"clusters\":{},\"len\":30,\"deadline\":{}}}",
+                    rng.random_range(8..17usize),
+                    rng.random_range(1..5usize)
+                ),
+                _ => request_line(&mut rng, tenant, i),
+            }
+        })
+        .collect()
+}
+
+fn run_serve_report(lines: &[String], config: &ServeConfig, threads: usize) -> (String, ServeReport) {
+    let input = lines.join("\n");
+    let mut output = Vec::new();
+    let report = serve(
+        input.as_bytes(),
+        &mut output,
+        config,
+        &ThreadPool::new(threads),
+    )
+    .expect("chaos traffic must be served without a session error");
+    (String::from_utf8(output).expect("responses are UTF-8"), report)
+}
+
+/// The headline chaos differential: poison, oversized, and
+/// deadline-doomed requests interleaved with healthy traffic stay
+/// byte-identical across worker counts, answer with their typed statuses,
+/// and every line that reached execution replays byte-for-byte through
+/// [`execute_with`] under the session's policy.
+#[test]
+fn chaos_soak_is_thread_invariant_and_replays_under_policy() {
+    let config = chaos_config();
+    let lines = chaos_traffic(13, (soak_size() / 2).max(200));
+    let (baseline, report) = run_serve_report(&lines, &config, 1);
+    for threads in [2, 4] {
+        let (parallel, _) = run_serve_report(&lines, &config, threads);
+        assert_eq!(
+            baseline, parallel,
+            "chaos serve output diverged at {threads} worker threads"
+        );
+    }
+
+    // Every fault class actually fired, and every line was answered.
+    assert_eq!(baseline.lines().count(), lines.len());
+    assert!(report.ok > 0, "chaos traffic produced no healthy responses");
+    assert!(report.rejected > 0, "no poison was injected");
+    assert!(report.shed > 0, "no oversized request was shed");
+    assert!(report.deadlines > 0, "no deadline was tripped");
+
+    // Typed statuses per fault class, and policy-replay for everything
+    // that was admitted to execution.
+    let root = SeedSequence::new(config.seed);
+    let policy = config.policy();
+    for (line_no, (line, response)) in lines.iter().zip(baseline.lines()).enumerate() {
+        match Request::parse(line, line_no + 1, config.max_batch) {
+            Err(_) => assert!(
+                response.contains("\"status\":\"rejected\""),
+                "poison line {line_no} not rejected in place: {response}"
+            ),
+            Ok(request) if request.work_estimate() > 96 => {
+                assert!(
+                    response.contains("\"reason\":\"overloaded\""),
+                    "oversized request {line_no} not shed: {response}"
+                );
+                assert!(response.contains("\"status\":\"rejected\""));
+            }
+            Ok(request) => {
+                let isolated = execute_with(&request, &root, config.batch_size, &policy, None);
+                assert_eq!(
+                    response, isolated.line,
+                    "request {line_no} is not reproducible under the session policy"
+                );
+                if request.deadline.is_some() {
+                    assert!(
+                        response.contains("\"status\":\"deadline\"")
+                            && response.contains("\"spent\":"),
+                        "tight request {line_no} did not trip its deadline: {response}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shed requests never execute, so deleting them from the traffic leaves
+/// every *executed* response byte-identical — admission pressure from an
+/// oversized neighbour cannot leak into anyone's randomness. (Protocol
+/// rejections are excluded from the diff: they cite absolute line
+/// numbers, which shift when lines are removed.)
+#[test]
+fn shed_requests_leave_surviving_responses_untouched() {
+    let executed = |output: &str| -> Vec<String> {
+        output
+            .lines()
+            .filter(|l| !l.contains("\"status\":\"rejected\""))
+            .map(str::to_owned)
+            .collect()
+    };
+    let config = chaos_config();
+    let lines = chaos_traffic(29, soak_size() / 4);
+    let (with_jumbo, _) = run_serve_report(&lines, &config, 4);
+    let slim: Vec<String> = lines
+        .iter()
+        .filter(|l| !l.contains("\"request_id\":\"jumbo-"))
+        .cloned()
+        .collect();
+    assert!(slim.len() < lines.len(), "no jumbo traffic was generated");
+    let (without_jumbo, _) = run_serve_report(&slim, &config, 4);
+    assert_eq!(
+        executed(&with_jumbo),
+        executed(&without_jumbo),
+        "removing shed requests changed a surviving response"
+    );
+}
+
+/// A reader that trips the shutdown token once the server has consumed
+/// `cancel_at` bytes of the stream — the integration-level stand-in for
+/// SIGTERM. Reads are capped at 64 bytes so cancellation lands mid-stream
+/// rather than after one giant buffered gulp.
+struct CancellingReader {
+    data: Vec<u8>,
+    pos: usize,
+    token: CancelToken,
+    cancel_at: usize,
+}
+
+impl std::io::Read for CancellingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.cancel_at {
+            self.token.cancel();
+        }
+        let n = buf.len().min(64).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Graceful drain: when the shutdown token trips mid-stream, the server
+/// stops admitting, answers every in-flight request in order with a typed
+/// `deadline` response, and exits cleanly — and the whole drain is
+/// deterministic across worker counts because cancellation is only
+/// observed at serial admission boundaries.
+#[test]
+fn shutdown_mid_stream_drains_in_order_at_every_thread_count() {
+    let config = chaos_config();
+    let lines = traffic(99, 60);
+    let input = lines.join("\n");
+    // Cancel once roughly half the stream has been consumed.
+    let cancel_at = input.len() / 2;
+    let mut outputs = Vec::new();
+    for threads in [1, 2, 4] {
+        let token = CancelToken::new();
+        let reader = CancellingReader {
+            data: input.clone().into_bytes(),
+            pos: 0,
+            token: token.clone(),
+            cancel_at,
+        };
+        let mut output = Vec::new();
+        let report = serve_with_shutdown(
+            std::io::BufReader::new(reader),
+            &mut output,
+            &config,
+            &ThreadPool::new(threads),
+            &token,
+        )
+        .expect("shutdown drain must not be a session error");
+        assert!(report.requests < lines.len(), "cancellation came too late");
+        assert!(report.deadlines > 0, "the in-flight window must drain as deadline responses");
+        outputs.push(String::from_utf8(output).expect("utf8"));
+    }
+    assert_eq!(outputs[0], outputs[1], "drain diverged at 2 threads");
+    assert_eq!(outputs[0], outputs[2], "drain diverged at 4 threads");
+
+    // Responses arrive in request order: a faithful prefix of the stream.
+    let answered = outputs[0].lines().count();
+    for (line, response) in lines[..answered].iter().zip(outputs[0].lines()) {
+        let id_start = line.find("\"request_id\":\"").expect("traffic carries ids");
+        let id = &line[id_start..line[id_start..].find(',').map_or(line.len(), |c| id_start + c)];
+        assert!(
+            response.contains(id),
+            "drained response out of order: expected {id} in {response}"
+        );
+    }
+    // The tail of the answered prefix was cancelled mid-flight.
+    let last = outputs[0].lines().last().expect("at least one response");
+    assert!(
+        last.contains("\"status\":\"deadline\""),
+        "the final drained response must be a cancellation: {last}"
+    );
 }

@@ -18,7 +18,7 @@ use dnasim::par::ThreadPool;
 use dnasim::prelude::*;
 
 const BATCH_SIZES: [usize; 4] = [1, 7, 64, usize::MAX];
-const SEEDS: [u64; 3] = [0x601D_E2, 11, 4242];
+const SEEDS: [u64; 3] = [0x0060_1DE2, 11, 4242];
 
 fn twin_config(seed: u64) -> NanoporeTwinConfig {
     NanoporeTwinConfig {
@@ -111,7 +111,7 @@ fn streamed_round_trip_through_io_is_lossless() {
             let mut reader = DatasetReader::new(&text[..]);
             let mut copy = Dataset::new();
             let window =
-                pump(&mut reader, &mut copy, batch_size, |batch| Ok(batch)).expect("pump");
+                pump(&mut reader, &mut copy, batch_size, Ok).expect("pump");
             assert!(window.high_watermark <= batch_size);
             assert_eq!(to_bytes(&copy), text, "seed={seed} batch_size={batch_size}");
         }
@@ -125,7 +125,7 @@ fn streamed_round_trip_through_io_is_lossless() {
 /// the summary against the same `golden_pipeline.txt` snapshot.
 #[test]
 fn streamed_pipeline_matches_golden_snapshot() {
-    const SEED: u64 = 0x601D_E2;
+    const SEED: u64 = 0x0060_1DE2;
     let pool = ThreadPool::from_env();
     let config = NanoporeTwinConfig {
         cluster_count: 60,
