@@ -5,14 +5,20 @@
 //! Subcommands:
 //!
 //! * `assemble --mode full|fast --out FILE [--bench-id ID] [--min-speedup R]
-//!   group=path...`
+//!   [--baseline ID] [--contender ID] group=path...`
 //!   — read one JSONL file per named group, write the combined report
-//!   (tagged `--bench-id`, default `BENCH_004`).
-//!   With `--min-speedup`, fail unless the scalar-vs-Myers kernel ratio
-//!   (`levenshtein/full/110` over `myers/distance/110`) reaches `R`; the
-//!   gate only makes sense on real timings, so fast-mode runs skip it.
-//! * `check FILE` — parse a report and require non-empty `kernel`,
-//!   `clustering` and `pipeline` groups.
+//!   (tagged `--bench-id`, default `BENCH_004`). The report records its
+//!   own group names under `"required"`, which is what `check` later
+//!   enforces. With `--min-speedup`, fail unless the baseline-over-
+//!   contender median ratio reaches `R`; the pair defaults to the kernel
+//!   gate (`levenshtein/full/110` over `myers/distance/110`) and is
+//!   overridden per report — BENCH_007 gates `parse/text/512` over
+//!   `parse/binary-prefetch/512`. The gate only makes sense on real
+//!   timings, so fast-mode runs skip it.
+//! * `check FILE` — parse a report and require every group its
+//!   `"required"` array names to be present and non-empty (legacy
+//!   reports without the array fall back to `kernel`/`clustering`/
+//!   `pipeline`).
 //!
 //! No external JSON crate exists in this hermetic workspace, so a minimal
 //! recursive-descent parser lives here; the schema it must accept is only
@@ -96,6 +102,8 @@ fn assemble(args: &[String]) -> Result<(), String> {
     let mut out: Option<String> = None;
     let mut bench_id = String::from("BENCH_004");
     let mut min_speedup: Option<f64> = None;
+    let mut baseline = BASELINE_ID.to_owned();
+    let mut contender = CONTENDER_ID.to_owned();
     let mut groups: Vec<(String, String)> = Vec::new(); // (name, jsonl path)
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -103,6 +111,8 @@ fn assemble(args: &[String]) -> Result<(), String> {
             "--mode" => mode = it.next().ok_or("--mode needs a value")?.clone(),
             "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
             "--bench-id" => bench_id = it.next().ok_or("--bench-id needs a value")?.clone(),
+            "--baseline" => baseline = it.next().ok_or("--baseline needs a value")?.clone(),
+            "--contender" => contender = it.next().ok_or("--contender needs a value")?.clone(),
             "--min-speedup" => {
                 let raw = it.next().ok_or("--min-speedup needs a value")?;
                 min_speedup = Some(
@@ -148,25 +158,41 @@ fn assemble(args: &[String]) -> Result<(), String> {
     }
     let _ = writeln!(report, "  }},");
 
+    // The report names the groups it must keep: `check` enforces exactly
+    // this list, so a report covering only `parse` validates on its own
+    // terms instead of the legacy kernel trio.
+    let required: Vec<String> = groups
+        .iter()
+        .map(|(name, _)| format!("\"{}\"", escape(name)))
+        .collect();
+    let _ = writeln!(report, "  \"required\": [{}],", required.join(", "));
+
     let find = |id: &str| all.iter().find(|r| r.id == id);
-    match (find(BASELINE_ID), find(CONTENDER_ID)) {
+    match (find(&baseline), find(&contender)) {
         (Some(base), Some(cont)) if cont.median_ns > 0.0 => {
             let ratio = base.median_ns / cont.median_ns;
             let _ = writeln!(
                 report,
-                "  \"speedup\": {{\"baseline\": \"{BASELINE_ID}\", \"contender\": \"{CONTENDER_ID}\", \"ratio\": {ratio:.2}}}"
+                "  \"speedup\": {{\"baseline\": \"{}\", \"contender\": \"{}\", \"ratio\": {ratio:.2}}}",
+                escape(&baseline),
+                escape(&contender)
             );
             if let Some(min) = min_speedup {
                 if mode == "full" && ratio < min {
                     return Err(format!(
-                        "kernel speedup {ratio:.2}x is below the required {min:.2}x \
-                         ({BASELINE_ID} {:.1} ns vs {CONTENDER_ID} {:.1} ns)",
+                        "speedup {ratio:.2}x is below the required {min:.2}x \
+                         ({baseline} {:.1} ns vs {contender} {:.1} ns)",
                         base.median_ns, cont.median_ns
                     ));
                 }
             }
         }
         _ => {
+            if min_speedup.is_some() && mode == "full" {
+                return Err(format!(
+                    "--min-speedup given but records {baseline:?} / {contender:?} are missing"
+                ));
+            }
             let _ = writeln!(report, "  \"speedup\": null");
         }
     }
@@ -187,7 +213,23 @@ fn check(args: &[String]) -> Result<(), String> {
         .get("groups")
         .and_then(Json::as_object)
         .ok_or("report has no \"groups\" object")?;
-    for name in REQUIRED_GROUPS {
+    // Reports written since the `required` array exist name their own
+    // contract; legacy reports fall back to the original trio.
+    let required: Vec<String> = match obj.get("required").and_then(Json::as_array) {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                n.as_string()
+                    .map(str::to_owned)
+                    .ok_or("\"required\" entries must be strings".to_owned())
+            })
+            .collect::<Result<_, _>>()?,
+        None => REQUIRED_GROUPS.iter().map(|s| (*s).to_owned()).collect(),
+    };
+    if required.is_empty() {
+        return Err("\"required\" names no groups".into());
+    }
+    for name in &required {
         let records = groups
             .get(name)
             .and_then(Json::as_array)

@@ -70,6 +70,13 @@ impl Dataset {
         crate::stream::DatasetStream::new(self)
     }
 
+    /// Like [`Dataset::stream`], but consuming the dataset so the source
+    /// is `'static` — the shape [`PrefetchSource`](crate::PrefetchSource)
+    /// needs to move it onto its worker thread.
+    pub fn into_stream(self) -> crate::stream::OwnedDatasetStream {
+        crate::stream::OwnedDatasetStream::new(self)
+    }
+
     /// Number of clusters (= number of reference strands).
     pub fn len(&self) -> usize {
         self.clusters.len()

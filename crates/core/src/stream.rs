@@ -294,6 +294,207 @@ where
     Ok(stats)
 }
 
+/// A [`ClusterSource`] adapter that decodes ahead on a dedicated I/O
+/// worker thread: while the consumer (typically a thread pool working on
+/// batch `k`) holds one batch, the worker is already pulling batch `k+1`
+/// from the inner source, hiding decode and I/O latency behind compute.
+///
+/// Hand-off happens over a rendezvous channel, so at most **two** batches
+/// exist at once — the one the consumer holds and the one the worker has
+/// decoded and is offering. [`PrefetchSource::stats`] audits that bound:
+/// its `high_watermark` is the peak combined size of two consecutive
+/// batches, which never exceeds 2× the batch size.
+///
+/// Batches are delivered strictly in source order, so output through a
+/// prefetched source is byte-identical to pulling from the inner source
+/// directly. An inner-source error is delivered at exactly the point in
+/// the stream where the serial source would have reported it — after
+/// every batch decoded before it, never reordered past one. Dropping the
+/// source early (e.g. because a downstream sink failed) shuts the worker
+/// down and discards any batch still in the hand-off buffer: a buffered
+/// batch is never delivered after an abort.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_core::{Cluster, Dataset, PrefetchSource, pump};
+///
+/// let mut ds = Dataset::new();
+/// for _ in 0..10 {
+///     ds.push(Cluster::erasure("ACGT".parse()?));
+/// }
+/// let mut prefetch = PrefetchSource::spawn(ds.clone().into_stream(), 3)?;
+/// let mut out = Dataset::new();
+/// pump(&mut prefetch, &mut out, 3, Ok)?;
+/// assert_eq!(out, ds);
+/// assert!(prefetch.stats().high_watermark <= 6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PrefetchSource {
+    rx: Option<std::sync::mpsc::Receiver<Result<Batch, DnasimError>>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    prev_len: usize,
+    stats: WindowStats,
+    done: bool,
+}
+
+impl PrefetchSource {
+    /// Moves `source` onto a dedicated worker thread that pulls batches
+    /// of `batch_size` clusters one ahead of the consumer.
+    ///
+    /// # Errors
+    ///
+    /// [`DnasimError::Config`] for `batch_size == 0`, or
+    /// [`DnasimError::Io`] if the worker thread cannot be spawned.
+    pub fn spawn<S>(mut source: S, batch_size: usize) -> Result<PrefetchSource, DnasimError>
+    where
+        S: ClusterSource + Send + 'static,
+    {
+        let batch_size = checked_batch_size(batch_size)?;
+        // Capacity 0 is a rendezvous: the worker blocks in `send` holding
+        // batch k+1 while the consumer processes batch k, which is what
+        // caps the in-flight total at two batches.
+        let (tx, rx) = std::sync::mpsc::sync_channel(0);
+        let worker = std::thread::Builder::new()
+            .name("dnasim-prefetch".to_owned())
+            .spawn(move || loop {
+                match source.next_batch(batch_size) {
+                    Ok(Some(batch)) => {
+                        if tx.send(Ok(batch)).is_err() {
+                            // Consumer hung up (abort): drop the batch.
+                            return;
+                        }
+                    }
+                    // Dropping `tx` is the end-of-stream signal.
+                    Ok(None) => return,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            })
+            .map_err(DnasimError::Io)?;
+        Ok(PrefetchSource {
+            rx: Some(rx),
+            worker: Some(worker),
+            prev_len: 0,
+            stats: WindowStats::default(),
+            done: false,
+        })
+    }
+
+    /// Occupancy counters for the hand-off: `high_watermark` is the peak
+    /// combined size of two consecutive batches (the consumer's plus the
+    /// prefetched one), ≤ 2× the batch size by construction.
+    pub fn stats(&self) -> WindowStats {
+        self.stats
+    }
+
+    fn join_worker(&mut self) -> Result<(), DnasimError> {
+        self.rx = None;
+        match self.worker.take() {
+            Some(handle) => handle.join().map_err(|_| {
+                DnasimError::config("prefetch", "prefetch worker terminated abnormally")
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl ClusterSource for PrefetchSource {
+    fn next_batch(&mut self, max: usize) -> Result<Option<Batch>, DnasimError> {
+        let max = checked_batch_size(max)?;
+        if self.done {
+            return Ok(None);
+        }
+        let received = match self.rx.as_ref() {
+            Some(rx) => rx.recv(),
+            None => {
+                self.done = true;
+                return Ok(None);
+            }
+        };
+        match received {
+            Ok(Ok(batch)) => {
+                if batch.len() > max {
+                    self.done = true;
+                    let _ = self.join_worker();
+                    return Err(DnasimError::config(
+                        "prefetch",
+                        format!(
+                            "prefetched batch of {} clusters exceeds the requested window \
+                             of {max}; pull with the batch size the source was spawned with",
+                            batch.len()
+                        ),
+                    ));
+                }
+                if !batch.is_empty() {
+                    self.stats.batches += 1;
+                    self.stats.clusters += batch.len();
+                    self.stats.high_watermark =
+                        self.stats.high_watermark.max(self.prev_len + batch.len());
+                    self.prev_len = batch.len();
+                }
+                Ok(Some(batch))
+            }
+            Ok(Err(e)) => {
+                self.done = true;
+                // The worker returns right after sending an error, so the
+                // join cannot itself fail meaningfully here.
+                let _ = self.join_worker();
+                Err(e)
+            }
+            Err(_) => {
+                // Channel closed: clean end of stream — or a worker panic,
+                // which the join converts into a typed error.
+                self.done = true;
+                self.join_worker()?;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Drop for PrefetchSource {
+    fn drop(&mut self) {
+        // Closing the channel fails the worker's blocked send, so it exits
+        // and any buffered batch is dropped undelivered.
+        self.rx = None;
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// [`pump`] with the source wrapped in a [`PrefetchSource`]: batch `k+1`
+/// is decoded on a dedicated I/O worker while the transform runs batch
+/// `k`, and the returned `high_watermark` reports the true in-flight peak
+/// — consumer window plus prefetched batch, ≤ 2× `batch_size`.
+///
+/// Output is byte-identical to [`pump`] over the same source; only the
+/// overlap (and therefore wall-clock) differs.
+///
+/// # Errors
+///
+/// Everything [`pump`] and [`PrefetchSource::spawn`] can report.
+pub fn pump_prefetch<S, K, F>(
+    source: S,
+    sink: &mut K,
+    batch_size: usize,
+    transform: F,
+) -> Result<WindowStats, DnasimError>
+where
+    S: ClusterSource + Send + 'static,
+    K: ClusterSink + ?Sized,
+    F: FnMut(Batch) -> Result<Batch, DnasimError>,
+{
+    let mut prefetch = PrefetchSource::spawn(source, batch_size)?;
+    let mut stats = pump(&mut prefetch, sink, batch_size, transform)?;
+    stats.high_watermark = stats.high_watermark.max(prefetch.stats().high_watermark);
+    Ok(stats)
+}
+
 /// A [`ClusterSource`] over an in-memory [`Dataset`], cloning each window
 /// of clusters out of the dataset. See [`Dataset::stream`].
 #[derive(Debug)]
@@ -309,6 +510,34 @@ impl<'a> DatasetStream<'a> {
 }
 
 impl ClusterSource for DatasetStream<'_> {
+    fn next_batch(&mut self, max: usize) -> Result<Option<Batch>, DnasimError> {
+        let max = checked_batch_size(max)?;
+        let clusters = self.dataset.clusters();
+        if self.cursor >= clusters.len() {
+            return Ok(None);
+        }
+        let end = self.cursor.saturating_add(max).min(clusters.len());
+        let batch = Batch::new(self.cursor, clusters[self.cursor..end].to_vec());
+        self.cursor = end;
+        Ok(Some(batch))
+    }
+}
+
+/// A [`ClusterSource`] that owns its [`Dataset`], so it can be moved onto
+/// another thread (see [`PrefetchSource`]). See [`Dataset::into_stream`].
+#[derive(Debug)]
+pub struct OwnedDatasetStream {
+    dataset: Dataset,
+    cursor: usize,
+}
+
+impl OwnedDatasetStream {
+    pub(crate) fn new(dataset: Dataset) -> OwnedDatasetStream {
+        OwnedDatasetStream { dataset, cursor: 0 }
+    }
+}
+
+impl ClusterSource for OwnedDatasetStream {
     fn next_batch(&mut self, max: usize) -> Result<Option<Batch>, DnasimError> {
         let max = checked_batch_size(max)?;
         let clusters = self.dataset.clusters();
@@ -594,6 +823,149 @@ mod tests {
         let err = pump_budgeted(&mut ds.stream(), &mut out, 2, &budget, "drain", Ok).unwrap_err();
         assert!(matches!(err, DnasimError::DeadlineExceeded { .. }));
         assert!(out.is_empty(), "cancellation before the first batch emits nothing");
+    }
+
+    #[test]
+    fn prefetch_output_is_byte_identical_at_any_batch_size() {
+        let ds = sample(13);
+        for batch_size in [1, 3, 7, 13, 64] {
+            let mut out = Dataset::new();
+            let stats =
+                pump_prefetch(ds.clone().into_stream(), &mut out, batch_size, Ok).unwrap();
+            assert_eq!(out, ds, "batch_size={batch_size}");
+            assert_eq!(stats.clusters, 13);
+            assert!(
+                stats.high_watermark <= 2 * batch_size,
+                "double-buffer exceeded 2x batch: {} > {}",
+                stats.high_watermark,
+                2 * batch_size
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_over_empty_source_is_clean_end_of_stream() {
+        let mut prefetch = PrefetchSource::spawn(Dataset::new().into_stream(), 4).unwrap();
+        assert!(prefetch.next_batch(4).unwrap().is_none());
+        // Fused: repeated pulls stay at end of stream.
+        assert!(prefetch.next_batch(4).unwrap().is_none());
+        assert_eq!(prefetch.stats(), WindowStats::default());
+    }
+
+    #[test]
+    fn prefetch_single_batch_watermark_is_one_batch() {
+        let ds = sample(3);
+        let mut out = Dataset::new();
+        let stats = pump_prefetch(ds.clone().into_stream(), &mut out, 8, Ok).unwrap();
+        assert_eq!(out, ds);
+        assert_eq!(stats.batches, 1);
+        // With a single batch there is never a second buffer in flight.
+        assert_eq!(stats.high_watermark, 3);
+    }
+
+    #[test]
+    fn prefetch_watermark_is_bounded_by_two_consecutive_batches() {
+        let ds = sample(10);
+        let mut prefetch = PrefetchSource::spawn(ds.into_stream(), 4).unwrap();
+        while prefetch.next_batch(4).unwrap().is_some() {}
+        let stats = prefetch.stats();
+        assert_eq!(stats.clusters, 10);
+        assert_eq!(stats.batches, 3);
+        // Peak pair is 4 + 4; the final pair is 4 + 2.
+        assert_eq!(stats.high_watermark, 8);
+    }
+
+    /// A source that yields `good` batches of one cluster and then fails,
+    /// recording how many batches it actually produced.
+    struct CountingThenFailing {
+        produced: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        good: usize,
+        cursor: usize,
+    }
+
+    impl ClusterSource for CountingThenFailing {
+        fn next_batch(&mut self, _max: usize) -> Result<Option<Batch>, DnasimError> {
+            if self.cursor >= self.good {
+                return Err(DnasimError::config("test", "injected source fault"));
+            }
+            let batch = Batch::new(
+                self.cursor,
+                vec![Cluster::erasure("ACGT".parse().map_err(|_| {
+                    DnasimError::config("test", "bad strand literal")
+                })?)],
+            );
+            self.cursor += 1;
+            self.produced
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(Some(batch))
+        }
+    }
+
+    #[test]
+    fn prefetch_delivers_source_error_in_stream_order() {
+        let produced = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let source = CountingThenFailing {
+            produced: produced.clone(),
+            good: 2,
+            cursor: 0,
+        };
+        let mut prefetch = PrefetchSource::spawn(source, 1).unwrap();
+        assert_eq!(prefetch.next_batch(1).unwrap().unwrap().len(), 1);
+        assert_eq!(prefetch.next_batch(1).unwrap().unwrap().len(), 1);
+        let err = prefetch.next_batch(1).unwrap_err();
+        assert!(matches!(err, DnasimError::Config { .. }));
+        // Fused after the error.
+        assert!(prefetch.next_batch(1).unwrap().is_none());
+    }
+
+    #[test]
+    fn aborted_prefetch_drops_the_buffered_batch_undelivered() {
+        // The worker decodes ahead; when the consumer aborts (drops the
+        // source) the batch sitting in the hand-off must be discarded,
+        // not delivered anywhere.
+        let produced = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let source = CountingThenFailing {
+            produced: produced.clone(),
+            good: 100,
+            cursor: 0,
+        };
+        let mut prefetch = PrefetchSource::spawn(source, 1).unwrap();
+        let delivered = prefetch.next_batch(1).unwrap().map(|b| b.len());
+        assert_eq!(delivered, Some(1));
+        let stats = prefetch.stats();
+        drop(prefetch); // abort: worker shut down, buffer discarded
+        assert_eq!(stats.clusters, 1, "exactly one batch was delivered");
+        // The worker had at most one batch in the hand-off beyond the
+        // delivered one — never the whole stream.
+        let total = produced.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            (1..=3).contains(&total),
+            "worker ran ahead of the rendezvous: produced {total}"
+        );
+    }
+
+    #[test]
+    fn prefetch_source_error_mid_stream_aborts_pump_without_stale_delivery() {
+        let produced = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let source = CountingThenFailing {
+            produced,
+            good: 3,
+            cursor: 0,
+        };
+        let mut out = Dataset::new();
+        let err = pump_prefetch(source, &mut out, 1, Ok).unwrap_err();
+        assert!(matches!(err, DnasimError::Config { .. }));
+        // Every batch decoded before the fault was delivered, in order —
+        // exactly what the serial pump would have done.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn prefetch_rejects_mismatched_pull_size() {
+        let ds = sample(8);
+        let mut prefetch = PrefetchSource::spawn(ds.into_stream(), 4).unwrap();
+        let err = prefetch.next_batch(2).unwrap_err();
+        assert!(matches!(err, DnasimError::Config { .. }));
     }
 
     #[test]

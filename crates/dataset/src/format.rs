@@ -1,0 +1,403 @@
+//! Cluster-file format selection and auto-detection.
+//!
+//! Two on-disk formats carry the same clusters: the line-oriented text
+//! format (the interchange format, see [`read_dataset`](crate::read_dataset))
+//! and the length-prefixed binary format (the throughput format, see
+//! [`BinaryDatasetReader`](crate::BinaryDatasetReader)). This module
+//! provides [`Format`] for explicit selection (`--format text|binary`),
+//! one-byte auto-detection (the binary magic starts with `0x89`, outside
+//! ASCII, while text starts with `>`, whitespace, or nothing), and
+//! [`AnyDatasetReader`]/[`AnyDatasetWriter`] wrappers that present the
+//! two codecs behind one streaming face.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::str::FromStr;
+
+use dnasim_core::{Batch, Cluster, ClusterSink, ClusterSource, Dataset, DnasimError};
+
+use crate::binary::{BinaryDatasetReader, BinaryDatasetWriter, BINARY_MAGIC};
+use crate::io::{DatasetReader, DatasetWriter, ReadDatasetError};
+
+/// A cluster-file on-disk format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Format {
+    /// Line-oriented `>`-reference text (the interchange format).
+    #[default]
+    Text,
+    /// Length-prefixed, checksummed 2-bit binary frames.
+    Binary,
+}
+
+impl Format {
+    /// The accepted spellings, in display order (for CLI error messages).
+    pub const CHOICES: [&'static str; 2] = ["text", "binary"];
+
+    /// The canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Text => "text",
+            Format::Binary => "binary",
+        }
+    }
+
+    /// Detects the format of `reader` from its first buffered byte
+    /// without consuming anything. Empty input detects as text (an empty
+    /// text file is an empty dataset).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from filling the buffer.
+    pub fn detect<R: BufRead>(reader: &mut R) -> io::Result<Format> {
+        let buf = reader.fill_buf()?;
+        Ok(match buf.first() {
+            Some(&first) if first == BINARY_MAGIC[0] => Format::Binary,
+            _ => Format::Text,
+        })
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a [`Format`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatError {
+    /// The rejected spelling.
+    pub value: String,
+}
+
+impl fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown format {:?} (expected one of: {})",
+            self.value,
+            Format::CHOICES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
+
+impl FromStr for Format {
+    type Err = ParseFormatError;
+
+    fn from_str(s: &str) -> Result<Format, ParseFormatError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "text" => Ok(Format::Text),
+            "binary" => Ok(Format::Binary),
+            _ => Err(ParseFormatError {
+                value: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// A streaming cluster reader over either format, with the same face as
+/// the per-format readers.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_dataset::{AnyDatasetReader, Format};
+///
+/// let text = ">ACGT\nACG\n";
+/// let mut reader = AnyDatasetReader::detect(text.as_bytes())?;
+/// assert_eq!(reader.format(), Format::Text);
+/// assert_eq!(reader.next_cluster()?.ok_or("missing")?.coverage(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub enum AnyDatasetReader<R> {
+    /// Reading the text format.
+    Text(DatasetReader<R>),
+    /// Reading the binary format.
+    Binary(BinaryDatasetReader<R>),
+}
+
+impl<R: BufRead> AnyDatasetReader<R> {
+    /// Wraps `reader` for an explicitly chosen format.
+    pub fn with_format(reader: R, format: Format) -> AnyDatasetReader<R> {
+        match format {
+            Format::Text => AnyDatasetReader::Text(DatasetReader::new(reader)),
+            Format::Binary => AnyDatasetReader::Binary(BinaryDatasetReader::new(reader)),
+        }
+    }
+
+    /// Auto-detects the format from the first byte and wraps accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from peeking the stream.
+    pub fn detect(mut reader: R) -> Result<AnyDatasetReader<R>, ReadDatasetError> {
+        let format = Format::detect(&mut reader).map_err(|source| ReadDatasetError::Io {
+            line: 0,
+            offset: 0,
+            source,
+        })?;
+        Ok(AnyDatasetReader::with_format(reader, format))
+    }
+
+    /// The format this reader is decoding.
+    pub fn format(&self) -> Format {
+        match self {
+            AnyDatasetReader::Text(_) => Format::Text,
+            AnyDatasetReader::Binary(_) => Format::Binary,
+        }
+    }
+
+    /// Number of clusters emitted so far.
+    pub fn clusters_read(&self) -> usize {
+        match self {
+            AnyDatasetReader::Text(r) => r.clusters_read(),
+            AnyDatasetReader::Binary(r) => r.clusters_read(),
+        }
+    }
+
+    /// Bytes fully consumed from the underlying reader so far.
+    pub fn bytes_read(&self) -> u64 {
+        match self {
+            AnyDatasetReader::Text(r) => r.bytes_read(),
+            AnyDatasetReader::Binary(r) => r.bytes_read(),
+        }
+    }
+
+    /// Parses the next cluster, or `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ReadDatasetError`] variant for malformed input; the reader
+    /// is fused afterwards.
+    pub fn next_cluster(&mut self) -> Result<Option<Cluster>, ReadDatasetError> {
+        match self {
+            AnyDatasetReader::Text(r) => r.next_cluster(),
+            AnyDatasetReader::Binary(r) => r.next_cluster(),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for AnyDatasetReader<R> {
+    type Item = Result<Cluster, ReadDatasetError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_cluster().transpose()
+    }
+}
+
+impl<R: BufRead> ClusterSource for AnyDatasetReader<R> {
+    fn next_batch(&mut self, max: usize) -> Result<Option<Batch>, DnasimError> {
+        match self {
+            AnyDatasetReader::Text(r) => r.next_batch(max),
+            AnyDatasetReader::Binary(r) => r.next_batch(max),
+        }
+    }
+}
+
+/// A streaming cluster writer over either format, with the same face as
+/// the per-format writers.
+#[derive(Debug)]
+pub enum AnyDatasetWriter<W: Write> {
+    /// Writing the text format.
+    Text(DatasetWriter<W>),
+    /// Writing the binary format.
+    Binary(BinaryDatasetWriter<W>),
+}
+
+impl<W: Write> AnyDatasetWriter<W> {
+    /// Creates a streaming writer emitting `format`.
+    pub fn new(writer: W, format: Format) -> AnyDatasetWriter<W> {
+        match format {
+            Format::Text => AnyDatasetWriter::Text(DatasetWriter::new(writer)),
+            Format::Binary => AnyDatasetWriter::Binary(BinaryDatasetWriter::new(writer)),
+        }
+    }
+
+    /// The format this writer emits.
+    pub fn format(&self) -> Format {
+        match self {
+            AnyDatasetWriter::Text(_) => Format::Text,
+            AnyDatasetWriter::Binary(_) => Format::Binary,
+        }
+    }
+
+    /// Number of clusters written so far.
+    pub fn clusters_written(&self) -> usize {
+        match self {
+            AnyDatasetWriter::Text(w) => w.clusters_written(),
+            AnyDatasetWriter::Binary(w) => w.clusters_written(),
+        }
+    }
+
+    /// Number of reads written so far.
+    pub fn reads_written(&self) -> usize {
+        match self {
+            AnyDatasetWriter::Text(w) => w.reads_written(),
+            AnyDatasetWriter::Binary(w) => w.reads_written(),
+        }
+    }
+
+    /// Number of erasure clusters written so far.
+    pub fn erasures_written(&self) -> usize {
+        match self {
+            AnyDatasetWriter::Text(w) => w.erasures_written(),
+            AnyDatasetWriter::Binary(w) => w.erasures_written(),
+        }
+    }
+
+    /// Appends one cluster in the chosen format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the writer.
+    pub fn write_cluster(&mut self, cluster: &Cluster) -> io::Result<()> {
+        match self {
+            AnyDatasetWriter::Text(w) => w.write_cluster(cluster),
+            AnyDatasetWriter::Binary(w) => w.write_cluster(cluster),
+        }
+    }
+
+    /// Finalises the output (binary headers for empty files), flushes,
+    /// and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn into_inner(self) -> io::Result<W> {
+        match self {
+            AnyDatasetWriter::Text(w) => w.into_inner(),
+            AnyDatasetWriter::Binary(w) => w.into_inner(),
+        }
+    }
+}
+
+impl<W: Write> ClusterSink for AnyDatasetWriter<W> {
+    fn accept(&mut self, batch: Batch) -> Result<(), DnasimError> {
+        match self {
+            AnyDatasetWriter::Text(w) => w.accept(batch),
+            AnyDatasetWriter::Binary(w) => w.accept(batch),
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), DnasimError> {
+        match self {
+            AnyDatasetWriter::Text(w) => w.finish(),
+            AnyDatasetWriter::Binary(w) => w.finish(),
+        }
+    }
+}
+
+/// Reads a whole dataset in either format, auto-detected by magic bytes.
+///
+/// # Errors
+///
+/// Any [`ReadDatasetError`] variant for malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_dataset::read_dataset_auto;
+///
+/// let ds = read_dataset_auto(">ACGT\nACG\n".as_bytes())?;
+/// assert_eq!(ds.len(), 1);
+/// # Ok::<(), dnasim_dataset::ReadDatasetError>(())
+/// ```
+pub fn read_dataset_auto<R: BufRead>(reader: R) -> Result<Dataset, ReadDatasetError> {
+    let mut source = AnyDatasetReader::detect(reader)?;
+    let mut dataset = Dataset::new();
+    while let Some(cluster) = source.next_cluster()? {
+        dataset.push(cluster);
+    }
+    Ok(dataset)
+}
+
+/// Writes a whole dataset in the chosen format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_dataset_format<W: Write>(
+    dataset: &Dataset,
+    writer: W,
+    format: Format,
+) -> io::Result<()> {
+    let mut sink = AnyDatasetWriter::new(writer, format);
+    for cluster in dataset.iter() {
+        sink.write_cluster(cluster)?;
+    }
+    sink.into_inner().map(drop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+    use dnasim_core::Strand;
+
+    fn sample() -> Dataset {
+        let mut rng = seeded(5);
+        let mut ds = Dataset::new();
+        for i in 0..5 {
+            let reference = Strand::random(30, &mut rng);
+            let reads = (0..i).map(|_| Strand::random(28, &mut rng)).collect();
+            ds.push(Cluster::new(reference, reads));
+        }
+        ds
+    }
+
+    #[test]
+    fn format_parses_and_displays() {
+        assert_eq!("text".parse::<Format>().unwrap(), Format::Text);
+        assert_eq!("Binary".parse::<Format>().unwrap(), Format::Binary);
+        assert_eq!(Format::Binary.to_string(), "binary");
+        let err = "fasta".parse::<Format>().unwrap_err();
+        assert!(err.to_string().contains("text, binary"), "{err}");
+    }
+
+    #[test]
+    fn auto_detection_round_trips_both_formats() {
+        let ds = sample();
+        for format in [Format::Text, Format::Binary] {
+            let mut buf = Vec::new();
+            write_dataset_format(&ds, &mut buf, format).unwrap();
+            let mut detected = AnyDatasetReader::detect(buf.as_slice()).unwrap();
+            assert_eq!(detected.format(), format);
+            let mut back = Dataset::new();
+            while let Some(cluster) = detected.next_cluster().unwrap() {
+                back.push(cluster);
+            }
+            assert_eq!(back, ds, "{format}");
+            assert_eq!(read_dataset_auto(buf.as_slice()).unwrap(), ds, "{format}");
+        }
+    }
+
+    #[test]
+    fn empty_input_detects_as_text_and_parses_empty() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(Format::detect(&mut empty).unwrap(), Format::Text);
+        assert!(read_dataset_auto("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detection_does_not_consume_bytes() {
+        let bytes = b">AC\nAC\n";
+        let mut reader: &[u8] = bytes;
+        assert_eq!(Format::detect(&mut reader).unwrap(), Format::Text);
+        assert_eq!(reader, bytes);
+    }
+
+    #[test]
+    fn wrapper_counters_match_inner_writer() {
+        let ds = sample();
+        let mut sink = AnyDatasetWriter::new(Vec::new(), Format::Binary);
+        for cluster in ds.iter() {
+            sink.write_cluster(cluster).unwrap();
+        }
+        assert_eq!(sink.clusters_written(), ds.len());
+        assert_eq!(sink.reads_written(), ds.total_reads());
+        assert_eq!(sink.erasures_written(), ds.erasure_count());
+    }
+}

@@ -35,18 +35,25 @@ use dnasim_core::{
 /// Sentinel line for a zero-length read (all bases deleted).
 const EMPTY_READ_TOKEN: &str = "-";
 
-/// Errors from reading a cluster file.
+/// Errors from reading a cluster file, text or binary.
 ///
-/// Every variant carries the 1-based line number the failure surfaced at
-/// (see [`line`](ReadDatasetError::line)), so a multi-megabyte cluster
-/// file with one bad byte is diagnosable without bisecting it by hand.
+/// Every variant carries a position: text-format failures carry the
+/// 1-based line number they surfaced at (see
+/// [`line`](ReadDatasetError::line)) *and* the byte offset of that line's
+/// start, while binary frames — which have no lines — carry the byte
+/// offset alone (see [`offset`](ReadDatasetError::offset)). Either way, a
+/// multi-megabyte cluster file with one bad byte is diagnosable without
+/// bisecting it by hand.
 #[derive(Debug)]
 pub enum ReadDatasetError {
     /// Underlying I/O failure.
     Io {
         /// 1-based line number at which the read failed (the line after
-        /// the last one successfully read).
+        /// the last one successfully read); 0 for binary input.
         line: usize,
+        /// Byte offset at which the read failed (bytes fully consumed
+        /// before the failure).
+        offset: u64,
         /// The I/O failure.
         source: io::Error,
     },
@@ -54,6 +61,8 @@ pub enum ReadDatasetError {
     Parse {
         /// 1-based line number.
         line: usize,
+        /// Byte offset of the start of the offending line.
+        offset: u64,
         /// The parse failure.
         source: ParseStrandError,
     },
@@ -61,16 +70,43 @@ pub enum ReadDatasetError {
     ReadBeforeReference {
         /// 1-based line number.
         line: usize,
+        /// Byte offset of the start of the offending line.
+        offset: u64,
+    },
+    /// A binary cluster frame is malformed: bad magic or version, a
+    /// checksum mismatch, a truncated frame, or a length field that lies
+    /// about the payload. Binary files have no lines, so the position is
+    /// a byte offset only.
+    Frame {
+        /// Byte offset of the start of the offending frame or field.
+        offset: u64,
+        /// What was wrong with it.
+        message: String,
     },
 }
 
 impl ReadDatasetError {
-    /// The 1-based line number the failure surfaced at.
+    /// The 1-based line number the failure surfaced at (0 for binary
+    /// input, which has no lines — use
+    /// [`offset`](ReadDatasetError::offset) instead).
     pub fn line(&self) -> usize {
         match self {
             ReadDatasetError::Io { line, .. }
             | ReadDatasetError::Parse { line, .. }
-            | ReadDatasetError::ReadBeforeReference { line } => *line,
+            | ReadDatasetError::ReadBeforeReference { line, .. } => *line,
+            ReadDatasetError::Frame { .. } => 0,
+        }
+    }
+
+    /// The byte offset the failure surfaced at: the start of the
+    /// offending line for text input, the offending frame or field for
+    /// binary input.
+    pub fn offset(&self) -> u64 {
+        match self {
+            ReadDatasetError::Io { offset, .. }
+            | ReadDatasetError::Parse { offset, .. }
+            | ReadDatasetError::ReadBeforeReference { offset, .. }
+            | ReadDatasetError::Frame { offset, .. } => *offset,
         }
     }
 }
@@ -78,14 +114,23 @@ impl ReadDatasetError {
 impl fmt::Display for ReadDatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReadDatasetError::Io { line, source } => {
-                write!(f, "line {line}: i/o error: {source}")
+            ReadDatasetError::Io { line: 0, offset, source } => {
+                write!(f, "byte {offset}: i/o error: {source}")
             }
-            ReadDatasetError::Parse { line, source } => {
-                write!(f, "line {line}: {source}")
+            ReadDatasetError::Io { line, offset, source } => {
+                write!(f, "line {line} (byte {offset}): i/o error: {source}")
             }
-            ReadDatasetError::ReadBeforeReference { line } => {
-                write!(f, "line {line}: read appears before any '>' reference line")
+            ReadDatasetError::Parse { line, offset, source } => {
+                write!(f, "line {line} (byte {offset}): {source}")
+            }
+            ReadDatasetError::ReadBeforeReference { line, offset } => {
+                write!(
+                    f,
+                    "line {line} (byte {offset}): read appears before any '>' reference line"
+                )
+            }
+            ReadDatasetError::Frame { offset, message } => {
+                write!(f, "byte {offset}: {message}")
             }
         }
     }
@@ -96,7 +141,7 @@ impl std::error::Error for ReadDatasetError {
         match self {
             ReadDatasetError::Io { source, .. } => Some(source),
             ReadDatasetError::Parse { source, .. } => Some(source),
-            ReadDatasetError::ReadBeforeReference { .. } => None,
+            ReadDatasetError::ReadBeforeReference { .. } | ReadDatasetError::Frame { .. } => None,
         }
     }
 }
@@ -104,19 +149,30 @@ impl std::error::Error for ReadDatasetError {
 impl From<ReadDatasetError> for DnasimError {
     fn from(e: ReadDatasetError) -> DnasimError {
         match e {
-            // Re-wrap so the line number survives into the generic error;
+            // Re-wrap so the position survives into the generic error;
             // the original kind is preserved for retry/ENOENT dispatch.
-            ReadDatasetError::Io { line, source } => DnasimError::Io(io::Error::new(
+            ReadDatasetError::Io { line: 0, offset, source } => DnasimError::Io(io::Error::new(
                 source.kind(),
-                format!("cluster file line {line}: {source}"),
+                format!("cluster file byte {offset}: {source}"),
             )),
-            ReadDatasetError::Parse { line, source } => {
-                DnasimError::parse("cluster file", line, source.to_string())
-            }
-            ReadDatasetError::ReadBeforeReference { line } => DnasimError::parse(
+            ReadDatasetError::Io { line, offset, source } => DnasimError::Io(io::Error::new(
+                source.kind(),
+                format!("cluster file line {line} (byte {offset}): {source}"),
+            )),
+            ReadDatasetError::Parse { line, offset, source } => DnasimError::parse(
                 "cluster file",
                 line,
-                "read appears before any '>' reference line",
+                format!("byte {offset}: {source}"),
+            ),
+            ReadDatasetError::ReadBeforeReference { line, offset } => DnasimError::parse(
+                "cluster file",
+                line,
+                format!("byte {offset}: read appears before any '>' reference line"),
+            ),
+            ReadDatasetError::Frame { offset, message } => DnasimError::parse(
+                "binary cluster file",
+                0,
+                format!("byte {offset}: {message}"),
             ),
         }
     }
@@ -152,7 +208,10 @@ impl From<ReadDatasetError> for DnasimError {
 /// ```
 #[derive(Debug)]
 pub struct DatasetReader<R> {
-    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    reader: R,
+    buf: String,
+    line_no: usize,
+    offset: u64,
     pending: Option<Cluster>,
     emitted: usize,
     done: bool,
@@ -162,7 +221,10 @@ impl<R: BufRead> DatasetReader<R> {
     /// Creates a streaming reader over cluster-file text.
     pub fn new(reader: R) -> DatasetReader<R> {
         DatasetReader {
-            lines: reader.lines().enumerate(),
+            reader,
+            buf: String::new(),
+            line_no: 0,
+            offset: 0,
             pending: None,
             emitted: 0,
             done: false,
@@ -173,6 +235,11 @@ impl<R: BufRead> DatasetReader<R> {
     /// cluster this reader will yield).
     pub fn clusters_read(&self) -> usize {
         self.emitted
+    }
+
+    /// Bytes fully consumed from the underlying reader so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.offset
     }
 
     /// Parses the next cluster, or `Ok(None)` at end of input.
@@ -202,13 +269,24 @@ impl<R: BufRead> DatasetReader<R> {
     }
 
     fn advance(&mut self) -> Result<Option<Cluster>, ReadDatasetError> {
-        for (idx, line) in self.lines.by_ref() {
-            let line_no = idx + 1;
-            let line = line.map_err(|source| ReadDatasetError::Io {
-                line: line_no,
-                source,
-            })?;
-            let trimmed = line.trim();
+        loop {
+            self.buf.clear();
+            let line_start = self.offset;
+            let consumed =
+                self.reader
+                    .read_line(&mut self.buf)
+                    .map_err(|source| ReadDatasetError::Io {
+                        line: self.line_no + 1,
+                        offset: line_start,
+                        source,
+                    })?;
+            if consumed == 0 {
+                break;
+            }
+            self.line_no += 1;
+            self.offset += consumed as u64;
+            let line_no = self.line_no;
+            let trimmed = self.buf.trim();
             if trimmed.is_empty() {
                 if let Some(cluster) = self.pending.take() {
                     return Ok(Some(cluster));
@@ -221,6 +299,7 @@ impl<R: BufRead> DatasetReader<R> {
                     .parse()
                     .map_err(|source| ReadDatasetError::Parse {
                         line: line_no,
+                        offset: line_start,
                         source,
                     })?;
                 let flushed = self.pending.replace(Cluster::erasure(reference));
@@ -233,12 +312,18 @@ impl<R: BufRead> DatasetReader<R> {
                 } else {
                     trimmed.parse().map_err(|source| ReadDatasetError::Parse {
                         line: line_no,
+                        offset: line_start,
                         source,
                     })?
                 };
                 match self.pending.as_mut() {
                     Some(cluster) => cluster.push_read(read),
-                    None => return Err(ReadDatasetError::ReadBeforeReference { line: line_no }),
+                    None => {
+                        return Err(ReadDatasetError::ReadBeforeReference {
+                            line: line_no,
+                            offset: line_start,
+                        })
+                    }
                 }
             }
         }
@@ -499,8 +584,23 @@ mod tests {
         let err = read_dataset("ACGT\n".as_bytes()).unwrap_err();
         assert!(matches!(
             err,
-            ReadDatasetError::ReadBeforeReference { line: 1 }
+            ReadDatasetError::ReadBeforeReference { line: 1, offset: 0 }
         ));
+    }
+
+    #[test]
+    fn parse_error_reports_byte_offset_of_the_line_start() {
+        // ">AC\n" is 4 bytes, "AC\n" is 3: the bad line starts at byte 7.
+        let err = read_dataset(">AC\nAC\nAX\n".as_bytes()).unwrap_err();
+        match &err {
+            ReadDatasetError::Parse { line, offset, .. } => {
+                assert_eq!(*line, 3);
+                assert_eq!(*offset, 7);
+            }
+            other => panic!("unexpected: {other}"),
+        }
+        assert_eq!(err.offset(), 7);
+        assert!(err.to_string().contains("byte 7"));
     }
 
     #[test]

@@ -24,10 +24,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod binary;
+mod format;
 mod generators;
 mod io;
 mod twin;
 
+pub use binary::{
+    fnv1a64, BinaryDatasetReader, BinaryDatasetWriter, BINARY_MAGIC, BINARY_VERSION,
+};
+pub use format::{
+    read_dataset_auto, write_dataset_format, AnyDatasetReader, AnyDatasetWriter, Format,
+    ParseFormatError,
+};
 pub use generators::{generate_references, ReferenceStyle};
 pub use io::{read_dataset, write_dataset, DatasetReader, DatasetWriter, ReadDatasetError};
 pub use twin::{GroundTruthChannel, NanoporeTwinConfig, TwinProfile};

@@ -105,26 +105,31 @@ fn every_reader_error_carries_the_offending_line() {
     // Parse failure: bad base on line 5.
     let err = read_dataset(">ACGT\nACG\n\n>TTTT\nTQT\n".as_bytes()).unwrap_err();
     assert_eq!(err.line(), 5);
+    assert_eq!(err.offset(), 17, "line 5 starts at byte 17");
     assert!(matches!(err, ReadDatasetError::Parse { line: 5, .. }));
     assert!(err.to_string().contains("line 5"), "{err}");
 
-    // Contiguity failure: a read with no reference, on line 3.
+    // Contiguity failure: a read with no reference, on line 3. The line
+    // starts at byte 7 (">ACGT\n" is 6 bytes, the blank line 1 more).
     let err = read_dataset(">ACGT\n\nACG\n".as_bytes()).unwrap_err();
     assert_eq!(err.line(), 3);
+    assert_eq!(err.offset(), 7);
     assert!(matches!(
         err,
-        ReadDatasetError::ReadBeforeReference { line: 3 }
+        ReadDatasetError::ReadBeforeReference { line: 3, offset: 7 }
     ));
 
-    // I/O failure after two complete lines: surfaces at line 3.
+    // I/O failure after two complete lines: surfaces at line 3, with the
+    // byte offset of everything successfully consumed (10 bytes).
     let source = FailingReader {
         prefix: b">ACGT\nACG\n",
         served: 0,
     };
     let err = read_dataset(std::io::BufReader::new(source)).unwrap_err();
     assert_eq!(err.line(), 3);
+    assert_eq!(err.offset(), 10);
     match &err {
-        ReadDatasetError::Io { line, source } => {
+        ReadDatasetError::Io { line, source, .. } => {
             assert_eq!(*line, 3);
             assert_eq!(source.kind(), std::io::ErrorKind::BrokenPipe);
         }

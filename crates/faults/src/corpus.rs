@@ -1,0 +1,375 @@
+//! Seeded corpus-mutation fuzzing for binary cluster files.
+//!
+//! The binary codec's robustness contract is sharper than the text
+//! parser's: every frame is length-prefixed and checksummed, so a
+//! truncated, bit-flipped, or length-lying file must yield a typed
+//! [`ReadDatasetError`](dnasim_dataset::ReadDatasetError) — never a panic
+//! and never a *silently wrong read* (a decode that succeeds but returns
+//! clusters that differ from the clean corpus). This module makes that
+//! contract sweepable: start from a known-clean binary corpus, apply one
+//! seeded [`CorpusMutation`] per case, and classify what the decoder did.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dnasim_core::rng::{seeded, RngExt};
+use dnasim_core::Dataset;
+use dnasim_dataset::{read_dataset_auto, write_dataset_format, Format};
+
+/// Seed-mixing constant so each case's mutation randomness is independent
+/// of its neighbours (same constant family as the chaos suite).
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One seeded mutation of a binary cluster corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusMutation {
+    /// Cut the file to `at` bytes (mid-header, mid-frame, anywhere).
+    Truncate {
+        /// New file length in bytes.
+        at: usize,
+    },
+    /// XOR `mask` into the byte at `at`.
+    BitFlip {
+        /// Byte position to corrupt.
+        at: usize,
+        /// Non-zero XOR mask.
+        mask: u8,
+    },
+    /// Overwrite a frame's `payload_len` field with a lie.
+    LengthLie {
+        /// Byte position of the 4-byte length field.
+        field_at: usize,
+        /// The lying value written in its place.
+        value: u32,
+    },
+}
+
+impl CorpusMutation {
+    /// The mutation family name (for summaries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorpusMutation::Truncate { .. } => "truncate",
+            CorpusMutation::BitFlip { .. } => "bit-flip",
+            CorpusMutation::LengthLie { .. } => "length-lie",
+        }
+    }
+
+    /// Derives a mutation for `corpus` from a seed. The corpus must be a
+    /// clean binary cluster file — frame boundaries are walked from its
+    /// own length fields so a length-lie lands exactly on a real field.
+    pub fn from_seed(seed: u64, corpus: &[u8]) -> CorpusMutation {
+        let mut rng = seeded(seed);
+        let len = corpus.len().max(1) as u64;
+        match rng.random_range(0..3u32) {
+            0 => CorpusMutation::Truncate {
+                at: rng.random_range(0..len) as usize,
+            },
+            1 => CorpusMutation::BitFlip {
+                at: rng.random_range(0..len) as usize,
+                mask: 1u8 << rng.random_range(0..8u64),
+            },
+            _ => {
+                let fields = frame_length_offsets(corpus);
+                match fields.is_empty() {
+                    // Header-only corpus: no length field to lie in; fall
+                    // back to a truncation so the case still exercises
+                    // something.
+                    true => CorpusMutation::Truncate {
+                        at: rng.random_range(0..len) as usize,
+                    },
+                    false => {
+                        let pick = rng.random_range(0..fields.len() as u64) as usize;
+                        CorpusMutation::LengthLie {
+                            field_at: fields[pick],
+                            value: rng.random_range(0..u64::from(u32::MAX)) as u32,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the mutation to a copy of `corpus`.
+    pub fn apply(&self, corpus: &[u8]) -> Vec<u8> {
+        let mut bytes = corpus.to_vec();
+        match *self {
+            CorpusMutation::Truncate { at } => bytes.truncate(at.min(bytes.len())),
+            CorpusMutation::BitFlip { at, mask } => {
+                let at = at.min(bytes.len().saturating_sub(1));
+                if let Some(byte) = bytes.get_mut(at) {
+                    *byte ^= mask.max(1);
+                }
+            }
+            CorpusMutation::LengthLie { field_at, value } => {
+                if field_at + 4 <= bytes.len() {
+                    bytes[field_at..field_at + 4].copy_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+        bytes
+    }
+}
+
+/// Walks a clean binary corpus and returns the byte offset of every
+/// frame's `payload_len` field. Stops at the first structural
+/// inconsistency (the corpus is expected to be clean).
+fn frame_length_offsets(corpus: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut pos = 8usize; // past the header
+    while pos + 4 <= corpus.len() {
+        offsets.push(pos);
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&corpus[pos..pos + 4]);
+        let payload_len = u32::from_le_bytes(raw) as usize;
+        match pos.checked_add(4 + payload_len + 8) {
+            Some(next) if next <= corpus.len() => pos = next,
+            _ => break,
+        }
+    }
+    offsets
+}
+
+/// How the decoder answered one mutated corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusVerdict {
+    /// Decoded successfully to an exact prefix of the clean corpus
+    /// (`n` clusters) — the only acceptable success.
+    CleanPrefix(usize),
+    /// Rejected with a typed error — the expected answer to corruption.
+    TypedError(String),
+    /// Decoded successfully but to the *wrong* clusters — the silent
+    /// corruption bug class this harness exists to catch.
+    Misread(String),
+    /// The decoder panicked.
+    Panicked(String),
+}
+
+/// One `(seed, mutation)` case and its verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusFuzzOutcome {
+    /// The case seed; replaying it reproduces the mutation exactly.
+    pub seed: u64,
+    /// The mutation applied.
+    pub mutation: CorpusMutation,
+    /// What the decoder did.
+    pub verdict: CorpusVerdict,
+}
+
+/// The outcome of a corpus-mutation sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusFuzzReport {
+    outcomes: Vec<CorpusFuzzOutcome>,
+}
+
+impl CorpusFuzzReport {
+    /// Every case outcome, in seed order.
+    pub fn outcomes(&self) -> &[CorpusFuzzOutcome] {
+        &self.outcomes
+    }
+
+    /// Total cases run.
+    pub fn cases(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Cases that panicked or silently misread — the failures.
+    pub fn failures(&self) -> Vec<&CorpusFuzzOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.verdict,
+                    CorpusVerdict::Panicked(_) | CorpusVerdict::Misread(_)
+                )
+            })
+            .collect()
+    }
+
+    /// True when no case panicked or misread — the pass condition.
+    pub fn is_clean(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// A one-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut prefix = 0usize;
+        let mut typed = 0usize;
+        let mut misread = 0usize;
+        let mut panicked = 0usize;
+        for outcome in &self.outcomes {
+            match outcome.verdict {
+                CorpusVerdict::CleanPrefix(_) => prefix += 1,
+                CorpusVerdict::TypedError(_) => typed += 1,
+                CorpusVerdict::Misread(_) => misread += 1,
+                CorpusVerdict::Panicked(_) => panicked += 1,
+            }
+        }
+        let mut out = format!(
+            "corpus-fuzz: {} cases — {prefix} clean prefixes, {typed} typed errors, \
+             {misread} misread, {panicked} panicked",
+            self.cases()
+        );
+        for bad in self.failures() {
+            let detail = match &bad.verdict {
+                CorpusVerdict::Misread(msg) | CorpusVerdict::Panicked(msg) => msg.as_str(),
+                _ => "",
+            };
+            out.push_str(&format!(
+                "\n  FAIL mutation={} seed={}: {detail}",
+                bad.mutation.name(),
+                bad.seed
+            ));
+        }
+        out
+    }
+}
+
+/// Encodes `dataset` as a clean binary corpus and sweeps `cases` seeded
+/// mutations over it, classifying every decode.
+///
+/// # Examples
+///
+/// ```
+/// use dnasim_core::rng::seeded;
+/// use dnasim_core::{Cluster, Dataset, Strand};
+/// use dnasim_faults::fuzz_binary_corpus;
+///
+/// let mut rng = seeded(1);
+/// let mut ds = Dataset::new();
+/// for _ in 0..4 {
+///     let reference = Strand::random(30, &mut rng);
+///     ds.push(Cluster::new(reference.clone(), vec![reference]));
+/// }
+/// let report = fuzz_binary_corpus(&ds, 32, 7);
+/// assert_eq!(report.cases(), 32);
+/// assert!(report.is_clean(), "{}", report.summary());
+/// ```
+pub fn fuzz_binary_corpus(dataset: &Dataset, cases: usize, seed: u64) -> CorpusFuzzReport {
+    let mut corpus = Vec::new();
+    // Writes to a Vec are infallible; a failure would surface as an empty
+    // corpus, which every mutation and the decoder handle.
+    let _ = write_dataset_format(dataset, &mut corpus, Format::Binary);
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcomes = (0..cases as u64)
+        .map(|i| {
+            let case_seed = seed ^ i.wrapping_mul(SEED_MIX).wrapping_add(i + 1);
+            run_corpus_case(dataset, &corpus, case_seed)
+        })
+        .collect();
+    std::panic::set_hook(previous_hook);
+    CorpusFuzzReport { outcomes }
+}
+
+/// Runs one mutation case under `catch_unwind`.
+fn run_corpus_case(dataset: &Dataset, corpus: &[u8], seed: u64) -> CorpusFuzzOutcome {
+    let mutation = CorpusMutation::from_seed(seed, corpus);
+    let mutated = mutation.apply(corpus);
+    let verdict = match catch_unwind(AssertUnwindSafe(|| classify(dataset, &mutated))) {
+        Ok(verdict) => verdict,
+        Err(payload) => CorpusVerdict::Panicked(panic_message(payload)),
+    };
+    CorpusFuzzOutcome {
+        seed,
+        mutation,
+        verdict,
+    }
+}
+
+fn classify(dataset: &Dataset, mutated: &[u8]) -> CorpusVerdict {
+    match read_dataset_auto(mutated) {
+        Err(e) => CorpusVerdict::TypedError(e.to_string()),
+        Ok(decoded) => {
+            let clean = dataset.clusters();
+            if decoded.len() <= clean.len() && decoded.clusters() == &clean[..decoded.len()] {
+                CorpusVerdict::CleanPrefix(decoded.len())
+            } else {
+                CorpusVerdict::Misread(format!(
+                    "decoded {} clusters that are not a prefix of the {}-cluster corpus",
+                    decoded.len(),
+                    clean.len()
+                ))
+            }
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::{Cluster, Strand};
+
+    fn corpus_dataset(clusters: usize, seed: u64) -> Dataset {
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::new();
+        for i in 0..clusters {
+            let reference = Strand::random(40, &mut rng);
+            let reads = (0..i % 4).map(|_| Strand::random(38, &mut rng)).collect();
+            ds.push(Cluster::new(reference, reads));
+        }
+        ds
+    }
+
+    #[test]
+    fn smoke_sweep_of_128_mutations_is_clean() {
+        // The ≥100-case smoke the verify script runs: truncations,
+        // bit flips, and length lies must all yield typed errors or
+        // clean prefixes — never a panic, never a misread.
+        let ds = corpus_dataset(8, 42);
+        let report = fuzz_binary_corpus(&ds, 128, 0x00D_15EA5E);
+        assert_eq!(report.cases(), 128);
+        assert!(report.is_clean(), "{}", report.summary());
+        // The sweep must actually exercise the rejection path.
+        let typed = report
+            .outcomes()
+            .iter()
+            .filter(|o| matches!(o.verdict, CorpusVerdict::TypedError(_)))
+            .count();
+        assert!(typed > 20, "{}", report.summary());
+    }
+
+    #[test]
+    fn mutations_are_reproducible_from_their_seed() {
+        let ds = corpus_dataset(4, 9);
+        let a = fuzz_binary_corpus(&ds, 16, 77);
+        let b = fuzz_binary_corpus(&ds, 16, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_three_mutation_families_appear() {
+        let ds = corpus_dataset(6, 3);
+        let report = fuzz_binary_corpus(&ds, 64, 5);
+        for family in ["truncate", "bit-flip", "length-lie"] {
+            assert!(
+                report.outcomes().iter().any(|o| o.mutation.name() == family),
+                "missing {family} in 64 cases"
+            );
+        }
+    }
+
+    #[test]
+    fn length_lie_lands_on_real_frame_fields() {
+        let ds = corpus_dataset(5, 21);
+        let mut corpus = Vec::new();
+        write_dataset_format(&ds, &mut corpus, Format::Binary).unwrap();
+        let fields = frame_length_offsets(&corpus);
+        assert_eq!(fields.len(), ds.len());
+        assert_eq!(fields[0], 8);
+    }
+
+    #[test]
+    fn empty_corpus_is_fuzzable() {
+        let report = fuzz_binary_corpus(&Dataset::new(), 32, 1);
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+}

@@ -31,11 +31,15 @@
 #![warn(missing_debug_implementations)]
 
 mod chaos;
+mod corpus;
 mod inject;
 mod reader;
 mod stream_faults;
 
 pub use chaos::{ChaosOutcome, ChaosReport, ChaosSuite, Verdict};
+pub use corpus::{
+    fuzz_binary_corpus, CorpusFuzzOutcome, CorpusFuzzReport, CorpusMutation, CorpusVerdict,
+};
 pub use inject::{
     corrupt_cluster_text, corrupt_model_text, degenerate_rs_params, FaultCategory, FaultKind,
 };

@@ -11,6 +11,7 @@
 use std::fmt;
 
 use dnasim_channel::SimulatorLayer;
+use dnasim_dataset::Format;
 
 use crate::json::{self, Json};
 
@@ -128,12 +129,15 @@ impl AlgorithmSpec {
 /// The operation an admitted request runs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
-    /// Generate a Nanopore-twin dataset (`clusters`, `len`).
+    /// Generate a Nanopore-twin dataset (`clusters`, `len`, `format`).
     Generate {
         /// Number of clusters to generate.
         clusters: usize,
         /// Designed strand length.
         len: usize,
+        /// Dataset encoding for the response: text inlines the cluster
+        /// file, binary answers with its size and checksum.
+        format: Format,
     },
     /// Generate seeded noisy/clean strand pairs (`count`, `len`, `reads`).
     Corrupt {
@@ -167,6 +171,9 @@ pub enum Op {
         /// Lenient mode: quarantine unrecoverable strands instead of
         /// failing the request.
         lenient: bool,
+        /// Cluster-file encoding the archived payload is staged through
+        /// on its way to the decoder.
+        format: Format,
     },
 }
 
@@ -267,7 +274,12 @@ impl Request {
                 let len = usize_field(&value, "len", 110, line_no).map_err(&attach)?;
                 check_range(clusters, 1, max_batch, "clusters", line_no).map_err(&attach)?;
                 check_range(len, 1, 10_000, "len", line_no).map_err(&attach)?;
-                Op::Generate { clusters, len }
+                let format = format_field(&value, line_no).map_err(&attach)?;
+                Op::Generate {
+                    clusters,
+                    len,
+                    format,
+                }
             }
             "corrupt" => {
                 let count = usize_field(&value, "count", 32, line_no).map_err(&attach)?;
@@ -322,10 +334,12 @@ impl Request {
                     .get("lenient")
                     .map(|v| v.as_bool().unwrap_or(false))
                     .unwrap_or(false);
+                let format = format_field(&value, line_no).map_err(&attach)?;
                 Op::Archive {
                     bytes,
                     reads,
                     lenient,
+                    format,
                 }
             }
             other => {
@@ -399,6 +413,25 @@ fn usize_field(
     }
 }
 
+/// The optional `format` field on dataset-producing ops; defaults to text
+/// so every pre-format client keeps getting byte-identical responses.
+fn format_field(value: &Json, line_no: usize) -> Result<Format, ProtocolError> {
+    match value.get("format") {
+        None => Ok(Format::Text),
+        Some(v) => {
+            let spec = v.as_str().ok_or_else(|| {
+                ProtocolError::new(line_no, "'format' must be a string")
+            })?;
+            spec.parse().map_err(|_| {
+                ProtocolError::new(
+                    line_no,
+                    format!("unknown format '{spec}' (expected text | binary)"),
+                )
+            })
+        }
+    }
+}
+
 /// A required non-empty string payload field.
 fn text_field(value: &Json, name: &str, line_no: usize) -> Result<String, ProtocolError> {
     let text = value
@@ -445,7 +478,10 @@ mod tests {
             format!("{{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"{op}\"{extra}}}")
         };
         let r = Request::parse(&base("generate", ""), 1, MAX).unwrap();
-        assert_eq!(r.op, Op::Generate { clusters: 64, len: 110 });
+        assert_eq!(
+            r.op,
+            Op::Generate { clusters: 64, len: 110, format: Format::Text }
+        );
         assert_eq!(r.op_name(), "generate");
         let r = Request::parse(&base("corrupt", ",\"count\":5,\"reads\":3"), 1, MAX).unwrap();
         assert_eq!(r.op, Op::Corrupt { count: 5, len: 110, reads: 3 });
@@ -464,7 +500,38 @@ mod tests {
         assert!(matches!(r.op, Op::Evaluate { algorithm: AlgorithmSpec::Majority, .. }));
         let r = Request::parse(&base("archive", ",\"bytes\":256,\"lenient\":true"), 1, MAX)
             .unwrap();
-        assert_eq!(r.op, Op::Archive { bytes: 256, reads: 20, lenient: true });
+        assert_eq!(
+            r.op,
+            Op::Archive { bytes: 256, reads: 20, lenient: true, format: Format::Text }
+        );
+    }
+
+    #[test]
+    fn format_field_parses_on_generate_and_archive() {
+        let line = "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"generate\",\
+                    \"format\":\"binary\"}";
+        let r = Request::parse(line, 1, MAX).unwrap();
+        assert!(matches!(r.op, Op::Generate { format: Format::Binary, .. }));
+        let line = "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"archive\",\
+                    \"format\":\"binary\"}";
+        let r = Request::parse(line, 1, MAX).unwrap();
+        assert!(matches!(r.op, Op::Archive { format: Format::Binary, .. }));
+    }
+
+    #[test]
+    fn unknown_format_is_a_protocol_error_with_identity() {
+        let line = "{\"tenant\":\"acme\",\"request_id\":\"r1\",\"op\":\"generate\",\
+                    \"format\":\"parquet\"}";
+        let err = Request::parse(line, 4, MAX).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("parquet"));
+        assert!(err.message.contains("text | binary"));
+        // Identity recovered, so lenient mode can answer `rejected`.
+        assert_eq!(err.tenant.as_deref(), Some("acme"));
+        assert_eq!(err.request_id.as_deref(), Some("r1"));
+        let line = "{\"tenant\":\"t\",\"request_id\":\"r\",\"op\":\"archive\",\"format\":7}";
+        let err = Request::parse(line, 1, MAX).unwrap_err();
+        assert!(err.message.contains("must be a string"));
     }
 
     #[test]

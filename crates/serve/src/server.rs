@@ -16,7 +16,7 @@ use std::io::{BufRead, Write};
 use dnasim_channel::{CoverageModel, DnaSimulatorModel, ErrorModel, KeoliyaModel, Simulator};
 use dnasim_core::rng::{RngExt, SeedSequence};
 use dnasim_core::{Budget, CancelToken, Dataset, DnasimError, Strand, WindowStats};
-use dnasim_dataset::{read_dataset, DatasetWriter, NanoporeTwinConfig};
+use dnasim_dataset::{fnv1a64, read_dataset, AnyDatasetWriter, DatasetWriter, Format, NanoporeTwinConfig};
 use dnasim_par::ThreadPool;
 use dnasim_pipeline::{
     archive_round_trip_stream_budgeted, evaluate_reconstruction_stream_budgeted, ArchiveConfig,
@@ -662,9 +662,11 @@ fn run_op(
     budget: &Budget,
 ) -> Result<OpOutput, DnasimError> {
     match &request.op {
-        Op::Generate { clusters, len } => {
-            op_generate(namespace, *clusters, *len, batch_size, pool, budget)
-        }
+        Op::Generate {
+            clusters,
+            len,
+            format,
+        } => op_generate(namespace, *clusters, *len, *format, batch_size, pool, budget),
         Op::Corrupt { count, len, reads } => {
             op_corrupt(namespace, *count, *len, *reads, batch_size, pool, budget)
         }
@@ -674,10 +676,14 @@ fn run_op(
         Op::Evaluate { dataset, algorithm } => {
             op_evaluate(dataset, *algorithm, batch_size, pool, budget)
         }
+        // The archive format is admission-validated (unknown values are
+        // rejected before the op runs) but does not change the round trip:
+        // the coded payload never leaves the server as a cluster file.
         Op::Archive {
             bytes,
             reads,
             lenient,
+            format: _,
         } => op_archive(namespace, *bytes, *reads, *lenient, batch_size, pool, budget),
     }
 }
@@ -693,6 +699,7 @@ fn op_generate(
     namespace: &SeedSequence,
     clusters: usize,
     len: usize,
+    format: Format,
     batch_size: usize,
     pool: &ThreadPool,
     budget: &Budget,
@@ -704,15 +711,34 @@ fn op_generate(
     config.erasure_count = config.erasure_count.min(clusters / 8);
     config.seed = namespace.derive("twin");
     let mut buf = Vec::new();
-    let mut writer = DatasetWriter::new(&mut buf);
+    let mut writer = AnyDatasetWriter::new(&mut buf, format);
     let window = config.generate_stream_budgeted(batch_size, pool, budget, &mut writer)?;
     let (written, reads) = (writer.clusters_written(), writer.reads_written());
-    Ok(OpOutput {
-        fields: vec![
+    writer
+        .into_inner()
+        .map_err(|e| DnasimError::codec(format!("flushing generated dataset: {e}")))?;
+    let fields = match format {
+        // The text response is unchanged from the pre-format protocol:
+        // clients that never send "format" see byte-identical lines.
+        Format::Text => vec![
             ("clusters".into(), written.to_string()),
             ("reads".into(), reads.to_string()),
             ("dataset".into(), dataset_text(buf)?),
         ],
+        // Binary frames are not JSON-safe, so the response carries the
+        // encoded size and checksum instead of the dataset itself; a
+        // client regenerates the bytes with `dnasim generate --format
+        // binary` under the same seed namespace and verifies the digest.
+        Format::Binary => vec![
+            ("clusters".into(), written.to_string()),
+            ("reads".into(), reads.to_string()),
+            ("format".into(), format!("\"{format}\"")),
+            ("dataset_bytes".into(), buf.len().to_string()),
+            ("checksum".into(), format!("\"{:016x}\"", fnv1a64(&buf))),
+        ],
+    };
+    Ok(OpOutput {
+        fields,
         window,
         degraded: false,
     })

@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Performance measurement for the dnasim workspace, run fully offline.
 #
-# Runs the five benchmark suites that track the paper pipeline's hot
+# Runs the six benchmark suites that track the paper pipeline's hot
 # paths — kernel (edit-distance metrics), clustering, end-to-end pipeline,
-# the bounded-memory streaming path, and the serve batch RPC loop — with
-# the harness's JSONL emission enabled, then assembles the per-suite records into one machine-readable
-# report via `benchreport`.
+# the bounded-memory streaming path, the serve batch RPC loop, and the
+# cross-format parse path — with the harness's JSONL emission enabled,
+# then assembles the per-suite records into two machine-readable reports
+# via `benchreport`: the workspace report (BENCH_006, kernel-speedup
+# gate) and the cross-format parse report (BENCH_007, binary-parse gate:
+# binary-with-prefetch must beat text parsing by ≥2×).
 #
-# Usage: scripts/bench.sh [--fast] [--out FILE]
+# Usage: scripts/bench.sh [--fast] [--out FILE] [--parse-out FILE]
 #
-#   --fast    smoke mode: DNASIM_BENCH_FAST=1 shrinks warmup/measurement to
-#             CI levels and the report is tagged "fast" (the kernel-speedup
-#             gate is skipped — smoke timings are not meaningful).
-#   --out     report path (default: BENCH_006.json at the repo root).
+#   --fast       smoke mode: DNASIM_BENCH_FAST=1 shrinks warmup/measurement
+#                to CI levels and the reports are tagged "fast" (both
+#                speedup gates are skipped — smoke timings are not
+#                meaningful).
+#   --out        workspace report path (default: BENCH_006.json).
+#   --parse-out  parse report path (default: BENCH_007.json).
 
 set -euo pipefail
 
@@ -20,6 +25,7 @@ cd "$(dirname "$0")/.."
 
 mode=full
 out=BENCH_006.json
+parse_out=BENCH_007.json
 while [ "$#" -gt 0 ]; do
     case "$1" in
         --fast) mode=fast ;;
@@ -27,8 +33,12 @@ while [ "$#" -gt 0 ]; do
             shift
             out=${1:?--out needs a value}
             ;;
+        --parse-out)
+            shift
+            parse_out=${1:?--parse-out needs a value}
+            ;;
         *)
-            echo "usage: scripts/bench.sh [--fast] [--out FILE]" >&2
+            echo "usage: scripts/bench.sh [--fast] [--out FILE] [--parse-out FILE]" >&2
             exit 2
             ;;
     esac
@@ -56,6 +66,7 @@ run_suite clustering clustering
 run_suite pipeline pipeline
 run_suite streaming streaming
 run_suite serve serve
+run_suite parse parse
 
 echo "== assemble $out =="
 gate=()
@@ -73,4 +84,19 @@ cargo run -q --release -p dnasim-bench --bin benchreport -- \
     serve="$tmpdir/serve.jsonl"
 
 cargo run -q --release -p dnasim-bench --bin benchreport -- check "$out"
-echo "bench: OK ($out)"
+
+echo "== assemble $parse_out =="
+parse_gate=()
+if [ "$mode" = full ]; then
+    # ISSUE acceptance: binary parsing with prefetch overlap must beat
+    # the text parser by ≥2× on the 512-cluster corpus.
+    parse_gate=(--min-speedup 2.0)
+fi
+cargo run -q --release -p dnasim-bench --bin benchreport -- \
+    assemble --mode "$mode" --out "$parse_out" --bench-id BENCH_007 \
+    --baseline parse/text/512 --contender parse/binary-prefetch/512 \
+    "${parse_gate[@]}" \
+    parse="$tmpdir/parse.jsonl"
+
+cargo run -q --release -p dnasim-bench --bin benchreport -- check "$parse_out"
+echo "bench: OK ($out, $parse_out)"

@@ -34,10 +34,10 @@
 #    (tests/serve_soak.rs in smoke mode), and the `dnasim serve` pipe must
 #    honour the exit-code contract (responses + exit 0 on valid JSONL,
 #    usage + exit 2 on a malformed line, never a panic).
-# 11. Bench smoke: scripts/bench.sh --fast must produce a parseable report
-#    covering the kernel/clustering/pipeline groups, and the committed
-#    BENCH_004.json / BENCH_005.json / BENCH_006.json reports (when
-#    present) must still validate.
+# 11. Bench smoke: scripts/bench.sh --fast must produce parseable reports
+#    (the workspace groups plus the cross-format parse group), and the
+#    committed BENCH_004.json … BENCH_007.json reports (when present)
+#    must still validate.
 # 12. Cancellation chaos smoke: the `dnasim chaos --json` grid (including
 #    the stalled-source / sink-write-failure / budget-exhaustion
 #    streaming faults) must report clean, and a deadline-metered serve
@@ -161,7 +161,11 @@ fi
 echo "ok: crates/metrics depends only on in-tree path crates"
 
 echo "== offline release build =="
-CARGO_NET_OFFLINE=true cargo build --release
+# --workspace so the dnasim CLI binary is rebuilt too: the root
+# manifest is both a workspace and the facade package, and a bare
+# `cargo build` would only cover the facade (leaving a stale
+# target/release/dnasim for the CLI smoke below).
+CARGO_NET_OFFLINE=true cargo build --release --workspace
 
 # The full suite runs under two thread counts. tests/golden_pipeline.rs
 # builds its pool with ThreadPool::from_env(), so each run re-diffs the
@@ -175,6 +179,12 @@ CARGO_NET_OFFLINE=true DNASIM_THREADS=4 cargo test -q
 
 echo "== chaos suite (smoke) =="
 CARGO_NET_OFFLINE=true DNASIM_BENCH_FAST=1 cargo test -q -p dnasim-faults --test chaos
+
+echo "== binary corpus fuzz (smoke, 128 seeded mutations) =="
+# Truncations, bit flips, and length lies over an encoded binary corpus
+# must yield typed errors or clean prefixes — no panic, no misread
+# (crates/faults/src/corpus.rs; DESIGN.md §14).
+CARGO_NET_OFFLINE=true cargo test -q -p dnasim-faults --lib smoke_sweep_of_128_mutations
 
 echo "== kernel differential suite (Myers vs scalar oracle) =="
 CARGO_NET_OFFLINE=true cargo test -q -p dnasim-metrics --test myers_differential
@@ -196,8 +206,20 @@ cmp "$stream_dir/twin.txt" "$stream_dir/twin-stream.txt"
     --out "$stream_dir/sim-stream.txt" --stream --batch-size 32
 cmp "$stream_dir/sim.txt" "$stream_dir/sim-stream.txt"
 "$dnasim" archive --bytes 512 --batch-size 32 | grep -q "round-trip OK"
+
+# Cross-format golden step: the same generation in binary, converted back
+# to text, must be byte-identical to the text-path output — and the
+# binary-input streamed simulate must reproduce the text-input one.
+"$dnasim" generate --out "$stream_dir/twin.dnb" --small --clusters 48 --seed 9 \
+    --stream --batch-size 32 --format binary
+"$dnasim" convert --in "$stream_dir/twin.dnb" --out "$stream_dir/twin-roundtrip.txt" \
+    --format text
+cmp "$stream_dir/twin.txt" "$stream_dir/twin-roundtrip.txt"
+"$dnasim" simulate --data "$stream_dir/twin.dnb" --model keoliya:spatial \
+    --out "$stream_dir/sim-binary-in.txt" --stream --batch-size 32 --prefetch
+cmp "$stream_dir/sim.txt" "$stream_dir/sim-binary-in.txt"
 rm -rf "$stream_dir"
-echo "ok: streamed CLI output is byte-identical; archive decode window bounded"
+echo "ok: streamed CLI output is byte-identical across formats; archive decode window bounded"
 
 echo "== serve soak smoke (differential, multi-tenant) =="
 # ≥240 interleaved requests across 8 tenants at 1/2/4 workers, every
@@ -247,12 +269,15 @@ echo "ok: clippy is clean at -D warnings"
 
 echo "== bench smoke (fast mode) =="
 smoke_report=$(mktemp /tmp/dnasim-bench-smoke.XXXXXX.json)
-trap 'rm -f "$smoke_report"' EXIT
-scripts/bench.sh --fast --out "$smoke_report"
+smoke_parse_report=$(mktemp /tmp/dnasim-bench-parse-smoke.XXXXXX.json)
+trap 'rm -f "$smoke_report" "$smoke_parse_report"' EXIT
+scripts/bench.sh --fast --out "$smoke_report" --parse-out "$smoke_parse_report"
 CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
     check "$smoke_report"
+CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
+    check "$smoke_parse_report"
 
-for report in BENCH_004.json BENCH_005.json BENCH_006.json; do
+for report in BENCH_004.json BENCH_005.json BENCH_006.json BENCH_007.json; do
     if [ -f "$report" ]; then
         echo "== committed benchmark report ($report) =="
         CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \

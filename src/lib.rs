@@ -69,11 +69,13 @@ pub mod prelude {
     };
     pub use dnasim_core::rng::{seeded, SeedSequence, SimRng};
     pub use dnasim_core::{
-        pump, Base, Batch, Cluster, ClusterSink, ClusterSource, Dataset, EditOp, EditScript,
-        ErrorKind, Strand, WindowStats,
+        pump, pump_prefetch, Base, Batch, Cluster, ClusterSink, ClusterSource, Dataset, EditOp,
+        EditScript, ErrorKind, PrefetchSource, Strand, WindowStats,
     };
     pub use dnasim_dataset::{
-        read_dataset, write_dataset, DatasetReader, DatasetWriter, NanoporeTwinConfig,
+        fnv1a64, read_dataset, read_dataset_auto, write_dataset, write_dataset_format,
+        AnyDatasetReader, AnyDatasetWriter, BinaryDatasetReader, BinaryDatasetWriter,
+        DatasetReader, DatasetWriter, Format, NanoporeTwinConfig,
     };
     pub use dnasim_metrics::{gestalt_score, hamming, levenshtein, AccuracyReport};
     pub use dnasim_par::ThreadPool;

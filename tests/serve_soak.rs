@@ -452,6 +452,114 @@ fn shed_requests_leave_surviving_responses_untouched() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Cross-format ops: the "format" field on generate/archive (DESIGN.md §14).
+// ---------------------------------------------------------------------------
+
+/// Extracts the `"dataset"` string value from an ok response line. Cluster
+/// files only contain `>`, `-`, bases, and newlines, so the only JSON
+/// escape present is `\n`.
+fn served_dataset(response: &str) -> String {
+    let key = "\"dataset\":\"";
+    let start = response.find(key).expect("response inlines a dataset") + key.len();
+    let rest = &response[start..];
+    let end = rest.find('"').expect("dataset string is terminated");
+    rest[..end].replace("\\n", "\n")
+}
+
+/// The binary `generate` response must describe exactly the bytes the
+/// binary codec produces for the dataset the text response inlines: same
+/// tenant + request id ⇒ same seed namespace ⇒ same clusters, so the
+/// served `dataset_bytes`/`checksum` are verifiable from the text twin.
+#[test]
+fn binary_generate_response_matches_reencoded_text_response() {
+    let config = soak_config();
+    let base = "{\"tenant\":\"acme\",\"request_id\":\"fmt-01\",\"op\":\"generate\",\
+                \"clusters\":9,\"len\":32";
+    let lines = vec![
+        format!("{base}}}"),
+        format!("{base},\"format\":\"text\"}}"),
+        format!("{base},\"format\":\"binary\"}}"),
+    ];
+    let output = run_serve(&lines, &config, 2);
+    let responses: Vec<&str> = output.lines().collect();
+    assert_eq!(responses.len(), 3);
+    // "format":"text" is the default: explicit and absent answer
+    // byte-identically, so pre-format clients see an unchanged protocol.
+    assert_eq!(responses[0], responses[1]);
+    assert!(responses[0].contains("\"status\":\"ok\""));
+
+    let binary = responses[2];
+    assert!(binary.contains("\"status\":\"ok\""), "binary generate failed: {binary}");
+    assert!(binary.contains("\"format\":\"binary\""));
+    assert!(
+        !binary.contains("\"dataset\":\""),
+        "binary frames must not be inlined into a JSON response: {binary}"
+    );
+    // The differential: re-encode the text twin through the binary codec.
+    let dataset = read_dataset(served_dataset(responses[0]).as_bytes())
+        .expect("served dataset parses");
+    let mut encoded = Vec::new();
+    write_dataset_format(&dataset, &mut encoded, Format::Binary).expect("binary encode");
+    assert!(
+        binary.contains(&format!("\"dataset_bytes\":{}", encoded.len())),
+        "served size does not match the re-encoded twin: {binary}"
+    );
+    assert!(
+        binary.contains(&format!("\"checksum\":\"{:016x}\"", fnv1a64(&encoded))),
+        "served checksum does not match the re-encoded twin: {binary}"
+    );
+}
+
+/// Unknown `format` values are protocol violations: lenient mode answers
+/// `rejected` in place — with the offending value and the tenant identity
+/// — and the surrounding requests are untouched.
+#[test]
+fn unknown_format_is_rejected_in_place_under_lenient_mode() {
+    let config = ServeConfig {
+        lenient: true,
+        ..soak_config()
+    };
+    let lines = vec![
+        "{\"tenant\":\"acme\",\"request_id\":\"f-1\",\"op\":\"generate\",\"clusters\":4,\
+         \"len\":24,\"format\":\"parquet\"}"
+            .to_string(),
+        "{\"tenant\":\"betalab\",\"request_id\":\"f-2\",\"op\":\"archive\",\"bytes\":48,\
+         \"lenient\":true,\"format\":\"binary\"}"
+            .to_string(),
+        "{\"tenant\":\"cryogen\",\"request_id\":\"f-3\",\"op\":\"archive\",\"bytes\":48,\
+         \"reads\":4,\"format\":\"gzip\"}"
+            .to_string(),
+        "{\"tenant\":\"deepsea\",\"request_id\":\"f-4\",\"op\":\"generate\",\"clusters\":4,\
+         \"len\":24}"
+            .to_string(),
+    ];
+    let output = run_serve(&lines, &config, 2);
+    let responses: Vec<&str> = output.lines().collect();
+    assert_eq!(responses.len(), lines.len());
+
+    assert!(responses[0].contains("\"status\":\"rejected\""));
+    assert!(responses[0].contains("parquet"), "rejection names the value: {}", responses[0]);
+    assert!(responses[0].contains("\"tenant\":\"acme\""), "identity attached: {}", responses[0]);
+    // A known format on archive is admission-valid; the round trip runs.
+    assert!(
+        responses[1].contains("\"status\":\"ok\"") || responses[1].contains("\"status\":\"degraded\""),
+        "archive with a known format must execute: {}",
+        responses[1]
+    );
+    assert!(responses[2].contains("\"status\":\"rejected\""));
+    assert!(responses[2].contains("gzip"));
+    assert!(responses[3].contains("\"status\":\"ok\""), "neighbour affected: {}", responses[3]);
+
+    // Strict mode aborts on the same violation.
+    let strict = soak_config();
+    let input = lines.join("\n");
+    let mut out = Vec::new();
+    let err = serve(input.as_bytes(), &mut out, &strict, &ThreadPool::new(2))
+        .expect_err("strict mode must abort on an unknown format");
+    assert!(err.to_string().contains("parquet"), "{err}");
+}
+
 /// A reader that trips the shutdown token once the server has consumed
 /// `cancel_at` bytes of the stream — the integration-level stand-in for
 /// SIGTERM. Reads are capped at 64 bytes so cancellation lands mid-stream

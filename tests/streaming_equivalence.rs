@@ -63,6 +63,82 @@ fn streamed_generation_is_byte_identical() {
     }
 }
 
+/// The format axis of the equivalence matrix: streamed generation into an
+/// [`AnyDatasetWriter`] must be byte-identical to the whole-dataset
+/// encoding at every batch size × thread count × format (DESIGN.md §14).
+#[test]
+fn streamed_generation_is_byte_identical_in_every_format() {
+    for seed in SEEDS {
+        let config = twin_config(seed);
+        let whole = config.generate();
+        for format in [Format::Text, Format::Binary] {
+            let mut expected = Vec::new();
+            write_dataset_format(&whole, &mut expected, format).expect("write to memory");
+            for threads in [1, 4] {
+                let pool = ThreadPool::new(threads);
+                for batch_size in BATCH_SIZES {
+                    let mut writer = AnyDatasetWriter::new(Vec::new(), format);
+                    let window = config
+                        .generate_stream(batch_size, &pool, &mut writer)
+                        .expect("stream generation");
+                    assert!(window.high_watermark <= batch_size);
+                    assert_eq!(window.clusters, config.cluster_count);
+                    let bytes = writer.into_inner().expect("flush");
+                    assert_eq!(
+                        bytes, expected,
+                        "seed={seed} format={format} threads={threads} batch_size={batch_size}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Cross-format round trip under streaming: the same dataset encoded in
+/// either format, pumped through an auto-detecting reader — with and
+/// without the prefetch pump — re-emits identical text bytes at every
+/// batch size. The binary path may not change a byte of what the text
+/// path carries.
+#[test]
+fn streamed_round_trip_is_format_invariant_with_and_without_prefetch() {
+    for seed in SEEDS {
+        let twin = twin_config(seed).generate();
+        let text = to_bytes(&twin);
+        for format in [Format::Text, Format::Binary] {
+            let mut encoded = Vec::new();
+            write_dataset_format(&twin, &mut encoded, format).expect("write to memory");
+            for batch_size in BATCH_SIZES {
+                let mut reader =
+                    AnyDatasetReader::detect(&encoded[..]).expect("magic-byte detection");
+                assert_eq!(reader.format(), format, "wrong format detected");
+                let mut copy = Dataset::new();
+                let window = pump(&mut reader, &mut copy, batch_size, Ok).expect("pump");
+                assert!(window.high_watermark <= batch_size);
+                assert_eq!(
+                    to_bytes(&copy),
+                    text,
+                    "seed={seed} format={format} batch_size={batch_size}"
+                );
+
+                // The prefetch pump decodes batch k+1 on its own worker
+                // thread; the hand-off must not reorder or drop a cluster.
+                let reader = AnyDatasetReader::detect(std::io::Cursor::new(encoded.clone()))
+                    .expect("magic-byte detection");
+                let mut copy = Dataset::new();
+                let window = pump_prefetch(reader, &mut copy, batch_size, Ok)
+                    .expect("prefetch pump");
+                // Double buffering holds at most two batches in flight.
+                assert!(window.high_watermark <= batch_size.saturating_mul(2));
+                assert_eq!(
+                    to_bytes(&copy),
+                    text,
+                    "prefetch: seed={seed} format={format} batch_size={batch_size}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn streamed_resimulation_is_byte_identical() {
     for seed in SEEDS {
@@ -145,6 +221,13 @@ fn streamed_pipeline_matches_golden_snapshot() {
             .generate_stream(batch_size, &pool, &mut twin)
             .expect("stream generation");
         assert!(window.high_watermark <= batch_size);
+
+        // Golden-through-binary: detour the twin through the binary codec
+        // before every downstream stage — the snapshot must not move a
+        // byte when the dataset crosses a binary file boundary.
+        let mut encoded = Vec::new();
+        write_dataset_format(&twin, &mut encoded, Format::Binary).expect("binary encode");
+        let twin = read_dataset_auto(encoded.as_slice()).expect("binary decode");
 
         // --- Cluster (same in-memory stage as the golden test). ---
         let references = dnasim::pipeline::references_of(&twin);
