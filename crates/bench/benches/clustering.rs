@@ -10,8 +10,12 @@ use std::hint::black_box;
 use dnasim_channel::{ErrorModel, NaiveModel};
 use dnasim_cluster::{GreedyClusterer, QGramSignature};
 use dnasim_core::rng::seeded;
-use dnasim_core::Strand;
 use dnasim_core::rng::SliceRandom;
+use dnasim_core::{PackedStrand, Strand};
+use dnasim_metrics::{
+    bank_within_with, myers, BankScratch, MyersScratch, PatternBank, QGramProfile, QGramScratch,
+    MAX_LANES,
+};
 
 fn pool(references: usize, coverage: usize, seed: u64) -> (Vec<Strand>, Vec<Strand>) {
     let mut rng = seeded(seed);
@@ -48,12 +52,113 @@ fn bench_clustering(c: &mut Criterion) {
     });
 }
 
+/// Best-reference assignment over the same pool two ways: the pre-bank
+/// code path (one banded Myers call per reference, sequentially) against
+/// the shipped path (q-gram error-ball prune, survivors packed into
+/// multi-pattern banks). Both compute the identical best assignment, so
+/// the ratio is pure kernel-tier + prefilter speedup — this is the
+/// BENCH_008 baseline/contender pair.
+fn bench_cluster_bank(c: &mut Criterion) {
+    let mut rng = seeded(3);
+    let refs: Vec<Strand> = (0..64).map(|_| Strand::random(110, &mut rng)).collect();
+    let model = NaiveModel::with_total_rate(0.059);
+    let mut reads: Vec<Strand> = Vec::new();
+    for r in &refs {
+        for _ in 0..4 {
+            reads.push(model.corrupt(r, &mut rng));
+        }
+    }
+    reads.shuffle(&mut rng);
+    let limit = GreedyClusterer::default().distance_threshold;
+    let q = GreedyClusterer::default().qgram_len;
+
+    let packed_refs: Vec<PackedStrand> = refs.iter().map(PackedStrand::from).collect();
+    let ref_profiles: Vec<QGramProfile> = refs.iter().map(|r| QGramProfile::new(r, q)).collect();
+    let packed_reads: Vec<PackedStrand> = reads.iter().map(PackedStrand::from).collect();
+    let read_profiles: Vec<QGramProfile> =
+        reads.iter().map(|r| QGramProfile::new(r, q)).collect();
+
+    c.bench_function("cluster-bank/single-pattern/64refs", |b| {
+        let mut scratch = MyersScratch::new();
+        b.iter(|| {
+            let mut assigned = 0usize;
+            for read in black_box(&packed_reads) {
+                let mut best: Option<(usize, usize)> = None;
+                for (ri, reference) in packed_refs.iter().enumerate() {
+                    if let Some(d) = myers::within_with(&mut scratch, reference, read, limit) {
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, ri));
+                        }
+                    }
+                }
+                assigned += usize::from(best.is_some());
+            }
+            assigned
+        })
+    });
+
+    c.bench_function("cluster-bank/banked-prefilter/64refs", |b| {
+        let mut bank_scratch = BankScratch::new();
+        let mut qgram_scratch = QGramScratch::new();
+        let mut lane_out: Vec<Option<usize>> = Vec::new();
+        let mut survivors: Vec<usize> = Vec::new();
+        b.iter(|| {
+            let mut assigned = 0usize;
+            for (read, profile) in black_box(&packed_reads).iter().zip(&read_profiles) {
+                survivors.clear();
+                qgram_scratch.load(profile);
+                for (ri, rp) in ref_profiles.iter().enumerate() {
+                    if qgram_scratch.bound(rp) <= limit {
+                        survivors.push(ri);
+                    }
+                }
+                let mut best: Option<(usize, usize)> = None;
+                for chunk in survivors.chunks(MAX_LANES) {
+                    let lanes: Vec<&PackedStrand> =
+                        chunk.iter().map(|&ri| &packed_refs[ri]).collect();
+                    if let Some(bank) = PatternBank::new(&lanes) {
+                        bank_within_with(&mut bank_scratch, &bank, read, limit, &mut lane_out);
+                        for (lane, &ri) in chunk.iter().enumerate() {
+                            if let Some(d) = lane_out[lane] {
+                                if best.is_none_or(|(bd, _)| d < bd) {
+                                    best = Some((d, ri));
+                                }
+                            }
+                        }
+                    }
+                }
+                assigned += usize::from(best.is_some());
+            }
+            assigned
+        })
+    });
+
+    // Prefilter effectiveness on this pool, recorded for the BENCH_008
+    // gates: each pruned candidate is one Myers evaluation that never ran.
+    let mut proposed = 0usize;
+    let mut pruned = 0usize;
+    for profile in &read_profiles {
+        for rp in &ref_profiles {
+            proposed += 1;
+            pruned += usize::from(rp.distance_lower_bound(profile) > limit);
+        }
+    }
+    c.record_metric(
+        "cluster-bank/pruned-share-pct",
+        100.0 * pruned as f64 / proposed as f64,
+    );
+    c.record_metric(
+        "cluster-bank/kernel-evals-per-read",
+        (proposed - pruned) as f64 / packed_reads.len() as f64,
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(Duration::from_secs(4))
         .warm_up_time(Duration::from_secs(1));
-    targets = bench_clustering
+    targets = bench_clustering, bench_cluster_bank
 }
 criterion_main!(benches);

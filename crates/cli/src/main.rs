@@ -70,7 +70,7 @@ const EXIT_OUTPUT_CLOSED: u8 = 4;
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
-    let result = match args.command.as_deref() {
+    let result = apply_simd_mode(&args).and_then(|()| match args.command.as_deref() {
         Some("generate") => cmd_generate(&args),
         Some("profile") => cmd_profile(&args),
         Some("simulate") => cmd_simulate(&args),
@@ -90,7 +90,7 @@ fn main() -> ExitCode {
             name: other.to_owned(),
         }
         .into()),
-    };
+    });
     match result {
         Ok(CliOutcome::Ok) => ExitCode::SUCCESS,
         Ok(CliOutcome::Degraded) => ExitCode::from(EXIT_DEGRADED),
@@ -123,6 +123,45 @@ enum CliOutcome {
 }
 
 type CliResult = Result<CliOutcome, Box<dyn std::error::Error>>;
+
+/// Applies the global `--simd auto|off` override before dispatch
+/// (`DNASIM_SIMD=off` is the env-var equivalent when the flag is absent).
+/// Every kernel backend is exact, so this knob only changes throughput —
+/// command output is byte-identical either way.
+fn apply_simd_mode(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    match args.get("simd") {
+        None => Ok(()),
+        Some("auto") => {
+            dnasim_metrics::set_simd_mode(dnasim_metrics::SimdMode::Auto);
+            Ok(())
+        }
+        Some("off") => {
+            dnasim_metrics::set_simd_mode(dnasim_metrics::SimdMode::Off);
+            Ok(())
+        }
+        Some(other) => Err(ArgsError::UnknownChoice {
+            name: "simd",
+            value: other.to_owned(),
+            choices: "auto | off",
+        }
+        .into()),
+    }
+}
+
+/// The clustering diagnostic line: process-wide kernel/prune counters and
+/// the active SIMD backend. Identical wording everywhere it appears so
+/// stream/non-stream output comparisons stay byte-equal.
+fn cluster_kernel_line() -> String {
+    let stats = dnasim_cluster::process_cluster_stats();
+    format!(
+        "cluster kernel: {} calls ({} lanes), {} candidates, {} pruned by error ball, simd {}",
+        stats.kernel_calls,
+        stats.kernel_lanes,
+        stats.candidates,
+        stats.pruned,
+        dnasim_metrics::simd_tier_name()
+    )
+}
 
 fn usage_text() -> &'static str {
     "dnasim — DNA-storage noisy-channel simulator\n\n\
@@ -160,6 +199,10 @@ fn usage_text() -> &'static str {
      \x20 auto-detect by magic bytes); --prefetch decodes the next batch on a\n\
      \x20 dedicated I/O worker while the current one computes — output is\n\
      \x20 byte-identical with or without it\n\
+     \x20 --simd auto|off selects the edit-distance kernel backend (auto\n\
+     \x20 detects AVX2/NEON at runtime; off forces the portable fallback;\n\
+     \x20 DNASIM_SIMD=off is the env equivalent); all backends are exact,\n\
+     \x20 so output is byte-identical either way\n\
      \x20 --default-deadline N meters requests without their own deadline;\n\
      \x20 --retries N grants seeded retries to requests that fail at runtime;\n\
      \x20 with --cluster-budget N, requests estimated over N clusters of total\n\
@@ -353,6 +396,10 @@ fn cmd_profile(args: &Args) -> CliResult {
         model.spatial_multiplier(model.strand_len / 2),
         model.spatial_multiplier(model.strand_len.saturating_sub(1)),
     );
+    // Profiling never clusters, so the counters are zero here — the line
+    // documents the active SIMD backend and keeps the streamed and
+    // in-memory outputs identical (both print the same zeros).
+    println!("{}", cluster_kernel_line());
     if let Some(path) = args.get("save") {
         std::fs::write(path, model.to_text())?;
         println!("saved learned model to {path}");
@@ -700,6 +747,11 @@ fn cmd_archive(args: &Args) -> CliResult {
         None => archive_round_trip_on(&data, &config, &mut rng, &thread_pool(args)?)?,
     };
     let ok = report.data[..data.len()] == data[..];
+    if config.imperfect_clustering {
+        // Imperfect clustering ran the greedy pass: surface how much
+        // kernel work the error-ball filter and bank tier saved.
+        println!("{}", cluster_kernel_line());
+    }
     println!(
         "archived {bytes} bytes as {} strands, sequenced {} reads, parity recoveries: {}, \
          round-trip {}",

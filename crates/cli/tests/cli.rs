@@ -682,3 +682,81 @@ fn archive_with_bounded_decode_window_round_trips() {
     assert!(stdout.contains("round-trip OK"));
     assert!(stdout.contains("decoded"), "window stats must be reported");
 }
+
+#[test]
+fn profile_reports_cluster_kernel_diagnostics() {
+    let twin = tmp("twin-simd.txt");
+    dnasim()
+        .args(["generate", "--out", twin.to_str().unwrap(), "--small", "--clusters", "20"])
+        .output()
+        .unwrap();
+    let out = dnasim()
+        .args(["profile", "--data", twin.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cluster kernel:"), "diagnostic line missing:\n{stdout}");
+    assert!(stdout.contains("pruned by error ball"));
+    assert!(
+        stdout.contains("simd avx2") || stdout.contains("simd neon") || stdout.contains("simd scalar"),
+        "diagnostic line must name the backend:\n{stdout}"
+    );
+}
+
+#[test]
+fn archive_imperfect_counts_kernel_work() {
+    let out = dnasim()
+        .args(["archive", "--bytes", "256", "--imperfect"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("round-trip OK"));
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("cluster kernel:"))
+        .unwrap_or_else(|| panic!("no kernel diagnostic in:\n{stdout}"));
+    // Imperfect clustering really clusters, so the counters must move.
+    assert!(!line.contains("0 candidates"), "clustering ran but counted nothing: {line}");
+}
+
+#[test]
+fn simd_off_flag_forces_scalar_backend_with_identical_output() {
+    let auto = dnasim().args(["archive", "--bytes", "256", "--imperfect"]).output().unwrap();
+    let off = dnasim()
+        .args(["archive", "--bytes", "256", "--imperfect", "--simd", "off"])
+        .output()
+        .unwrap();
+    assert_eq!(off.status.code(), Some(0), "{}", String::from_utf8_lossy(&off.stderr));
+    let off_text = String::from_utf8_lossy(&off.stdout);
+    assert!(off_text.contains("simd scalar"), "--simd off must pin the scalar tier:\n{off_text}");
+    // Every backend is exact: apart from the backend name, output matches.
+    let auto_text = String::from_utf8_lossy(&auto.stdout);
+    let strip = |s: &str| {
+        s.lines()
+            .map(|l| l.split(", simd ").next().unwrap_or(l).to_owned())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&auto_text), strip(&off_text));
+}
+
+#[test]
+fn simd_env_var_forces_scalar_backend() {
+    let out = dnasim()
+        .args(["archive", "--bytes", "128", "--imperfect"])
+        .env("DNASIM_SIMD", "off")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("simd scalar"));
+}
+
+#[test]
+fn simd_rejects_unknown_backend() {
+    let out = dnasim().args(["profile", "--simd", "bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bogus") && stderr.contains("auto"));
+}

@@ -5,25 +5,49 @@
 //! standard recipe (cf. Rashtchian et al.): a q-gram MinHash prefilter
 //! proposes candidate clusters, and a banded edit-distance test against the
 //! cluster representative confirms membership.
+//!
+//! Two throughput layers sit between candidate proposal and confirmation,
+//! neither of which can change a clustering decision:
+//!
+//! 1. an **error-ball prefilter** — the q-gram counting lower bound
+//!    ([`QGramProfile`]) discharges candidates whose distance provably
+//!    exceeds the threshold before any kernel runs;
+//! 2. the **multi-pattern kernel tier** — surviving candidates with equal
+//!    word counts are batched into [`PatternBank`]s so one pass over the
+//!    read advances up to [`MAX_LANES`] representatives at once (AVX2 /
+//!    NEON / scalar, runtime selected).
+//!
+//! Both layers are exact, so `cluster`, `cluster_with_merge`, and
+//! `cluster_against_references` return byte-identical groupings with any
+//! backend and with the prefilter disabled; only the counters in
+//! [`ClusterStats`] differ.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use dnasim_core::{Cluster, Dataset, PackedStrand, Strand};
-use dnasim_metrics::{myers, MyersScratch};
+use dnasim_metrics::bank::{bank_within_with, BankScratch, PatternBank, MAX_LANES};
+use dnasim_metrics::{myers, MyersScratch, QGramProfile, QGramScratch};
 
 use crate::signature::QGramSignature;
+use crate::stats::{self, ClusterStats};
 
 /// Configuration for greedy clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GreedyClusterer {
     /// Maximum edit distance to a cluster representative for membership.
     pub distance_threshold: usize,
-    /// q-gram length for the signature prefilter.
+    /// q-gram length for the signature prefilter (also the gram length of
+    /// the error-ball lower bound).
     pub qgram_len: usize,
     /// Number of MinHash entries kept per signature.
     pub sketch_len: usize,
     /// Number of leading sketch hashes used for candidate bucketing.
     pub bands: usize,
+    /// Whether the q-gram error-ball lower bound may discharge candidates
+    /// before the kernel. Exact either way — disabling it only costs
+    /// kernel calls (the filtered-vs-unfiltered differential tests flip
+    /// this flag).
+    pub prefilter: bool,
 }
 
 impl Default for GreedyClusterer {
@@ -34,6 +58,88 @@ impl Default for GreedyClusterer {
             qgram_len: 5,
             sketch_len: 12,
             bands: 6,
+            prefilter: true,
+        }
+    }
+}
+
+/// Everything `cluster` precomputes per founded cluster, threaded through
+/// to the merge and reference-assignment passes so nothing is rebuilt.
+struct Representative {
+    packed: PackedStrand,
+    sig: QGramSignature,
+    profile: QGramProfile,
+}
+
+/// Reusable kernel buffers for one clustering pass.
+#[derive(Default)]
+struct AssignScratch {
+    myers: MyersScratch,
+    bank: BankScratch,
+    qgram: QGramScratch,
+    lane_out: Vec<Option<usize>>,
+}
+
+/// Evaluates `text` against every pattern in `patterns`, writing
+/// `results[k] = Some(distance)` iff pattern `k` is within `limit`.
+///
+/// Patterns are grouped by word count and packed [`MAX_LANES`] at a time
+/// into [`PatternBank`]s; singleton groups (and empty patterns, which have
+/// no words to bank) use the single-pattern kernel. Both kernels are
+/// exact, so `results` is independent of the grouping.
+fn evaluate_candidates(
+    scratch: &mut AssignScratch,
+    patterns: &[&PackedStrand],
+    text: &PackedStrand,
+    limit: usize,
+    stats: &mut ClusterStats,
+    results: &mut Vec<Option<usize>>,
+) {
+    results.clear();
+    results.resize(patterns.len(), None);
+    let mut by_words: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (k, p) in patterns.iter().enumerate() {
+        by_words.entry(p.words()).or_default().push(k);
+    }
+    for (words, slots) in by_words {
+        if words == 0 {
+            // Empty patterns: the kernel degenerates to |text| ≤ limit.
+            for &k in &slots {
+                stats.kernel_calls += 1;
+                stats.kernel_lanes += 1;
+                results[k] = myers::within_with(&mut scratch.myers, patterns[k], text, limit);
+            }
+            continue;
+        }
+        for chunk in slots.chunks(MAX_LANES) {
+            if chunk.len() == 1 {
+                let k = chunk[0];
+                stats.kernel_calls += 1;
+                stats.kernel_lanes += 1;
+                results[k] = myers::within_with(&mut scratch.myers, patterns[k], text, limit);
+                continue;
+            }
+            let lanes: Vec<&PackedStrand> = chunk.iter().map(|&k| patterns[k]).collect();
+            match PatternBank::new(&lanes) {
+                Some(bank) => {
+                    stats.kernel_calls += 1;
+                    stats.kernel_lanes += chunk.len();
+                    bank_within_with(&mut scratch.bank, &bank, text, limit, &mut scratch.lane_out);
+                    for (lane, &k) in chunk.iter().enumerate() {
+                        results[k] = scratch.lane_out.get(lane).copied().flatten();
+                    }
+                }
+                None => {
+                    // Unreachable by construction (equal non-zero word
+                    // counts, chunk ≤ MAX_LANES); stay exact regardless.
+                    for &k in chunk {
+                        stats.kernel_calls += 1;
+                        stats.kernel_lanes += 1;
+                        results[k] =
+                            myers::within_with(&mut scratch.myers, patterns[k], text, limit);
+                    }
+                }
+            }
         }
     }
 }
@@ -46,19 +152,41 @@ impl GreedyClusterer {
     /// representative is within the distance threshold (candidates proposed
     /// by signature band collisions), or founds a new cluster.
     pub fn cluster(&self, pool: &[Strand]) -> Vec<Vec<usize>> {
+        self.cluster_stats(pool).0
+    }
+
+    /// [`cluster`](GreedyClusterer::cluster) plus the pass's
+    /// [`ClusterStats`] (also folded into the process-wide counters).
+    pub fn cluster_stats(&self, pool: &[Strand]) -> (Vec<Vec<usize>>, ClusterStats) {
+        let (clusters, _, run) = self.cluster_impl(pool);
+        stats::record(&run);
+        (clusters, run)
+    }
+
+    /// The single assignment pass shared by every public entry point.
+    ///
+    /// Returns the groups, the per-cluster [`Representative`]s (packed
+    /// strand, signature, and q-gram profile — built exactly once, at
+    /// founding time), and the pass counters.
+    fn cluster_impl(&self, pool: &[Strand]) -> (Vec<Vec<usize>>, Vec<Representative>, ClusterStats) {
         let mut clusters: Vec<Vec<usize>> = Vec::new();
         // Representatives are kept 2-bit packed: every incoming read is
-        // compared against them with the Myers kernel, so packing once at
+        // compared against them with the Myers kernels, so packing once at
         // founding time amortises the Eq-mask construction over the whole
-        // pool.
-        let mut representatives: Vec<(PackedStrand, QGramSignature)> = Vec::new();
+        // pool. The q-gram profile rides along for the error-ball bound.
+        let mut reps: Vec<Representative> = Vec::new();
         // band hash → cluster ids that expose it
         let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut scratch = MyersScratch::new();
+        let mut scratch = AssignScratch::default();
+        let mut run = ClusterStats::default();
+        let mut survivors: Vec<usize> = Vec::new();
+        let mut results: Vec<Option<usize>> = Vec::new();
 
         for (read_idx, read) in pool.iter().enumerate() {
+            run.reads += 1;
             let sig = QGramSignature::new(read, self.qgram_len, self.sketch_len);
             let packed = PackedStrand::from(read);
+            let profile = QGramProfile::new(read, self.qgram_len);
             let mut candidates: Vec<usize> = sig
                 .hashes()
                 .iter()
@@ -69,17 +197,46 @@ impl GreedyClusterer {
                 .collect();
             candidates.sort_unstable();
             candidates.dedup();
+            run.candidates += candidates.len();
 
-            let mut joined = None;
-            for &cluster_id in &candidates {
-                let (repr, _) = &representatives[cluster_id];
-                if myers::within_with(&mut scratch, repr, &packed, self.distance_threshold)
-                    .is_some()
-                {
-                    joined = Some(cluster_id);
-                    break;
-                }
+            // Error-ball prefilter: a candidate whose q-gram lower bound
+            // already exceeds the threshold cannot pass the kernel test,
+            // so dropping it cannot change the clustering. The read's
+            // histogram is loaded once; each candidate is a read-only scan.
+            if self.prefilter && !candidates.is_empty() {
+                scratch.qgram.load(&profile);
             }
+            survivors.clear();
+            for &id in &candidates {
+                if self.prefilter
+                    && scratch.qgram.bound(&reps[id].profile) > self.distance_threshold
+                {
+                    run.pruned += 1;
+                    continue;
+                }
+                survivors.push(id);
+            }
+
+            // `survivors` is ascending, so the first match is the lowest
+            // cluster id — the same winner the one-at-a-time loop with an
+            // early break would have picked.
+            let joined = {
+                let lanes: Vec<&PackedStrand> =
+                    survivors.iter().map(|&id| &reps[id].packed).collect();
+                evaluate_candidates(
+                    &mut scratch,
+                    &lanes,
+                    &packed,
+                    self.distance_threshold,
+                    &mut run,
+                    &mut results,
+                );
+                survivors
+                    .iter()
+                    .zip(results.iter())
+                    .find(|(_, r)| r.is_some())
+                    .map(|(&id, _)| id)
+            };
             match joined {
                 Some(id) => clusters[id].push(read_idx),
                 None => {
@@ -88,11 +245,15 @@ impl GreedyClusterer {
                     for &h in sig.hashes().iter().take(self.bands) {
                         buckets.entry(h).or_default().push(id);
                     }
-                    representatives.push((packed, sig));
+                    reps.push(Representative {
+                        packed,
+                        sig,
+                        profile,
+                    });
                 }
             }
         }
-        clusters
+        (clusters, reps, run)
     }
 
     /// Clusters a pool and assigns each group to the nearest reference
@@ -101,57 +262,95 @@ impl GreedyClusterer {
     ///
     /// Reads whose group matches no reference within the threshold are
     /// dropped — exactly the data loss imperfect clustering causes.
-    pub fn cluster_against_references(
+    pub fn cluster_against_references(&self, pool: &[Strand], references: &[Strand]) -> Dataset {
+        self.cluster_against_references_stats(pool, references).0
+    }
+
+    /// [`cluster_against_references`](GreedyClusterer::cluster_against_references)
+    /// plus the combined assignment-pass and reference-matching
+    /// [`ClusterStats`].
+    pub fn cluster_against_references_stats(
         &self,
         pool: &[Strand],
         references: &[Strand],
-    ) -> Dataset {
+    ) -> (Dataset, ClusterStats) {
         let ref_sigs: Vec<QGramSignature> = references
             .iter()
             .map(|r| QGramSignature::new(r, self.qgram_len, self.sketch_len))
             .collect();
         // References are compared against every group representative, so
-        // pack them once up front.
-        let packed_refs: Vec<PackedStrand> =
-            references.iter().map(PackedStrand::from).collect();
+        // pack and profile them once up front.
+        let packed_refs: Vec<PackedStrand> = references.iter().map(PackedStrand::from).collect();
+        let ref_profiles: Vec<QGramProfile> = references
+            .iter()
+            .map(|r| QGramProfile::new(r, self.qgram_len))
+            .collect();
         let mut assigned: Vec<Vec<Strand>> = references.iter().map(|_| Vec::new()).collect();
-        let mut scratch = MyersScratch::new();
 
-        for group in self.cluster(pool) {
-            let repr = &pool[group[0]];
-            let sig = QGramSignature::new(repr, self.qgram_len, self.sketch_len);
-            let packed_repr = PackedStrand::from(repr);
+        // The assignment pass already packed, signed, and profiled every
+        // group representative — reuse them instead of recomputing from
+        // `pool[group[0]]`.
+        let (groups, reps, mut run) = self.cluster_impl(pool);
+        let mut scratch = AssignScratch::default();
+        let mut results: Vec<Option<usize>> = Vec::new();
+
+        for (gid, group) in groups.iter().enumerate() {
+            let rep = &reps[gid];
             // Nearest reference by signature overlap, confirmed by banded
-            // distance.
-            let mut best: Option<(usize, usize)> = None; // (ref idx, distance)
-            for (ref_idx, packed_ref) in packed_refs.iter().enumerate() {
-                if !sig.shares_band(&ref_sigs[ref_idx], self.bands)
-                    && sig.overlap(&ref_sigs[ref_idx]) == 0.0
+            // distance (error-ball bound in between, as in `cluster`).
+            let mut cand_refs: Vec<usize> = Vec::new();
+            if self.prefilter {
+                scratch.qgram.load(&rep.profile);
+            }
+            for ref_idx in 0..references.len() {
+                if !rep.sig.shares_band(&ref_sigs[ref_idx], self.bands)
+                    && rep.sig.overlap(&ref_sigs[ref_idx]) == 0.0
                 {
                     continue;
                 }
-                if let Some(d) = myers::within_with(
-                    &mut scratch,
-                    packed_ref,
-                    &packed_repr,
-                    self.distance_threshold,
-                ) {
+                run.candidates += 1;
+                if self.prefilter
+                    && scratch.qgram.bound(&ref_profiles[ref_idx]) > self.distance_threshold
+                {
+                    run.pruned += 1;
+                    continue;
+                }
+                cand_refs.push(ref_idx);
+            }
+            let lanes: Vec<&PackedStrand> =
+                cand_refs.iter().map(|&r| &packed_refs[r]).collect();
+            evaluate_candidates(
+                &mut scratch,
+                &lanes,
+                &rep.packed,
+                self.distance_threshold,
+                &mut run,
+                &mut results,
+            );
+            // `cand_refs` ascends, and only a strictly smaller distance
+            // displaces the incumbent, so ties resolve to the earliest
+            // reference — the order the one-at-a-time loop produced.
+            let mut best: Option<(usize, usize)> = None; // (ref idx, distance)
+            for (&ref_idx, r) in cand_refs.iter().zip(results.iter()) {
+                if let Some(d) = *r {
                     if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((ref_idx, d));
                     }
                 }
             }
             if let Some((ref_idx, _)) = best {
-                for read_idx in group {
+                for &read_idx in group {
                     assigned[ref_idx].push(pool[read_idx].clone());
                 }
             }
         }
-        references
+        stats::record(&run);
+        let dataset = references
             .iter()
             .zip(assigned)
             .map(|(reference, reads)| Cluster::new(reference.clone(), reads))
-            .collect()
+            .collect();
+        (dataset, run)
     }
 }
 
@@ -163,24 +362,45 @@ impl GreedyClusterer {
     /// Single-pass greedy clustering is order-dependent: a noisy early read
     /// can found a splinter cluster that later reads of the same strand
     /// never rejoin. Merging representative-close groups repairs most of
-    /// these splits at `O(g²)` representative comparisons (with the
-    /// signature prefilter pruning most pairs).
+    /// these splits; candidate pairs come from band-bucket collisions (the
+    /// same `HashMap` discipline as the first pass), so the merge scales
+    /// with collisions rather than groups².
     pub fn cluster_with_merge(&self, pool: &[Strand]) -> Vec<Vec<usize>> {
-        let groups = self.cluster(pool);
+        self.cluster_with_merge_stats(pool).0
+    }
+
+    /// [`cluster_with_merge`](GreedyClusterer::cluster_with_merge) plus
+    /// the combined first-pass and merge-pass [`ClusterStats`].
+    pub fn cluster_with_merge_stats(&self, pool: &[Strand]) -> (Vec<Vec<usize>>, ClusterStats) {
+        let (groups, reps, mut run) = self.cluster_impl(pool);
         if groups.len() <= 1 {
-            return groups;
+            stats::record(&run);
+            return (groups, run);
         }
-        let representatives: Vec<(PackedStrand, QGramSignature)> = groups
-            .iter()
-            .map(|g| {
-                let repr = &pool[g[0]];
-                (
-                    PackedStrand::from(repr),
-                    QGramSignature::new(repr, self.qgram_len, self.sketch_len),
-                )
-            })
-            .collect();
-        let mut scratch = MyersScratch::new();
+
+        // Bucket-driven candidate pairs: two groups can merge only if
+        // their signatures share one of the first `bands` hashes, i.e.
+        // only if they collide in a band bucket. Collecting pairs per
+        // bucket enumerates exactly the pairs `shares_band` would accept
+        // (`max(1)` mirrors its floor), without touching the g² pairs
+        // that share nothing.
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (gid, rep) in reps.iter().enumerate() {
+            for &h in rep.sig.hashes().iter().take(self.bands.max(1)) {
+                buckets.entry(h).or_default().push(gid);
+            }
+        }
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for ids in buckets.values() {
+            for (a, &i) in ids.iter().enumerate() {
+                for &j in &ids[a + 1..] {
+                    pairs.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
         // Union-find over groups.
         let mut parent: Vec<usize> = (0..groups.len()).collect();
         fn find(parent: &mut [usize], mut x: usize) -> usize {
@@ -190,30 +410,61 @@ impl GreedyClusterer {
             }
             x
         }
-        for i in 0..groups.len() {
-            for j in (i + 1)..groups.len() {
+        let mut scratch = AssignScratch::default();
+        let mut results: Vec<Option<usize>> = Vec::new();
+        let mut idx = 0;
+        while idx < pairs.len() {
+            let i = pairs[idx].0;
+            let mut end = idx;
+            while end < pairs.len() && pairs[end].0 == i {
+                end += 1;
+            }
+            // Batch group i's partners into banks. Partners that become
+            // connected to i mid-batch are evaluated anyway; merging an
+            // already-connected pair is a no-op, so the final partition
+            // matches the strictly sequential pair loop.
+            let mut partners: Vec<usize> = Vec::new();
+            if self.prefilter {
+                scratch.qgram.load(&reps[i].profile);
+            }
+            for &(_, j) in &pairs[idx..end] {
                 if find(&mut parent, i) == find(&mut parent, j) {
                     continue;
                 }
-                let (repr_i, sig_i) = &representatives[i];
-                let (repr_j, sig_j) = &representatives[j];
-                if !sig_i.shares_band(sig_j, self.bands) {
+                run.candidates += 1;
+                if self.prefilter
+                    && scratch.qgram.bound(&reps[j].profile) > self.distance_threshold
+                {
+                    run.pruned += 1;
                     continue;
                 }
-                if myers::within_with(&mut scratch, repr_i, repr_j, self.distance_threshold)
-                    .is_some()
-                {
+                partners.push(j);
+            }
+            let lanes: Vec<&PackedStrand> = partners.iter().map(|&j| &reps[j].packed).collect();
+            evaluate_candidates(
+                &mut scratch,
+                &lanes,
+                &reps[i].packed,
+                self.distance_threshold,
+                &mut run,
+                &mut results,
+            );
+            for (&j, r) in partners.iter().zip(results.iter()) {
+                if r.is_some() {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    parent[ri.max(rj)] = ri.min(rj);
+                    if ri != rj {
+                        parent[ri.max(rj)] = ri.min(rj);
+                    }
                 }
             }
+            idx = end;
         }
-        let mut merged: std::collections::BTreeMap<usize, Vec<usize>> =
-            std::collections::BTreeMap::new();
+        let mut merged: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (i, group) in groups.into_iter().enumerate() {
             merged.entry(find(&mut parent, i)).or_default().extend(group);
         }
-        merged.into_values().collect()
+        stats::record(&run);
+        (merged.into_values().collect(), run)
     }
 }
 
@@ -329,6 +580,25 @@ mod tests {
         let ds = Dataset::from_clusters(vec![Cluster::new(r.clone(), vec![r])]);
         assert_eq!(perfect_clustering(ds.clone()), ds);
     }
+
+    #[test]
+    fn stats_track_kernel_work() {
+        let mut rng = seeded(7);
+        let model = NaiveModel::with_total_rate(0.05);
+        let references: Vec<Strand> = (0..10).map(|_| Strand::random(110, &mut rng)).collect();
+        let mut pool = Vec::new();
+        for r in &references {
+            for _ in 0..6 {
+                pool.push(model.corrupt(r, &mut rng));
+            }
+        }
+        let (_, run) = GreedyClusterer::default().cluster_stats(&pool);
+        assert_eq!(run.reads, pool.len());
+        assert!(run.candidates >= run.pruned);
+        // Every surviving candidate occupies exactly one kernel lane.
+        assert_eq!(run.kernel_lanes, run.candidates - run.pruned);
+        assert!(run.kernel_calls <= run.kernel_lanes);
+    }
 }
 
 #[cfg(test)]
@@ -383,5 +653,92 @@ mod merge_tests {
         assert!(clusterer.cluster_with_merge(&[]).is_empty());
         let one = vec![Strand::random(30, &mut seeded(12))];
         assert_eq!(clusterer.cluster_with_merge(&one).len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod filter_tests {
+    use super::*;
+    use dnasim_channel::{ErrorModel, NaiveModel};
+    use dnasim_core::rng::seeded;
+
+    /// Seeded noisy pools across several error rates and strand lengths.
+    fn pools() -> Vec<(Vec<Strand>, Vec<Strand>)> {
+        let mut out = Vec::new();
+        for (seed, rate, len, refs, coverage) in [
+            (100u64, 0.03f64, 110usize, 8usize, 5usize),
+            (101, 0.08, 110, 6, 8),
+            (102, 0.12, 90, 5, 6),
+            (103, 0.05, 150, 7, 4),
+        ] {
+            let mut rng = seeded(seed);
+            let model = NaiveModel::with_total_rate(rate);
+            let references: Vec<Strand> =
+                (0..refs).map(|_| Strand::random(len, &mut rng)).collect();
+            let mut pool = Vec::new();
+            for r in &references {
+                for _ in 0..coverage {
+                    pool.push(model.corrupt(r, &mut rng));
+                }
+            }
+            use dnasim_core::rng::SliceRandom;
+            pool.shuffle(&mut rng);
+            out.push((pool, references));
+        }
+        out
+    }
+
+    #[test]
+    fn error_ball_filter_never_changes_cluster_membership() {
+        let with = GreedyClusterer::default();
+        let without = GreedyClusterer {
+            prefilter: false,
+            ..GreedyClusterer::default()
+        };
+        for (pool, references) in pools() {
+            assert_eq!(with.cluster(&pool), without.cluster(&pool));
+            assert_eq!(
+                with.cluster_with_merge(&pool),
+                without.cluster_with_merge(&pool)
+            );
+            assert_eq!(
+                with.cluster_against_references(&pool, &references),
+                without.cluster_against_references(&pool, &references)
+            );
+        }
+    }
+
+    #[test]
+    fn filter_discharges_work_without_losing_any() {
+        let with = GreedyClusterer::default();
+        let without = GreedyClusterer {
+            prefilter: false,
+            ..GreedyClusterer::default()
+        };
+        let mut pruned_total = 0usize;
+        for (pool, _) in pools() {
+            let (_, on) = with.cluster_stats(&pool);
+            let (_, off) = without.cluster_stats(&pool);
+            assert_eq!(off.pruned, 0, "disabled filter must prune nothing");
+            assert_eq!(on.candidates, off.candidates, "proposal stage unchanged");
+            assert_eq!(
+                on.kernel_lanes + on.pruned,
+                off.kernel_lanes,
+                "every pruned candidate is a kernel lane saved"
+            );
+            pruned_total += on.pruned;
+        }
+        assert!(pruned_total > 0, "filter never fired on noisy pools");
+    }
+
+    #[test]
+    fn process_counters_accumulate_across_runs() {
+        let (pool, references) = pools().remove(0);
+        let before = stats::process_cluster_stats();
+        let (_, run) = GreedyClusterer::default()
+            .cluster_against_references_stats(&pool, &references);
+        let after = stats::process_cluster_stats();
+        assert!(after.reads >= before.reads + run.reads);
+        assert!(after.kernel_calls >= before.kernel_calls + run.kernel_calls);
     }
 }

@@ -10,8 +10,13 @@
 //! * [`perfect_clustering`] — the explicit identity used by the paper's
 //!   evaluation protocol;
 //! * [`GreedyClusterer`] — single-pass greedy clustering with a
-//!   [`QGramSignature`] MinHash prefilter and banded edit-distance
-//!   confirmation.
+//!   [`QGramSignature`] MinHash prefilter, a q-gram error-ball lower
+//!   bound that discharges hopeless candidates before any kernel runs,
+//!   and banded edit-distance confirmation batched through the
+//!   multi-pattern SIMD kernel tier;
+//! * [`ClusterStats`] — per-run counters (candidates proposed, pruned by
+//!   the error ball, kernel calls, lanes filled), also accumulated
+//!   process-wide for the CLI's diagnostic line.
 //!
 //! # Examples
 //!
@@ -31,6 +36,8 @@
 
 mod greedy;
 mod signature;
+mod stats;
 
 pub use greedy::{perfect_clustering, GreedyClusterer};
 pub use signature::QGramSignature;
+pub use stats::{process_cluster_stats, reset_process_cluster_stats, ClusterStats};

@@ -1,0 +1,551 @@
+//! Multi-pattern Myers tier: one text stream advances up to
+//! [`MAX_LANES`] packed patterns per column.
+//!
+//! The single-pattern kernel in [`myers`](crate::myers) already processes
+//! 64 DP cells per machine word, but cluster assignment compares one read
+//! against *many* candidate representatives, paying the whole per-column
+//! cost once per candidate. A [`PatternBank`] interleaves the Eq-mask
+//! planes of 4–8 packed patterns struct-of-arrays style (`eq[code][word ·
+//! pad + lane]`), so a single pass over the text advances every lane per
+//! iteration:
+//!
+//! * on x86-64 with AVX2, four 64-bit lanes ride in one `__m256i` and the
+//!   Myers recurrence runs on whole vectors (`_mm256_add_epi64` is
+//!   per-lane, exactly the no-cross-lane-carry addition the algorithm
+//!   needs);
+//! * on aarch64, the NEON backend does the same two lanes per `uint64x2_t`;
+//! * everywhere else — and whenever SIMD is disabled — a portable
+//!   multi-lane scalar fallback executes the identical per-lane integer
+//!   recurrence, so results are bit-identical on every target.
+//!
+//! Backend selection happens once at runtime ([`set_simd_mode`],
+//! `DNASIM_SIMD=off`, or feature detection via
+//! `is_x86_feature_detected!` / `is_aarch64_feature_detected!`); all
+//! backends are exact, so the choice can never change an answer — the
+//! differential suite (`myers_differential.rs`) pins every backend to the
+//! scalar DP oracle.
+//!
+//! Banks require all lanes to share a word count (`ceil(len/64)`); callers
+//! group candidates by [`PackedStrand::words`] and fall back to the
+//! single-pattern kernel for singleton groups. Lanes may differ in exact
+//! length within the shared word count: score extraction uses a per-lane
+//! score bit, and in bit-parallel Myers information only flows from low
+//! bits to high bits within a column, so a shorter lane's garbage rows
+//! above its last row can never reach its score bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnasim_core::{PackedStrand, Strand};
+//! use dnasim_metrics::bank::{bank_within_with, BankScratch, PatternBank};
+//!
+//! let text = PackedStrand::from(&"ACGTACGT".parse::<Strand>()?);
+//! let p1 = PackedStrand::from(&"ACGTACGT".parse::<Strand>()?);
+//! let p2 = PackedStrand::from(&"ACGAACGT".parse::<Strand>()?);
+//! let bank = PatternBank::new(&[&p1, &p2]).expect("same word count");
+//! let mut out = Vec::new();
+//! bank_within_with(&mut BankScratch::new(), &bank, &text, 1, &mut out);
+//! assert_eq!(out, vec![Some(0), Some(1)]);
+//! # Ok::<(), dnasim_core::ParseStrandError>(())
+//! ```
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use dnasim_core::PackedStrand;
+
+/// Maximum number of patterns one bank can hold.
+pub const MAX_LANES: usize = 8;
+
+/// SIMD policy for the multi-pattern tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Use the best backend the CPU supports (AVX2, NEON, or scalar).
+    Auto,
+    /// Force the portable multi-lane scalar fallback.
+    Off,
+}
+
+const TIER_UNRESOLVED: u8 = 0;
+const TIER_SCALAR: u8 = 1;
+const TIER_AVX2: u8 = 2;
+const TIER_NEON: u8 = 3;
+
+/// Resolved backend, cached after the first kernel call (or an explicit
+/// [`set_simd_mode`]).
+static TIER: AtomicU8 = AtomicU8::new(TIER_UNRESOLVED);
+
+fn resolve(mode: SimdMode) -> u8 {
+    match mode {
+        SimdMode::Off => TIER_SCALAR,
+        SimdMode::Auto => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    return TIER_AVX2;
+                }
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                if std::arch::is_aarch64_feature_detected!("neon") {
+                    return TIER_NEON;
+                }
+            }
+            TIER_SCALAR
+        }
+    }
+}
+
+/// Overrides the runtime backend choice (the CLI's `--simd auto|off`).
+///
+/// Every backend is exact, so flipping the mode mid-process can never
+/// change a distance — only throughput.
+pub fn set_simd_mode(mode: SimdMode) {
+    TIER.store(resolve(mode), Ordering::Relaxed);
+}
+
+/// The active backend, resolving `DNASIM_SIMD` and feature detection on
+/// first use. `DNASIM_SIMD=off|0|scalar` forces the fallback; any other
+/// value (or unset) means auto-detect.
+fn active_tier() -> u8 {
+    let tier = TIER.load(Ordering::Relaxed);
+    if tier != TIER_UNRESOLVED {
+        return tier;
+    }
+    let mode = match std::env::var("DNASIM_SIMD") {
+        Ok(v) if v == "off" || v == "0" || v == "scalar" => SimdMode::Off,
+        _ => SimdMode::Auto,
+    };
+    let tier = resolve(mode);
+    TIER.store(tier, Ordering::Relaxed);
+    tier
+}
+
+/// Human-readable name of the active backend (`"avx2"`, `"neon"`, or
+/// `"scalar"`), for diagnostics and CLI counter lines.
+pub fn simd_tier_name() -> &'static str {
+    match active_tier() {
+        TIER_AVX2 => "avx2",
+        TIER_NEON => "neon",
+        _ => "scalar",
+    }
+}
+
+/// A struct-of-arrays bank of up to [`MAX_LANES`] packed patterns sharing
+/// one word count.
+///
+/// Lane `l` of word `w` for base code `c` lives at `eq[c][w · pad + l]`,
+/// where `pad` rounds the lane count up to the backend vector width (4 for
+/// ≤4 lanes, 8 otherwise). Padding lanes carry zero Eq-masks and are never
+/// reported.
+#[derive(Debug, Clone)]
+pub struct PatternBank {
+    pub(crate) lanes: usize,
+    pub(crate) pad: usize,
+    pub(crate) words: usize,
+    pub(crate) lens: [usize; MAX_LANES],
+    /// Per-lane score-bit shift: `(len − 1) & 63` (0 for padding lanes).
+    pub(crate) shifts: [u64; MAX_LANES],
+    pub(crate) max_len: usize,
+    /// Interleaved Eq-mask planes, one `Vec` per 2-bit base code.
+    pub(crate) eq: [Vec<u64>; 4],
+}
+
+impl PatternBank {
+    /// Builds a bank from 1–[`MAX_LANES`] patterns.
+    ///
+    /// Returns `None` when the slice is empty or oversized, when the
+    /// patterns disagree on [`words`](PackedStrand::words), or when any
+    /// pattern is empty (empty patterns short-circuit to trivial answers
+    /// and never reach a kernel).
+    pub fn new(patterns: &[&PackedStrand]) -> Option<PatternBank> {
+        let lanes = patterns.len();
+        if lanes == 0 || lanes > MAX_LANES {
+            return None;
+        }
+        let words = patterns[0].words();
+        if words == 0 || patterns.iter().any(|p| p.words() != words) {
+            return None;
+        }
+        let pad = if lanes <= 4 { 4 } else { MAX_LANES };
+        let mut lens = [0usize; MAX_LANES];
+        let mut shifts = [0u64; MAX_LANES];
+        let mut max_len = 0usize;
+        for (l, p) in patterns.iter().enumerate() {
+            lens[l] = p.len();
+            shifts[l] = ((p.len() - 1) & 63) as u64;
+            max_len = max_len.max(p.len());
+        }
+        let mut eq = [
+            vec![0u64; words * pad],
+            vec![0u64; words * pad],
+            vec![0u64; words * pad],
+            vec![0u64; words * pad],
+        ];
+        for (c, plane) in eq.iter_mut().enumerate() {
+            for (l, p) in patterns.iter().enumerate() {
+                let masks = p.eq_by_code(c as u8);
+                for (w, &mask) in masks.iter().enumerate() {
+                    plane[w * pad + l] = mask;
+                }
+            }
+        }
+        Some(PatternBank {
+            lanes,
+            pad,
+            words,
+            lens,
+            shifts,
+            max_len,
+            eq,
+        })
+    }
+
+    /// Number of live pattern lanes.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Shared 64-base word count of every lane.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Length of the pattern in `lane` (0 for out-of-range lanes).
+    #[inline]
+    pub fn lane_len(&self, lane: usize) -> usize {
+        if lane < self.lanes {
+            self.lens[lane]
+        } else {
+            0
+        }
+    }
+}
+
+/// Reusable delta-vector buffers for the bank kernels (`Pv`/`Mv`, one pair
+/// per word × padded lane). Grows on demand; one scratch serves banks of
+/// any shape.
+#[derive(Debug, Clone, Default)]
+pub struct BankScratch {
+    pub(crate) pv: Vec<u64>,
+    pub(crate) mv: Vec<u64>,
+}
+
+impl BankScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> BankScratch {
+        BankScratch::default()
+    }
+
+    pub(crate) fn reset(&mut self, cells: usize) {
+        self.pv.clear();
+        self.pv.resize(cells, !0u64);
+        self.mv.clear();
+        self.mv.resize(cells, 0);
+    }
+}
+
+/// Banded multi-pattern distance: `out[l]` is `Some(d)` with the exact
+/// Levenshtein distance between `text` and lane `l`'s pattern when
+/// `d ≤ limit`, `None` otherwise.
+///
+/// Dispatches to the active SIMD backend; all backends compute the same
+/// per-lane integer recurrence, so the output is identical everywhere.
+/// Lanes whose length gap with the text already exceeds the limit are
+/// rejected in O(1), and the column scan abandons early once every lane's
+/// score lower bound proves the limit unreachable.
+pub fn bank_within_with(
+    scratch: &mut BankScratch,
+    bank: &PatternBank,
+    text: &PackedStrand,
+    limit: usize,
+    out: &mut Vec<Option<usize>>,
+) {
+    let n = text.len();
+    let mut alive: u32 = 0;
+    for l in 0..bank.lanes {
+        if bank.lens[l].abs_diff(n) <= limit {
+            alive |= 1 << l;
+        }
+    }
+    let mut scores = [0i64; MAX_LANES];
+    if alive != 0 {
+        // Clamp the limit so the early-abandon arithmetic stays in range;
+        // no distance can exceed n + max_len, so the clamp never changes
+        // an accept/reject decision.
+        let eff = limit.min(n + bank.max_len) as i64;
+        run(bank, scratch, text, eff, &mut scores, &mut alive);
+    }
+    out.clear();
+    for (l, &s) in scores.iter().enumerate().take(bank.lanes) {
+        let d = s.max(0) as usize;
+        if alive & (1 << l) != 0 && d <= limit {
+            out.push(Some(d));
+        } else {
+            out.push(None);
+        }
+    }
+}
+
+/// Exact multi-pattern distances: `out[l]` is the Levenshtein distance
+/// between `text` and lane `l`'s pattern. Same kernels as
+/// [`bank_within_with`] with an unreachable band, so no lane ever abandons.
+pub fn bank_distances_with(
+    scratch: &mut BankScratch,
+    bank: &PatternBank,
+    text: &PackedStrand,
+    out: &mut Vec<usize>,
+) {
+    let n = text.len();
+    let mut alive: u32 = (1 << bank.lanes) - 1;
+    let mut scores = [0i64; MAX_LANES];
+    // n + max_len bounds every possible distance, so nothing abandons.
+    let eff = (n + bank.max_len) as i64;
+    run(bank, scratch, text, eff, &mut scores, &mut alive);
+    out.clear();
+    out.extend(scores[..bank.lanes].iter().map(|&s| s.max(0) as usize));
+}
+
+/// [`bank_within_with`] pinned to the portable scalar backend, regardless
+/// of the runtime SIMD mode. Public so the differential suite can compare
+/// the dispatching path against the fallback on the same inputs.
+pub fn bank_within_scalar_with(
+    scratch: &mut BankScratch,
+    bank: &PatternBank,
+    text: &PackedStrand,
+    limit: usize,
+    out: &mut Vec<Option<usize>>,
+) {
+    let n = text.len();
+    let mut alive: u32 = 0;
+    for l in 0..bank.lanes {
+        if bank.lens[l].abs_diff(n) <= limit {
+            alive |= 1 << l;
+        }
+    }
+    let mut scores = [0i64; MAX_LANES];
+    if alive != 0 {
+        let eff = limit.min(n + bank.max_len) as i64;
+        run_scalar(bank, scratch, text, eff, &mut scores, &mut alive);
+    }
+    out.clear();
+    for (l, &s) in scores.iter().enumerate().take(bank.lanes) {
+        let d = s.max(0) as usize;
+        if alive & (1 << l) != 0 && d <= limit {
+            out.push(Some(d));
+        } else {
+            out.push(None);
+        }
+    }
+}
+
+/// Dispatches one bank scan to the active backend.
+fn run(
+    bank: &PatternBank,
+    scratch: &mut BankScratch,
+    text: &PackedStrand,
+    eff_limit: i64,
+    scores: &mut [i64; MAX_LANES],
+    alive: &mut u32,
+) {
+    match active_tier() {
+        #[cfg(target_arch = "x86_64")]
+        TIER_AVX2 => {
+            // SAFETY: TIER_AVX2 is only ever stored after
+            // `is_x86_feature_detected!("avx2")` returned true, so the
+            // target-feature contract of `run_avx2` holds.
+            unsafe {
+                crate::bank_simd::run_avx2(bank, scratch, text, eff_limit, scores, alive);
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        TIER_NEON => {
+            // SAFETY: TIER_NEON is only ever stored after
+            // `is_aarch64_feature_detected!("neon")` returned true.
+            unsafe {
+                crate::bank_simd::run_neon(bank, scratch, text, eff_limit, scores, alive);
+            }
+        }
+        _ => run_scalar(bank, scratch, text, eff_limit, scores, alive),
+    }
+}
+
+/// Portable multi-lane backend: the exact Myers blocked recurrence, one
+/// scalar step per live lane per word, over the same interleaved layout
+/// the SIMD backends consume.
+fn run_scalar(
+    bank: &PatternBank,
+    scratch: &mut BankScratch,
+    text: &PackedStrand,
+    eff_limit: i64,
+    scores: &mut [i64; MAX_LANES],
+    alive: &mut u32,
+) {
+    let (words, pad, lanes) = (bank.words, bank.pad, bank.lanes);
+    scratch.reset(words * pad);
+    for (s, &len) in scores.iter_mut().zip(bank.lens.iter()).take(lanes) {
+        *s = len as i64;
+    }
+    let n = text.len();
+    let last = words - 1;
+    for (j, c) in text.codes().enumerate() {
+        let plane = &bank.eq[(c & 3) as usize];
+        let mut hp = [1u64; MAX_LANES];
+        let mut hn = [0u64; MAX_LANES];
+        for w in 0..words {
+            let base = w * pad;
+            for l in 0..lanes {
+                let idx = base + l;
+                let pv = scratch.pv[idx];
+                let mv = scratch.mv[idx];
+                let eq0 = plane[idx];
+                let xv = eq0 | mv;
+                let eq = eq0 | hn[l];
+                let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+                let ph = mv | !(xh | pv);
+                let mh = pv & xh;
+                if w == last {
+                    scores[l] += ((ph >> bank.shifts[l]) & 1) as i64
+                        - ((mh >> bank.shifts[l]) & 1) as i64;
+                }
+                let hout_p = ph >> 63;
+                let hout_n = mh >> 63;
+                let ph = (ph << 1) | hp[l];
+                let mh = (mh << 1) | hn[l];
+                scratch.pv[idx] = mh | !(xv | ph);
+                scratch.mv[idx] = ph & xv;
+                hp[l] = hout_p;
+                hn[l] = hout_n;
+            }
+        }
+        // The bottom-row score changes by at most one per column, so a
+        // lane whose score minus the remaining columns exceeds the limit
+        // can never come back.
+        let remaining = (n - j - 1) as i64;
+        for (l, &s) in scores.iter().enumerate().take(lanes) {
+            if *alive & (1 << l) != 0 && s - remaining > eff_limit {
+                *alive &= !(1 << l);
+            }
+        }
+        if *alive == 0 {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnasim_core::rng::seeded;
+    use dnasim_core::Strand;
+
+    fn p(text: &str) -> PackedStrand {
+        PackedStrand::from(&text.parse::<Strand>().unwrap())
+    }
+
+    #[test]
+    fn bank_rejects_bad_shapes() {
+        let a = p("ACGT");
+        let long = p(&"AC".repeat(40));
+        assert!(PatternBank::new(&[]).is_none());
+        assert!(PatternBank::new(&[&a, &long]).is_none(), "mixed word counts");
+        assert!(PatternBank::new(&[&p("")]).is_none(), "empty pattern");
+        let nine: Vec<&PackedStrand> = std::iter::repeat_n(&a, 9).collect();
+        assert!(PatternBank::new(&nine).is_none(), "too many lanes");
+    }
+
+    #[test]
+    fn bank_matches_single_pattern_kernel() {
+        let mut rng = seeded(1);
+        let text = PackedStrand::from(&Strand::random(110, &mut rng));
+        let patterns: Vec<PackedStrand> = (0..5)
+            .map(|_| PackedStrand::from(&Strand::random(110, &mut rng)))
+            .collect();
+        let refs: Vec<&PackedStrand> = patterns.iter().collect();
+        let bank = PatternBank::new(&refs).unwrap();
+        let mut out = Vec::new();
+        for limit in [0usize, 10, 30, 90, 200] {
+            bank_within_with(&mut BankScratch::new(), &bank, &text, limit, &mut out);
+            for (l, pattern) in patterns.iter().enumerate() {
+                assert_eq!(
+                    out[l],
+                    crate::myers::within(pattern, &text, limit),
+                    "lane {l} limit {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_match_across_mixed_lengths_in_one_word_band() {
+        let mut rng = seeded(2);
+        // All lengths in (64, 128] share words == 2.
+        let text = PackedStrand::from(&Strand::random(100, &mut rng));
+        let patterns: Vec<PackedStrand> = [65usize, 77, 100, 127, 128]
+            .iter()
+            .map(|&len| PackedStrand::from(&Strand::random(len, &mut rng)))
+            .collect();
+        let refs: Vec<&PackedStrand> = patterns.iter().collect();
+        let bank = PatternBank::new(&refs).unwrap();
+        let mut out = Vec::new();
+        bank_distances_with(&mut BankScratch::new(), &bank, &text, &mut out);
+        for (l, pattern) in patterns.iter().enumerate() {
+            assert_eq!(out[l], crate::myers::distance(pattern, &text), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn scalar_backend_equals_dispatch() {
+        let mut rng = seeded(3);
+        let text = PackedStrand::from(&Strand::random(90, &mut rng));
+        let patterns: Vec<PackedStrand> = (0..MAX_LANES)
+            .map(|_| PackedStrand::from(&Strand::random(80, &mut rng)))
+            .collect();
+        let refs: Vec<&PackedStrand> = patterns.iter().collect();
+        let bank = PatternBank::new(&refs).unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        bank_within_with(&mut BankScratch::new(), &bank, &text, 40, &mut a);
+        bank_within_scalar_with(&mut BankScratch::new(), &bank, &text, 40, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_text_scores_pattern_lengths() {
+        let patterns = [p("ACG"), p("ACGTACGT")];
+        let refs: Vec<&PackedStrand> = patterns.iter().collect();
+        let bank = PatternBank::new(&refs).unwrap();
+        let mut out = Vec::new();
+        bank_within_with(&mut BankScratch::new(), &bank, &p(""), 4, &mut out);
+        assert_eq!(out, vec![Some(3), None]);
+        let mut dists = Vec::new();
+        bank_distances_with(&mut BankScratch::new(), &bank, &p(""), &mut dists);
+        assert_eq!(dists, vec![3, 8]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_bank_shapes_is_clean() {
+        let mut rng = seeded(4);
+        let mut scratch = BankScratch::new();
+        let mut out = Vec::new();
+        for (lanes, len) in [(8usize, 200usize), (2, 20), (5, 110), (1, 64)] {
+            let text = PackedStrand::from(&Strand::random(len, &mut rng));
+            let patterns: Vec<PackedStrand> = (0..lanes)
+                .map(|_| PackedStrand::from(&Strand::random(len.max(1), &mut rng)))
+                .collect();
+            let refs: Vec<&PackedStrand> = patterns.iter().collect();
+            let bank = PatternBank::new(&refs).unwrap();
+            bank_within_with(&mut scratch, &bank, &text, 60, &mut out);
+            for (l, pattern) in patterns.iter().enumerate() {
+                assert_eq!(out[l], crate::myers::within(pattern, &text, 60));
+            }
+        }
+    }
+
+    #[test]
+    fn tier_name_is_one_of_the_known_backends() {
+        assert!(["avx2", "neon", "scalar"].contains(&simd_tier_name()));
+    }
+}

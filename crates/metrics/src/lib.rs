@@ -10,6 +10,11 @@
 //! * [`myers`] — Myers' bit-parallel edit-distance kernels over
 //!   [`PackedStrand`](dnasim_core::PackedStrand)s, 64 DP cells per word
 //!   (used by clustering and medoid selection);
+//! * [`bank`] — the vectorised multi-pattern tier: a [`PatternBank`]
+//!   advances 4–8 patterns per text column via AVX2/NEON (runtime
+//!   detected, exact scalar fallback everywhere else);
+//! * [`qgram`] — the q-gram counting lower bound on edit distance, used
+//!   as an error-ball prefilter in front of the kernels;
 //! * [`hamming`] / [`hamming_error_positions`] — position-wise comparison,
 //!   where indels propagate (the "Hamming" figures);
 //! * [`gestalt_score`] / [`matching_blocks`] / [`gestalt_error_positions`] —
@@ -40,17 +45,26 @@
 #![warn(missing_debug_implementations)]
 
 mod accuracy;
+pub mod bank;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+mod bank_simd;
 mod chi2;
 mod gestalt;
 mod hamming;
 mod levenshtein;
 pub mod myers;
 mod profiles;
+pub mod qgram;
 
 pub use accuracy::AccuracyReport;
+pub use bank::{
+    bank_distances_with, bank_within_with, set_simd_mode, simd_tier_name, BankScratch,
+    PatternBank, SimdMode, MAX_LANES,
+};
 pub use chi2::{chi_square_distance, normalize_histogram};
 pub use gestalt::{gestalt_error_positions, gestalt_score, matching_blocks, MatchingBlock};
 pub use hamming::{hamming, hamming_error_positions, positional_matches};
 pub use levenshtein::{levenshtein, levenshtein_within, normalized_levenshtein};
 pub use myers::MyersScratch;
 pub use profiles::{PositionalProfile, ProfileKind};
+pub use qgram::{QGramProfile, QGramScratch};

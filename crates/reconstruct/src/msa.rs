@@ -7,8 +7,11 @@
 //! algorithms, MSA is direction-symmetric — included both as a stronger
 //! baseline and as a shape contrast for the profile figures.
 
+use std::collections::BTreeMap;
+
 use dnasim_core::rng::seeded;
 use dnasim_core::{Base, EditOp, PackedStrand, Strand};
+use dnasim_metrics::bank::{bank_distances_with, BankScratch, PatternBank, MAX_LANES};
 use dnasim_metrics::myers;
 use dnasim_profile::{edit_script_with, EditScratch, TieBreak};
 
@@ -43,17 +46,55 @@ impl MsaReconstructor {
         if reads.len() <= 2 {
             return 0;
         }
-        // Pack every read once and fill the half-matrix with the Myers
-        // kernel: distance is symmetric, so each unordered pair is computed
-        // a single time and credited to both rows.
+        // Pack every read once and fill the half-matrix row by row:
+        // distance is symmetric, so each unordered pair is computed a
+        // single time and credited to both rows. Row i's partners
+        // (j > i) are grouped by word count and batched through the
+        // multi-pattern bank kernel, so one pass over read i advances up
+        // to MAX_LANES partners at once; leftover singletons and empty
+        // reads take the single-pattern kernel. Both kernels are exact,
+        // so the medoid matches the sequential scan.
         let packed: Vec<PackedStrand> = reads.iter().map(PackedStrand::from).collect();
         let mut scratch = myers::MyersScratch::new();
+        let mut bank_scratch = BankScratch::new();
+        let mut dists: Vec<usize> = Vec::new();
         let mut totals = vec![0usize; reads.len()];
         for i in 0..packed.len() {
-            for j in (i + 1)..packed.len() {
-                let d = myers::distance_with(&mut scratch, &packed[i], &packed[j]);
-                totals[i] += d;
-                totals[j] += d;
+            let mut by_words: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (j, p) in packed.iter().enumerate().skip(i + 1) {
+                by_words.entry(p.words()).or_default().push(j);
+            }
+            for (words, partners) in by_words {
+                if words == 0 {
+                    // Empty partner: the distance is read i's length.
+                    for &j in &partners {
+                        let d = myers::distance_with(&mut scratch, &packed[i], &packed[j]);
+                        totals[i] += d;
+                        totals[j] += d;
+                    }
+                    continue;
+                }
+                for chunk in partners.chunks(MAX_LANES) {
+                    let lanes: Vec<&PackedStrand> = chunk.iter().map(|&j| &packed[j]).collect();
+                    match PatternBank::new(&lanes) {
+                        Some(bank) if chunk.len() > 1 => {
+                            bank_distances_with(&mut bank_scratch, &bank, &packed[i], &mut dists);
+                            for (lane, &j) in chunk.iter().enumerate() {
+                                let d = dists.get(lane).copied().unwrap_or(0);
+                                totals[i] += d;
+                                totals[j] += d;
+                            }
+                        }
+                        _ => {
+                            for &j in chunk {
+                                let d =
+                                    myers::distance_with(&mut scratch, &packed[i], &packed[j]);
+                                totals[i] += d;
+                                totals[j] += d;
+                            }
+                        }
+                    }
+                }
             }
         }
         // First minimum wins, matching the previous sequential scan.
@@ -225,5 +266,40 @@ mod tests {
     #[test]
     fn name_is_stable() {
         assert_eq!(MsaReconstructor.name(), "msa");
+    }
+
+    #[test]
+    fn banked_medoid_matches_sequential_half_matrix() {
+        let model = NaiveModel::with_total_rate(0.08);
+        let mut rng = seed_rng(19);
+        for (count, len) in [(3usize, 40usize), (7, 110), (12, 110), (17, 150)] {
+            let reference = Strand::random(len, &mut rng);
+            let mut reads: Vec<Strand> =
+                (0..count).map(|_| model.corrupt(&reference, &mut rng)).collect();
+            // Mix in shape variety: an empty read and a short read.
+            reads.push(Strand::new());
+            reads.push(Strand::random(9, &mut rng));
+            // Brute-force medoid with the single-pattern kernel only.
+            let packed: Vec<PackedStrand> = reads.iter().map(PackedStrand::from).collect();
+            let mut totals = vec![0usize; reads.len()];
+            for i in 0..packed.len() {
+                for j in (i + 1)..packed.len() {
+                    let d = myers::distance(&packed[i], &packed[j]);
+                    totals[i] += d;
+                    totals[j] += d;
+                }
+            }
+            let mut expected = (0usize, usize::MAX);
+            for (i, &total) in totals.iter().enumerate() {
+                if total < expected.1 {
+                    expected = (i, total);
+                }
+            }
+            assert_eq!(
+                MsaReconstructor::centre_index(&reads),
+                expected.0,
+                "count={count} len={len}"
+            );
+        }
     }
 }

@@ -91,6 +91,31 @@ impl Criterion {
         self
     }
 
+    /// Records a pseudo-benchmark whose value is a raw gauge (a percentage,
+    /// a ratio) rather than a timing: median/min/max all equal `value`, MAD
+    /// is zero, one sample of one iteration. This lets non-timing metrics
+    /// ride the same JSONL/`benchreport` pipeline as the timed records, so
+    /// scripts can gate on them (e.g. the clustering prune rate).
+    pub fn record_metric(&mut self, id: impl Into<String>, value: f64) -> &mut Criterion {
+        let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let report = Report {
+            median_ns: value,
+            mad_ns: 0.0,
+            min_ns: value,
+            max_ns: value,
+            samples: 1,
+            iters_per_sample: 1,
+        };
+        println!("{id:<44} metric: {value:.3}");
+        append_json_line(&id, &report);
+        self
+    }
+
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {

@@ -5,19 +5,25 @@
 # paths — kernel (edit-distance metrics), clustering, end-to-end pipeline,
 # the bounded-memory streaming path, the serve batch RPC loop, and the
 # cross-format parse path — with the harness's JSONL emission enabled,
-# then assembles the per-suite records into two machine-readable reports
-# via `benchreport`: the workspace report (BENCH_006, kernel-speedup
-# gate) and the cross-format parse report (BENCH_007, binary-parse gate:
-# binary-with-prefetch must beat text parsing by ≥2×).
+# then assembles the per-suite records into three machine-readable
+# reports via `benchreport`: the workspace report (BENCH_006,
+# kernel-speedup gate), the cross-format parse report (BENCH_007,
+# binary-parse gate: binary-with-prefetch must beat text parsing by ≥2×),
+# and the multi-pattern clustering report (BENCH_008: banked assignment
+# with the error-ball prefilter must beat the repeated single-pattern
+# loop by ≥2×, and the prefilter must prune ≥30% of candidate kernel
+# evaluations).
 #
 # Usage: scripts/bench.sh [--fast] [--out FILE] [--parse-out FILE]
+#                         [--multipattern-out FILE]
 #
 #   --fast       smoke mode: DNASIM_BENCH_FAST=1 shrinks warmup/measurement
-#                to CI levels and the reports are tagged "fast" (both
+#                to CI levels and the reports are tagged "fast" (all
 #                speedup gates are skipped — smoke timings are not
 #                meaningful).
 #   --out        workspace report path (default: BENCH_006.json).
 #   --parse-out  parse report path (default: BENCH_007.json).
+#   --multipattern-out  clustering report path (default: BENCH_008.json).
 
 set -euo pipefail
 
@@ -26,6 +32,7 @@ cd "$(dirname "$0")/.."
 mode=full
 out=BENCH_006.json
 parse_out=BENCH_007.json
+multipattern_out=BENCH_008.json
 while [ "$#" -gt 0 ]; do
     case "$1" in
         --fast) mode=fast ;;
@@ -37,8 +44,12 @@ while [ "$#" -gt 0 ]; do
             shift
             parse_out=${1:?--parse-out needs a value}
             ;;
+        --multipattern-out)
+            shift
+            multipattern_out=${1:?--multipattern-out needs a value}
+            ;;
         *)
-            echo "usage: scripts/bench.sh [--fast] [--out FILE] [--parse-out FILE]" >&2
+            echo "usage: scripts/bench.sh [--fast] [--out FILE] [--parse-out FILE] [--multipattern-out FILE]" >&2
             exit 2
             ;;
     esac
@@ -99,4 +110,41 @@ cargo run -q --release -p dnasim-bench --bin benchreport -- \
     parse="$tmpdir/parse.jsonl"
 
 cargo run -q --release -p dnasim-bench --bin benchreport -- check "$parse_out"
-echo "bench: OK ($out, $parse_out)"
+
+echo "== assemble $multipattern_out =="
+mp_gate=()
+if [ "$mode" = full ]; then
+    # ISSUE acceptance: banked multi-pattern assignment (with the q-gram
+    # error-ball prefilter) must beat the repeated single-pattern loop by
+    # ≥2× on the same 64-reference pool.
+    mp_gate=(--min-speedup 2.0)
+fi
+cargo run -q --release -p dnasim-bench --bin benchreport -- \
+    assemble --mode "$mode" --out "$multipattern_out" --bench-id BENCH_008 \
+    --baseline cluster-bank/single-pattern/64refs \
+    --contender cluster-bank/banked-prefilter/64refs \
+    "${mp_gate[@]}" \
+    clustering="$tmpdir/clustering.jsonl"
+
+cargo run -q --release -p dnasim-bench --bin benchreport -- check "$multipattern_out"
+
+if [ "$mode" = full ]; then
+    # ISSUE acceptance: the error-ball prefilter must discharge >30% of
+    # candidate kernel evaluations on the benchmark pool. The metric rides
+    # the JSONL stream as a pseudo-record (median == the percentage).
+    awk '
+        /"id":"cluster-bank\/pruned-share-pct"/ {
+            found = 1
+            if (match($0, /"median_ns":[0-9.]+/)) {
+                share = substr($0, RSTART + 12, RLENGTH - 12) + 0
+                if (share <= 30.0) {
+                    printf "bench: FAIL pruned share %.1f%% <= 30%%\n", share
+                    exit 1
+                }
+                printf "bench: prefilter pruned %.1f%% of candidate evaluations\n", share
+            }
+        }
+        END { if (!found) { print "bench: FAIL pruned-share-pct record missing"; exit 1 } }
+    ' "$tmpdir/clustering.jsonl"
+fi
+echo "bench: OK ($out, $parse_out, $multipattern_out)"

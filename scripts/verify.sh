@@ -22,8 +22,12 @@
 # 6. Run the chaos fault-injection suite in smoke mode.
 # 7. Guard: `crates/metrics` (the edit-distance kernels clustering and
 #    evaluation trust) must stay free of registry dependencies too.
-# 8. Run the kernel differential suite: the Myers bit-parallel kernels
-#    must agree bit-for-bit with the scalar DP oracle.
+# 8. Run the kernel differential suite twice — once with the runtime SIMD
+#    dispatch active and once with DNASIM_SIMD=off — so the Myers kernels
+#    (single-pattern and the multi-pattern bank tier) agree bit-for-bit
+#    with the scalar DP oracle on both sides of the dispatch. A guard also
+#    checks that every metrics source using `unsafe` carries
+#    `deny(unsafe_op_in_unsafe_fn)` and SAFETY comments.
 # 9. Streaming equivalence: the bounded-memory pipeline
 #    (tests/streaming_equivalence.rs) must be byte-identical to the
 #    in-memory path at DNASIM_THREADS=1 and =4, and the CLI `--stream` /
@@ -35,9 +39,9 @@
 #    honour the exit-code contract (responses + exit 0 on valid JSONL,
 #    usage + exit 2 on a malformed line, never a panic).
 # 11. Bench smoke: scripts/bench.sh --fast must produce parseable reports
-#    (the workspace groups plus the cross-format parse group), and the
-#    committed BENCH_004.json … BENCH_007.json reports (when present)
-#    must still validate.
+#    (the workspace groups, the cross-format parse group, and the
+#    multi-pattern clustering group), and the committed BENCH_004.json …
+#    BENCH_008.json reports (when present) must still validate.
 # 12. Cancellation chaos smoke: the `dnasim chaos --json` grid (including
 #    the stalled-source / sink-write-failure / budget-exhaustion
 #    streaming faults) must report clean, and a deadline-metered serve
@@ -186,8 +190,33 @@ echo "== binary corpus fuzz (smoke, 128 seeded mutations) =="
 # (crates/faults/src/corpus.rs; DESIGN.md §14).
 CARGO_NET_OFFLINE=true cargo test -q -p dnasim-faults --lib smoke_sweep_of_128_mutations
 
-echo "== kernel differential suite (Myers vs scalar oracle) =="
+echo "== unsafe-SIMD-module guard (crates/metrics) =="
+# Any metrics source reaching for `unsafe` (the AVX2/NEON kernel backends)
+# must opt into the strict unsafe-block rules and justify every block.
+fail=0
+while IFS= read -r src; do
+    if grep -q '\bunsafe\b' "$src"; then
+        if ! grep -q 'deny(unsafe_op_in_unsafe_fn)' "$src"; then
+            echo "ERROR: $src uses unsafe without #![deny(unsafe_op_in_unsafe_fn)]" >&2
+            fail=1
+        fi
+        if ! grep -q 'SAFETY:' "$src"; then
+            echo "ERROR: $src uses unsafe without any SAFETY: comments" >&2
+            fail=1
+        fi
+    fi
+done < <(find crates/metrics/src -name '*.rs')
+if [ "$fail" -ne 0 ]; then
+    echo "SIMD modules must deny implicit unsafe and document every block." >&2
+    exit 1
+fi
+echo "ok: metrics unsafe modules deny implicit unsafe and carry SAFETY comments"
+
+echo "== kernel differential suite (Myers vs scalar oracle, SIMD dispatch on) =="
 CARGO_NET_OFFLINE=true cargo test -q -p dnasim-metrics --test myers_differential
+
+echo "== kernel differential suite (DNASIM_SIMD=off, portable fallback) =="
+CARGO_NET_OFFLINE=true DNASIM_SIMD=off cargo test -q -p dnasim-metrics --test myers_differential
 
 echo "== streaming equivalence suite (DNASIM_THREADS=1 and 4) =="
 CARGO_NET_OFFLINE=true DNASIM_THREADS=1 cargo test -q --test streaming_equivalence
@@ -270,14 +299,18 @@ echo "ok: clippy is clean at -D warnings"
 echo "== bench smoke (fast mode) =="
 smoke_report=$(mktemp /tmp/dnasim-bench-smoke.XXXXXX.json)
 smoke_parse_report=$(mktemp /tmp/dnasim-bench-parse-smoke.XXXXXX.json)
-trap 'rm -f "$smoke_report" "$smoke_parse_report"' EXIT
-scripts/bench.sh --fast --out "$smoke_report" --parse-out "$smoke_parse_report"
+smoke_mp_report=$(mktemp /tmp/dnasim-bench-mp-smoke.XXXXXX.json)
+trap 'rm -f "$smoke_report" "$smoke_parse_report" "$smoke_mp_report"' EXIT
+scripts/bench.sh --fast --out "$smoke_report" --parse-out "$smoke_parse_report" \
+    --multipattern-out "$smoke_mp_report"
 CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
     check "$smoke_report"
 CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
     check "$smoke_parse_report"
+CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
+    check "$smoke_mp_report"
 
-for report in BENCH_004.json BENCH_005.json BENCH_006.json BENCH_007.json; do
+for report in BENCH_004.json BENCH_005.json BENCH_006.json BENCH_007.json BENCH_008.json; do
     if [ -f "$report" ]; then
         echo "== committed benchmark report ($report) =="
         CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
