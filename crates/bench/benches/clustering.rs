@@ -8,7 +8,7 @@ use dnasim_testkit::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dnasim_channel::{ErrorModel, NaiveModel};
-use dnasim_cluster::{GreedyClusterer, QGramSignature};
+use dnasim_cluster::{GreedyClusterer, QGramSignature, StreamingClusterer};
 use dnasim_core::rng::seeded;
 use dnasim_core::rng::SliceRandom;
 use dnasim_core::{PackedStrand, Strand};
@@ -153,12 +153,51 @@ fn bench_cluster_bank(c: &mut Criterion) {
     );
 }
 
+/// The online streaming clusterer against the materialised
+/// `cluster_against_references` pass over the same shuffled pool. The
+/// memberships are byte-identical by construction (shared decision core),
+/// so the only question is cost: this is the BENCH_009 baseline/contender
+/// pair, gated on throughput *parity* — streaming must not give up more
+/// than a fraction of the materialised pass's speed in exchange for
+/// bounded memory. The resident-share pseudo-record proves the bound:
+/// the clusterer's live state is per-group representatives, a small
+/// fraction of the pool it consumed.
+fn bench_streaming_clusterer(c: &mut Criterion) {
+    let (refs, reads) = pool(64, 4, 7);
+    let clusterer = GreedyClusterer::default();
+    c.bench_function("cluster-stream/materialised/64refs", |b| {
+        b.iter(|| {
+            clusterer
+                .cluster_against_references(black_box(&reads), black_box(&refs))
+                .total_reads()
+        })
+    });
+    c.bench_function("cluster-stream/streaming/64refs", |b| {
+        b.iter(|| {
+            let mut stream = StreamingClusterer::with_references(clusterer, black_box(&refs));
+            for window in reads.chunks(64) {
+                black_box(stream.push_batch(window));
+            }
+            stream.reads_seen()
+        })
+    });
+    let mut stream = StreamingClusterer::with_references(clusterer, &refs);
+    for window in reads.chunks(64) {
+        stream.push_batch(window);
+    }
+    c.record_metric(
+        "cluster-stream/resident-share-pct",
+        100.0 * stream.resident_groups() as f64 / reads.len() as f64,
+    );
+    c.record_metric("cluster-stream/pool-reads", reads.len() as f64);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(Duration::from_secs(4))
         .warm_up_time(Duration::from_secs(1));
-    targets = bench_clustering, bench_cluster_bank
+    targets = bench_clustering, bench_cluster_bank, bench_streaming_clusterer
 }
 criterion_main!(benches);

@@ -66,6 +66,11 @@ fn main() -> ExitCode {
         exp.twin().mean_coverage(),
         exp.learned().aggregate_error_rate
     );
+    let gen = exp.generation_stats();
+    eprintln!(
+        "# twin stream: {} window(s), peak {} cluster(s) / {} read(s) resident",
+        gen.batches, gen.high_watermark, gen.peak_resident_reads
+    );
 
     let known = run(&exp, &experiment, coverage, csv_dir.as_deref());
     if !known {

@@ -85,26 +85,53 @@ impl<M: ErrorModel> SynthesisStage<M> {
     pub fn run(&self, references: &[Strand], rng: &mut SimRng) -> MoleculePool {
         let mut pool = MoleculePool::new();
         for (origin, reference) in references.iter().enumerate() {
-            if rng.random::<f64>() < self.dropout_probability {
-                continue;
-            }
-            for _ in 0..self.variants_per_reference {
-                let strand = self.error_model.corrupt(reference, rng);
-                // Gamma(4)-distributed abundance around the mean: skewed like
-                // real synthesis yields, but without the starvation tail a
-                // pure exponential would give individual variants.
-                let abundance = self.mean_abundance / 4.0
-                    * -(0..4)
-                        .map(|_| rng.random::<f64>().max(f64::MIN_POSITIVE).ln())
-                        .sum::<f64>();
-                pool.push(Molecule {
-                    origin,
-                    strand,
-                    abundance,
-                });
-            }
+            self.run_group_into(origin, reference, rng, &mut pool);
         }
         pool
+    }
+
+    /// Synthesises one reference — one *strand group* — in isolation.
+    ///
+    /// All of a reference's synthesis draws (dropout, per-variant
+    /// corruption, abundance) are already strictly sequential and touch
+    /// no cross-reference state, so the stage shards cleanly: driving
+    /// `run_group` per reference with an RNG forked from the group index
+    /// generates molecule pools window-by-window, with peak residency one
+    /// group instead of the whole archive. [`run`] is exactly this helper
+    /// folded over the references with a single shared RNG.
+    ///
+    /// [`run`]: SynthesisStage::run
+    pub fn run_group(&self, origin: usize, reference: &Strand, rng: &mut SimRng) -> MoleculePool {
+        let mut pool = MoleculePool::new();
+        self.run_group_into(origin, reference, rng, &mut pool);
+        pool
+    }
+
+    fn run_group_into(
+        &self,
+        origin: usize,
+        reference: &Strand,
+        rng: &mut SimRng,
+        pool: &mut MoleculePool,
+    ) {
+        if rng.random::<f64>() < self.dropout_probability {
+            return;
+        }
+        for _ in 0..self.variants_per_reference {
+            let strand = self.error_model.corrupt(reference, rng);
+            // Gamma(4)-distributed abundance around the mean: skewed like
+            // real synthesis yields, but without the starvation tail a
+            // pure exponential would give individual variants.
+            let abundance = self.mean_abundance / 4.0
+                * -(0..4)
+                    .map(|_| rng.random::<f64>().max(f64::MIN_POSITIVE).ln())
+                    .sum::<f64>();
+            pool.push(Molecule {
+                origin,
+                strand,
+                abundance,
+            });
+        }
     }
 }
 
@@ -243,6 +270,53 @@ impl<M: ErrorModel> SequencingStage<M> {
             .zip(reads_per_reference)
             .map(|(reference, reads)| Cluster::new(reference.clone(), reads))
             .collect()
+    }
+
+    /// Splits the stage's read budget across strand groups proportionally
+    /// to their total abundance, by drawing `total_reads` categorical
+    /// samples over `group_weights` — the same draw the whole-pool sampler
+    /// makes, collapsed to group granularity.
+    ///
+    /// This is the serial "pass 0" of the sharded sequencer: once every
+    /// group knows its read count, the groups sample independently with
+    /// forked RNGs ([`sample_group`]) and never need the whole molecule
+    /// pool resident. The counts always sum to `total_reads` unless every
+    /// weight is zero or non-finite (an empty/extinct pool), which yields
+    /// all-zero counts — the sharded analogue of the whole-pool sampler
+    /// sequencing nothing from an empty pool.
+    ///
+    /// [`sample_group`]: SequencingStage::sample_group
+    pub fn allocate_reads(&self, group_weights: &[f64], rng: &mut SimRng) -> Vec<usize> {
+        let mut counts = vec![0usize; group_weights.len()];
+        let total: f64 = group_weights
+            .iter()
+            .filter(|w| w.is_finite() && **w > 0.0)
+            .sum();
+        if total <= 0.0 {
+            return counts;
+        }
+        for _ in 0..self.total_reads {
+            counts[sample_weighted_index(group_weights, rng)] += 1;
+        }
+        counts
+    }
+
+    /// Sequences `count` reads from one strand group's molecules,
+    /// weighted by abundance — the within-group half of the sharded
+    /// sampler (see [`allocate_reads`]). An empty group yields no reads.
+    ///
+    /// [`allocate_reads`]: SequencingStage::allocate_reads
+    pub fn sample_group(&self, pool: &MoleculePool, count: usize, rng: &mut SimRng) -> Vec<Strand> {
+        let mut reads = Vec::with_capacity(count);
+        if pool.molecules().is_empty() {
+            return reads;
+        }
+        let weights: Vec<f64> = pool.molecules().iter().map(|m| m.abundance).collect();
+        for _ in 0..count {
+            let idx = sample_weighted_index(&weights, rng);
+            reads.push(self.error_model.corrupt(&pool.molecules()[idx].strand, rng));
+        }
+        reads
     }
 }
 
@@ -440,6 +514,94 @@ mod tests {
         assert_eq!(dataset.len(), 5);
         assert_eq!(dataset.total_reads(), 100);
         assert!(dataset.mean_coverage() > 0.0);
+    }
+
+    #[test]
+    fn sharded_synthesis_composes_to_the_whole_run() {
+        // Folding run_group over the references with one shared RNG is
+        // byte-identical to run(): the refactor may not change a single
+        // draw.
+        let stage = SynthesisStage {
+            error_model: NaiveModel::with_total_rate(0.01),
+            variants_per_reference: 3,
+            dropout_probability: 0.1,
+            mean_abundance: 8.0,
+        };
+        let refs = references(6, 50, 21);
+        let whole = stage.run(&refs, &mut seeded(22));
+        let mut rng = seeded(22);
+        let mut sharded = MoleculePool::new();
+        for (origin, r) in refs.iter().enumerate() {
+            for m in stage.run_group(origin, r, &mut rng).molecules() {
+                sharded.push(m.clone());
+            }
+        }
+        assert_eq!(sharded, whole);
+    }
+
+    #[test]
+    fn sharded_synthesis_is_deterministic_under_forked_rngs() {
+        use dnasim_core::rng::SeedSequence;
+        let stage = SynthesisStage {
+            error_model: NaiveModel::with_total_rate(0.01),
+            variants_per_reference: 2,
+            dropout_probability: 0.0,
+            mean_abundance: 8.0,
+        };
+        let refs = references(4, 40, 23);
+        let seq = SeedSequence::new(77);
+        let run = |seq: &SeedSequence| -> Vec<MoleculePool> {
+            refs.iter()
+                .enumerate()
+                .map(|(g, r)| stage.run_group(g, r, &mut seq.fork_rng(g as u64)))
+                .collect()
+        };
+        assert_eq!(run(&seq), run(&seq));
+        // Each group's pool is a pure function of its own fork: dropping
+        // other groups does not perturb it.
+        let solo = stage.run_group(2, &refs[2], &mut seq.fork_rng(2));
+        assert_eq!(run(&seq)[2], solo);
+    }
+
+    #[test]
+    fn allocate_reads_sums_to_budget_and_respects_zero_weights() {
+        let stage = SequencingStage {
+            error_model: IdentityModel,
+            total_reads: 200,
+        };
+        let mut rng = seeded(24);
+        let counts = stage.allocate_reads(&[1.0, 0.0, 3.0, f64::NAN], &mut rng);
+        assert_eq!(counts.iter().sum::<usize>(), 200);
+        assert_eq!(counts[1], 0, "zero-weight group drew reads");
+        assert_eq!(counts[3], 0, "non-finite-weight group drew reads");
+        assert!(counts[2] > counts[0], "allocation ignored the weights");
+        // Extinct pool: nothing to sequence.
+        assert_eq!(
+            stage.allocate_reads(&[0.0, 0.0], &mut rng),
+            vec![0, 0]
+        );
+        assert!(stage.allocate_reads(&[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sample_group_draws_exactly_count_reads() {
+        let refs = references(1, 40, 25);
+        let synthesis = SynthesisStage {
+            error_model: IdentityModel,
+            variants_per_reference: 2,
+            dropout_probability: 0.0,
+            mean_abundance: 10.0,
+        };
+        let mut rng = seeded(26);
+        let pool = synthesis.run(&refs, &mut rng);
+        let stage = SequencingStage {
+            error_model: IdentityModel,
+            total_reads: 999, // unused by sample_group
+        };
+        let reads = stage.sample_group(&pool, 17, &mut rng);
+        assert_eq!(reads.len(), 17);
+        assert!(reads.iter().all(|r| r == &refs[0]));
+        assert!(stage.sample_group(&MoleculePool::new(), 5, &mut rng).is_empty());
     }
 
     #[test]

@@ -351,13 +351,19 @@ fn cmd_profile(args: &Args) -> CliResult {
     // `from_dataset`, so both paths print identical statistics.
     let stats = if args.flag("stream") {
         let batch = batch_size(args)?;
-        let (stats, _) = if args.flag("prefetch") {
+        let (stats, window) = if args.flag("prefetch") {
             let mut source = PrefetchSource::spawn(open_cluster_source(args, data)?, batch)?;
             ErrorStats::from_source(&mut source, batch, TieBreak::Random, &mut rng)?
         } else {
             let mut source = open_cluster_source(args, data)?;
             ErrorStats::from_source(&mut source, batch, TieBreak::Random, &mut rng)?
         };
+        // Stderr, so the statistics on stdout stay byte-identical to the
+        // in-memory path.
+        eprintln!(
+            "stream window: {} batch(es), peak {} cluster(s) / {} read(s) resident",
+            window.batches, window.high_watermark, window.peak_resident_reads
+        );
         stats
     } else {
         ErrorStats::from_dataset(&load(data)?, TieBreak::Random, &mut rng)
@@ -739,8 +745,8 @@ fn cmd_archive(args: &Args) -> CliResult {
                 batch_size(args)?,
             )?;
             println!(
-                "decoded {} windows, high-watermark {} clusters",
-                window.batches, window.high_watermark
+                "decoded {} windows, high-watermark {} clusters, peak {} reads resident",
+                window.batches, window.high_watermark, window.peak_resident_reads
             );
             report
         }

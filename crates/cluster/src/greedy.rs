@@ -25,11 +25,11 @@
 use std::collections::{BTreeMap, HashMap};
 
 use dnasim_core::{Cluster, Dataset, PackedStrand, Strand};
-use dnasim_metrics::bank::{bank_within_with, BankScratch, PatternBank, MAX_LANES};
-use dnasim_metrics::{myers, MyersScratch, QGramProfile, QGramScratch};
 
-use crate::signature::QGramSignature;
 use crate::stats::{self, ClusterStats};
+use crate::streaming::{
+    evaluate_candidates, AssignScratch, OnlineState, ReferenceIndex, Representative,
+};
 
 /// Configuration for greedy clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,87 +63,6 @@ impl Default for GreedyClusterer {
     }
 }
 
-/// Everything `cluster` precomputes per founded cluster, threaded through
-/// to the merge and reference-assignment passes so nothing is rebuilt.
-struct Representative {
-    packed: PackedStrand,
-    sig: QGramSignature,
-    profile: QGramProfile,
-}
-
-/// Reusable kernel buffers for one clustering pass.
-#[derive(Default)]
-struct AssignScratch {
-    myers: MyersScratch,
-    bank: BankScratch,
-    qgram: QGramScratch,
-    lane_out: Vec<Option<usize>>,
-}
-
-/// Evaluates `text` against every pattern in `patterns`, writing
-/// `results[k] = Some(distance)` iff pattern `k` is within `limit`.
-///
-/// Patterns are grouped by word count and packed [`MAX_LANES`] at a time
-/// into [`PatternBank`]s; singleton groups (and empty patterns, which have
-/// no words to bank) use the single-pattern kernel. Both kernels are
-/// exact, so `results` is independent of the grouping.
-fn evaluate_candidates(
-    scratch: &mut AssignScratch,
-    patterns: &[&PackedStrand],
-    text: &PackedStrand,
-    limit: usize,
-    stats: &mut ClusterStats,
-    results: &mut Vec<Option<usize>>,
-) {
-    results.clear();
-    results.resize(patterns.len(), None);
-    let mut by_words: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for (k, p) in patterns.iter().enumerate() {
-        by_words.entry(p.words()).or_default().push(k);
-    }
-    for (words, slots) in by_words {
-        if words == 0 {
-            // Empty patterns: the kernel degenerates to |text| ≤ limit.
-            for &k in &slots {
-                stats.kernel_calls += 1;
-                stats.kernel_lanes += 1;
-                results[k] = myers::within_with(&mut scratch.myers, patterns[k], text, limit);
-            }
-            continue;
-        }
-        for chunk in slots.chunks(MAX_LANES) {
-            if chunk.len() == 1 {
-                let k = chunk[0];
-                stats.kernel_calls += 1;
-                stats.kernel_lanes += 1;
-                results[k] = myers::within_with(&mut scratch.myers, patterns[k], text, limit);
-                continue;
-            }
-            let lanes: Vec<&PackedStrand> = chunk.iter().map(|&k| patterns[k]).collect();
-            match PatternBank::new(&lanes) {
-                Some(bank) => {
-                    stats.kernel_calls += 1;
-                    stats.kernel_lanes += chunk.len();
-                    bank_within_with(&mut scratch.bank, &bank, text, limit, &mut scratch.lane_out);
-                    for (lane, &k) in chunk.iter().enumerate() {
-                        results[k] = scratch.lane_out.get(lane).copied().flatten();
-                    }
-                }
-                None => {
-                    // Unreachable by construction (equal non-zero word
-                    // counts, chunk ≤ MAX_LANES); stay exact regardless.
-                    for &k in chunk {
-                        stats.kernel_calls += 1;
-                        stats.kernel_lanes += 1;
-                        results[k] =
-                            myers::within_with(&mut scratch.myers, patterns[k], text, limit);
-                    }
-                }
-            }
-        }
-    }
-}
-
 impl GreedyClusterer {
     /// Groups a pool of reads into clusters, returning read indices per
     /// cluster.
@@ -165,94 +84,23 @@ impl GreedyClusterer {
 
     /// The single assignment pass shared by every public entry point.
     ///
-    /// Returns the groups, the per-cluster [`Representative`]s (packed
-    /// strand, signature, and q-gram profile — built exactly once, at
-    /// founding time), and the pass counters.
+    /// Delegates to the online [`OnlineState`] core — the same decision
+    /// sequence the streaming clusterer runs read by read — and
+    /// materialises the membership lists the streaming core deliberately
+    /// does not keep. Returns the groups, the per-cluster
+    /// [`Representative`]s (packed strand, signature, and q-gram profile —
+    /// built exactly once, at founding time), and the pass counters.
     fn cluster_impl(&self, pool: &[Strand]) -> (Vec<Vec<usize>>, Vec<Representative>, ClusterStats) {
         let mut clusters: Vec<Vec<usize>> = Vec::new();
-        // Representatives are kept 2-bit packed: every incoming read is
-        // compared against them with the Myers kernels, so packing once at
-        // founding time amortises the Eq-mask construction over the whole
-        // pool. The q-gram profile rides along for the error-ball bound.
-        let mut reps: Vec<Representative> = Vec::new();
-        // band hash → cluster ids that expose it
-        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut scratch = AssignScratch::default();
-        let mut run = ClusterStats::default();
-        let mut survivors: Vec<usize> = Vec::new();
-        let mut results: Vec<Option<usize>> = Vec::new();
-
+        let mut state = OnlineState::new(*self);
         for (read_idx, read) in pool.iter().enumerate() {
-            run.reads += 1;
-            let sig = QGramSignature::new(read, self.qgram_len, self.sketch_len);
-            let packed = PackedStrand::from(read);
-            let profile = QGramProfile::new(read, self.qgram_len);
-            let mut candidates: Vec<usize> = sig
-                .hashes()
-                .iter()
-                .take(self.bands)
-                .filter_map(|h| buckets.get(h))
-                .flatten()
-                .copied()
-                .collect();
-            candidates.sort_unstable();
-            candidates.dedup();
-            run.candidates += candidates.len();
-
-            // Error-ball prefilter: a candidate whose q-gram lower bound
-            // already exceeds the threshold cannot pass the kernel test,
-            // so dropping it cannot change the clustering. The read's
-            // histogram is loaded once; each candidate is a read-only scan.
-            if self.prefilter && !candidates.is_empty() {
-                scratch.qgram.load(&profile);
+            let id = state.assign(read);
+            if id == clusters.len() {
+                clusters.push(Vec::new());
             }
-            survivors.clear();
-            for &id in &candidates {
-                if self.prefilter
-                    && scratch.qgram.bound(&reps[id].profile) > self.distance_threshold
-                {
-                    run.pruned += 1;
-                    continue;
-                }
-                survivors.push(id);
-            }
-
-            // `survivors` is ascending, so the first match is the lowest
-            // cluster id — the same winner the one-at-a-time loop with an
-            // early break would have picked.
-            let joined = {
-                let lanes: Vec<&PackedStrand> =
-                    survivors.iter().map(|&id| &reps[id].packed).collect();
-                evaluate_candidates(
-                    &mut scratch,
-                    &lanes,
-                    &packed,
-                    self.distance_threshold,
-                    &mut run,
-                    &mut results,
-                );
-                survivors
-                    .iter()
-                    .zip(results.iter())
-                    .find(|(_, r)| r.is_some())
-                    .map(|(&id, _)| id)
-            };
-            match joined {
-                Some(id) => clusters[id].push(read_idx),
-                None => {
-                    let id = clusters.len();
-                    clusters.push(vec![read_idx]);
-                    for &h in sig.hashes().iter().take(self.bands) {
-                        buckets.entry(h).or_default().push(id);
-                    }
-                    reps.push(Representative {
-                        packed,
-                        sig,
-                        profile,
-                    });
-                }
-            }
+            clusters[id].push(read_idx);
         }
+        let (reps, run) = state.into_parts();
         (clusters, reps, run)
     }
 
@@ -274,71 +122,23 @@ impl GreedyClusterer {
         pool: &[Strand],
         references: &[Strand],
     ) -> (Dataset, ClusterStats) {
-        let ref_sigs: Vec<QGramSignature> = references
-            .iter()
-            .map(|r| QGramSignature::new(r, self.qgram_len, self.sketch_len))
-            .collect();
         // References are compared against every group representative, so
-        // pack and profile them once up front.
-        let packed_refs: Vec<PackedStrand> = references.iter().map(PackedStrand::from).collect();
-        let ref_profiles: Vec<QGramProfile> = references
-            .iter()
-            .map(|r| QGramProfile::new(r, self.qgram_len))
-            .collect();
+        // pack, sign, and profile them once up front.
+        let refs = ReferenceIndex::new(self, references);
         let mut assigned: Vec<Vec<Strand>> = references.iter().map(|_| Vec::new()).collect();
 
         // The assignment pass already packed, signed, and profiled every
         // group representative — reuse them instead of recomputing from
-        // `pool[group[0]]`.
+        // `pool[group[0]]`. Matching is the same pure per-representative
+        // function the streaming clusterer applies at founding time.
         let (groups, reps, mut run) = self.cluster_impl(pool);
         let mut scratch = AssignScratch::default();
         let mut results: Vec<Option<usize>> = Vec::new();
 
         for (gid, group) in groups.iter().enumerate() {
-            let rep = &reps[gid];
-            // Nearest reference by signature overlap, confirmed by banded
-            // distance (error-ball bound in between, as in `cluster`).
-            let mut cand_refs: Vec<usize> = Vec::new();
-            if self.prefilter {
-                scratch.qgram.load(&rep.profile);
-            }
-            for ref_idx in 0..references.len() {
-                if !rep.sig.shares_band(&ref_sigs[ref_idx], self.bands)
-                    && rep.sig.overlap(&ref_sigs[ref_idx]) == 0.0
-                {
-                    continue;
-                }
-                run.candidates += 1;
-                if self.prefilter
-                    && scratch.qgram.bound(&ref_profiles[ref_idx]) > self.distance_threshold
-                {
-                    run.pruned += 1;
-                    continue;
-                }
-                cand_refs.push(ref_idx);
-            }
-            let lanes: Vec<&PackedStrand> =
-                cand_refs.iter().map(|&r| &packed_refs[r]).collect();
-            evaluate_candidates(
-                &mut scratch,
-                &lanes,
-                &rep.packed,
-                self.distance_threshold,
-                &mut run,
-                &mut results,
-            );
-            // `cand_refs` ascends, and only a strictly smaller distance
-            // displaces the incumbent, so ties resolve to the earliest
-            // reference — the order the one-at-a-time loop produced.
-            let mut best: Option<(usize, usize)> = None; // (ref idx, distance)
-            for (&ref_idx, r) in cand_refs.iter().zip(results.iter()) {
-                if let Some(d) = *r {
-                    if best.is_none_or(|(_, bd)| d < bd) {
-                        best = Some((ref_idx, d));
-                    }
-                }
-            }
-            if let Some((ref_idx, _)) = best {
+            let matched =
+                refs.match_representative(self, &reps[gid], &mut scratch, &mut run, &mut results);
+            if let Some(ref_idx) = matched {
                 for &read_idx in group {
                     assigned[ref_idx].push(pool[read_idx].clone());
                 }
@@ -729,6 +529,92 @@ mod filter_tests {
             pruned_total += on.pruned;
         }
         assert!(pruned_total > 0, "filter never fired on noisy pools");
+    }
+
+    #[test]
+    fn reference_stats_empty_pool_is_all_erasures_with_zero_work() {
+        let mut rng = seeded(40);
+        let references: Vec<Strand> = (0..4).map(|_| Strand::random(90, &mut rng)).collect();
+        let (dataset, run) =
+            GreedyClusterer::default().cluster_against_references_stats(&[], &references);
+        assert_eq!(dataset.len(), 4);
+        assert_eq!(dataset.erasure_count(), 4);
+        assert_eq!(run, ClusterStats::default(), "no reads, no counters");
+    }
+
+    #[test]
+    fn reference_stats_empty_reference_set_drops_every_read() {
+        let mut rng = seeded(41);
+        let pool: Vec<Strand> = (0..5).map(|_| Strand::random(90, &mut rng)).collect();
+        let (dataset, run) =
+            GreedyClusterer::default().cluster_against_references_stats(&pool, &[]);
+        assert!(dataset.is_empty());
+        assert_eq!(run.reads, 5);
+        // Lane accounting must hold even with nothing to match: every
+        // non-pruned candidate is exactly one kernel lane, on any backend
+        // (the verify script repeats this suite under DNASIM_SIMD=off).
+        assert_eq!(run.kernel_lanes, run.candidates - run.pruned);
+    }
+
+    #[test]
+    fn reference_stats_single_read_clusters_assign_each_read() {
+        // Every read is its own cluster (distinct random references, one
+        // exact copy each): each group must match its own reference.
+        let mut rng = seeded(42);
+        let references: Vec<Strand> = (0..6).map(|_| Strand::random(110, &mut rng)).collect();
+        let pool: Vec<Strand> = references.clone();
+        let (dataset, run) =
+            GreedyClusterer::default().cluster_against_references_stats(&pool, &references);
+        assert_eq!(dataset.len(), 6);
+        assert_eq!(dataset.total_reads(), 6);
+        assert_eq!(dataset.erasure_count(), 0);
+        for cluster in dataset.iter() {
+            assert_eq!(cluster.reads(), std::slice::from_ref(cluster.reference()));
+        }
+        assert_eq!(run.reads, 6);
+        assert_eq!(run.kernel_lanes, run.candidates - run.pruned);
+    }
+
+    #[test]
+    fn reference_stats_all_identical_reads_form_one_full_cluster() {
+        let read: Strand = "ACGTACGTACGTACGTACGTACGTACGTACGT".parse().unwrap();
+        let pool = vec![read.clone(); 12];
+        let references = vec![read.clone()];
+        let (dataset, run) = GreedyClusterer::default()
+            .cluster_against_references_stats(&pool, &references);
+        assert_eq!(dataset.len(), 1);
+        assert_eq!(dataset.total_reads(), 12);
+        assert!(dataset.iter().all(|c| c.reads().iter().all(|r| r == &read)));
+        assert_eq!(run.reads, 12);
+        // One founding read plus eleven joins against a single
+        // representative, plus one group→reference match.
+        assert!(run.kernel_calls >= 12);
+        assert_eq!(run.kernel_lanes, run.candidates - run.pruned);
+    }
+
+    #[test]
+    fn lane_accounting_holds_with_prefilter_disabled() {
+        // With the error ball off, pruned must stay 0 and every candidate
+        // must occupy a lane — the invariant the SIMD-off verify step
+        // re-checks, since lane packing differs per backend but totals
+        // may not.
+        let mut rng = seeded(43);
+        let model = NaiveModel::with_total_rate(0.06);
+        let references: Vec<Strand> = (0..7).map(|_| Strand::random(110, &mut rng)).collect();
+        let mut pool = Vec::new();
+        for r in &references {
+            for _ in 0..5 {
+                pool.push(model.corrupt(r, &mut rng));
+            }
+        }
+        let clusterer = GreedyClusterer {
+            prefilter: false,
+            ..GreedyClusterer::default()
+        };
+        let (_, run) = clusterer.cluster_against_references_stats(&pool, &references);
+        assert_eq!(run.pruned, 0);
+        assert_eq!(run.kernel_lanes, run.candidates);
+        assert!(run.kernel_calls <= run.kernel_lanes);
     }
 
     #[test]

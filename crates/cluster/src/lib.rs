@@ -14,6 +14,12 @@
 //!   bound that discharges hopeless candidates before any kernel runs,
 //!   and banded edit-distance confirmation batched through the
 //!   multi-pattern SIMD kernel tier;
+//! * [`StreamingClusterer`] — the same decision core driven *online*:
+//!   push reads window by window, keep only per-bucket representatives
+//!   resident (`O(clusters)`, never `O(reads)`), get memberships
+//!   byte-identical to [`GreedyClusterer`] at any batch size, with
+//!   optional founding-time reference matching for the imperfect
+//!   archive path;
 //! * [`ClusterStats`] — per-run counters (candidates proposed, pruned by
 //!   the error ball, kernel calls, lanes filled), also accumulated
 //!   process-wide for the CLI's diagnostic line.
@@ -37,7 +43,9 @@
 mod greedy;
 mod signature;
 mod stats;
+mod streaming;
 
 pub use greedy::{perfect_clustering, GreedyClusterer};
 pub use signature::QGramSignature;
 pub use stats::{process_cluster_stats, reset_process_cluster_stats, ClusterStats};
+pub use streaming::{StreamAssignment, StreamingClusterer};

@@ -61,6 +61,6 @@ pub use error::DnasimError;
 pub use packed::PackedStrand;
 pub use strand::{ParseStrandError, Strand};
 pub use stream::{
-    pump, pump_budgeted, pump_prefetch, Batch, ClusterSink, ClusterSource, DatasetStream,
-    NullSink, OwnedDatasetStream, PrefetchSource, WindowStats,
+    pump, pump_budgeted, pump_prefetch, resident_reads, Batch, ClusterSink, ClusterSource,
+    DatasetStream, NullSink, OwnedDatasetStream, PrefetchSource, WindowStats,
 };

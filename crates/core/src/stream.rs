@@ -81,6 +81,12 @@ impl Batch {
         &self.clusters
     }
 
+    /// Consumes the batch, yielding its clusters — for sinks that keep
+    /// them (accumulators, tees) rather than serialising and dropping.
+    pub fn into_clusters(self) -> Vec<Cluster> {
+        self.clusters
+    }
+
     /// The half-open range of global indices the batch covers.
     pub fn global_indices(&self) -> Range<usize> {
         self.start..self.start + self.clusters.len()
@@ -162,6 +168,13 @@ pub struct WindowStats {
     pub clusters: usize,
     /// Maximum clusters held in flight by any one window.
     pub high_watermark: usize,
+    /// Maximum *reads* resident in any one window — the memory gauge
+    /// behind the bounded-memory acceptance criteria. Where
+    /// `high_watermark` counts clusters, this counts the strands actually
+    /// held, so a stage whose clusters balloon (e.g. pathological
+    /// misassignment in imperfect clustering) is observable, not just
+    /// asserted bounded.
+    pub peak_resident_reads: usize,
 }
 
 impl WindowStats {
@@ -171,7 +184,24 @@ impl WindowStats {
         self.batches += other.batches;
         self.clusters += other.clusters;
         self.high_watermark = self.high_watermark.max(other.high_watermark);
+        self.peak_resident_reads = self.peak_resident_reads.max(other.peak_resident_reads);
     }
+
+    /// Records one window of `clusters` clusters holding `reads` reads,
+    /// bumping the batch/cluster counters and ratcheting both residency
+    /// gauges.
+    pub fn record_window(&mut self, clusters: usize, reads: usize) {
+        self.batches += 1;
+        self.clusters += clusters;
+        self.high_watermark = self.high_watermark.max(clusters);
+        self.peak_resident_reads = self.peak_resident_reads.max(reads);
+    }
+}
+
+/// Total reads held by a slice of clusters — the quantity the
+/// [`WindowStats::peak_resident_reads`] gauge tracks.
+pub fn resident_reads(clusters: &[Cluster]) -> usize {
+    clusters.iter().map(|c| c.reads().len()).sum()
 }
 
 /// Validates a streaming batch size, translating `0` into a typed error.
@@ -273,9 +303,7 @@ where
         batch.truncate(admitted);
         if admitted > 0 {
             let (start, len) = (batch.start(), batch.len());
-            stats.batches += 1;
-            stats.clusters += len;
-            stats.high_watermark = stats.high_watermark.max(len);
+            stats.record_window(len, resident_reads(batch.clusters()));
             let out = transform(batch)?;
             if out.start() != start || out.len() != len {
                 return Err(DnasimError::config(
@@ -335,6 +363,7 @@ pub struct PrefetchSource {
     rx: Option<std::sync::mpsc::Receiver<Result<Batch, DnasimError>>>,
     worker: Option<std::thread::JoinHandle<()>>,
     prev_len: usize,
+    prev_reads: usize,
     stats: WindowStats,
     done: bool,
 }
@@ -379,6 +408,7 @@ impl PrefetchSource {
             rx: Some(rx),
             worker: Some(worker),
             prev_len: 0,
+            prev_reads: 0,
             stats: WindowStats::default(),
             done: false,
         })
@@ -430,11 +460,17 @@ impl ClusterSource for PrefetchSource {
                     ));
                 }
                 if !batch.is_empty() {
+                    let reads = resident_reads(batch.clusters());
                     self.stats.batches += 1;
                     self.stats.clusters += batch.len();
                     self.stats.high_watermark =
                         self.stats.high_watermark.max(self.prev_len + batch.len());
+                    self.stats.peak_resident_reads = self
+                        .stats
+                        .peak_resident_reads
+                        .max(self.prev_reads + reads);
                     self.prev_len = batch.len();
+                    self.prev_reads = reads;
                 }
                 Ok(Some(batch))
             }
@@ -974,14 +1010,44 @@ mod tests {
             batches: 1,
             clusters: 4,
             high_watermark: 4,
+            peak_resident_reads: 9,
         };
         a.absorb(WindowStats {
             batches: 2,
             clusters: 10,
             high_watermark: 7,
+            peak_resident_reads: 5,
         });
         assert_eq!(a.batches, 3);
         assert_eq!(a.clusters, 14);
         assert_eq!(a.high_watermark, 7);
+        assert_eq!(a.peak_resident_reads, 9, "read gauge is a max, not a sum");
+    }
+
+    #[test]
+    fn pump_tracks_peak_resident_reads() {
+        // sample() gives every non-erasure cluster exactly one read, with
+        // erasures at indices 0, 3, 6, ... — so a window of 3 holds at most
+        // 2 reads.
+        let ds = sample(9);
+        let total: usize = resident_reads(ds.clusters());
+        let mut out = Dataset::new();
+        let stats = pump(&mut ds.stream(), &mut out, 3, Ok).unwrap();
+        assert_eq!(stats.peak_resident_reads, 2);
+        // One whole-dataset window degenerates to the total.
+        let mut whole = Dataset::new();
+        let stats = pump(&mut ds.stream(), &mut whole, usize::MAX, Ok).unwrap();
+        assert_eq!(stats.peak_resident_reads, total);
+    }
+
+    #[test]
+    fn prefetch_read_gauge_is_bounded_by_two_consecutive_batches() {
+        let ds = sample(10); // reads at non-multiples of 3: 6 reads total
+        let mut prefetch = PrefetchSource::spawn(ds.into_stream(), 4).unwrap();
+        while prefetch.next_batch(4).unwrap().is_some() {}
+        let stats = prefetch.stats();
+        // Batches of 4 hold ≤ 3 reads each; the pairwise peak stays ≤ 6.
+        assert!(stats.peak_resident_reads <= 6);
+        assert!(stats.peak_resident_reads >= 3);
     }
 }

@@ -243,9 +243,7 @@ impl NanoporeTwinConfig {
                 self.generate_cluster(index, &channel, &coverage, &mut rng)
             })?;
             if admitted > 0 {
-                stats.batches += 1;
-                stats.clusters += admitted;
-                stats.high_watermark = stats.high_watermark.max(admitted);
+                stats.record_window(admitted, dnasim_core::resident_reads(&clusters));
                 sink.accept(Batch::new(start, clusters))?;
                 start += admitted;
             }

@@ -12,9 +12,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dnasim_channel::{CoverageModel, KeoliyaModel, NaiveModel, Simulator, SimulatorLayer};
+use dnasim_cluster::{GreedyClusterer, StreamingClusterer};
 use dnasim_codec::{OuterRsCode, ReedSolomon, StrandLayout};
 use dnasim_core::rng::{seeded, RngExt};
-use dnasim_core::{pump_budgeted, Budget, Cluster, Dataset, DnasimError, NullSink};
+use dnasim_core::{pump_budgeted, Budget, Cluster, Dataset, DnasimError, NullSink, Strand};
 use dnasim_dataset::{
     generate_references, read_dataset, write_dataset, ReadDatasetError, ReferenceStyle,
 };
@@ -452,6 +453,43 @@ fn exercise_streaming(fault: FaultKind, seed: u64) -> Verdict {
                 Ok(_) => Verdict::Tolerated,
             }
         }
+        FaultKind::DegenerateClusterReads => {
+            // Splice hostile reads — empty strands, single-base stubs and
+            // monster reads — into an otherwise clean pool and stream the
+            // lot through the online clusterer. Every read must be
+            // assigned or must found a group: nothing dropped, no panic.
+            let references: Vec<Strand> =
+                dataset.iter().map(|c| c.reference().clone()).collect();
+            let mut reads: Vec<Strand> = dataset
+                .iter()
+                .flat_map(|c| c.reads().iter().cloned())
+                .collect();
+            for _ in 0..1 + rng.random_range(0..4usize) {
+                let hostile = match rng.random_range(0..3usize) {
+                    0 => Strand::new(),
+                    1 => Strand::random(1, &mut rng),
+                    _ => Strand::random(4_000, &mut rng),
+                };
+                let at = rng.random_range(0..=reads.len());
+                reads.insert(at, hostile);
+            }
+            let mut clusterer =
+                StreamingClusterer::with_references(GreedyClusterer::default(), &references);
+            let mut assigned = 0usize;
+            for window in reads.chunks(5) {
+                assigned += clusterer.push_batch(window).len();
+            }
+            if clusterer.reads_seen() == reads.len() && assigned == reads.len() {
+                Verdict::Tolerated
+            } else {
+                Verdict::TypedError(format!(
+                    "clusterer accounting drifted: saw {} and assigned {} of {} reads",
+                    clusterer.reads_seen(),
+                    assigned,
+                    reads.len()
+                ))
+            }
+        }
         _ => {
             // BudgetExhaustion: a budget strictly smaller than the corpus
             // runs out mid-stream; the admitted prefix reaches the sink
@@ -556,6 +594,12 @@ mod tests {
                 matches!(exhausted.verdict, Verdict::Quarantined(n) if n > 0),
                 "seed {seed}: {:?}",
                 exhausted.verdict
+            );
+            let degenerate = run_case(FaultKind::DegenerateClusterReads, seed);
+            assert_eq!(
+                degenerate.verdict,
+                Verdict::Tolerated,
+                "seed {seed}: hostile reads must stream through the clusterer"
             );
         }
     }

@@ -53,6 +53,9 @@ pub enum FaultKind {
     SinkWriteFailure,
     /// The work budget metering a streaming stage runs out mid-batch.
     BudgetExhaustion,
+    /// Degenerate reads — empty strands, stubs, and monster reads — are
+    /// pushed through the online streaming clusterer mid-stream.
+    DegenerateClusterReads,
 }
 
 /// Which pipeline surface a [`FaultKind`] attacks.
@@ -74,7 +77,7 @@ pub enum FaultCategory {
 
 impl FaultKind {
     /// Every fault in the grid.
-    pub const ALL: [FaultKind; 18] = [
+    pub const ALL: [FaultKind; 19] = [
         FaultKind::TruncatedFile,
         FaultKind::BitFlips,
         FaultKind::CrlfLineEndings,
@@ -93,6 +96,7 @@ impl FaultKind {
         FaultKind::StalledSource,
         FaultKind::SinkWriteFailure,
         FaultKind::BudgetExhaustion,
+        FaultKind::DegenerateClusterReads,
     ];
 
     /// The surface this fault attacks.
@@ -114,7 +118,8 @@ impl FaultKind {
             FaultKind::DegenerateRsParams => FaultCategory::CodecParams,
             FaultKind::StalledSource
             | FaultKind::SinkWriteFailure
-            | FaultKind::BudgetExhaustion => FaultCategory::Streaming,
+            | FaultKind::BudgetExhaustion
+            | FaultKind::DegenerateClusterReads => FaultCategory::Streaming,
         }
     }
 
@@ -139,6 +144,7 @@ impl FaultKind {
             FaultKind::StalledSource => "stalled-source",
             FaultKind::SinkWriteFailure => "sink-write-failure",
             FaultKind::BudgetExhaustion => "budget-exhaustion",
+            FaultKind::DegenerateClusterReads => "degenerate-cluster-reads",
         }
     }
 }

@@ -9,10 +9,10 @@ use std::fmt;
 
 use dnasim_channel::stages::{DecayStage, PcrStage, SequencingStage, SynthesisStage};
 use dnasim_channel::NaiveModel;
-use dnasim_cluster::GreedyClusterer;
+use dnasim_cluster::{GreedyClusterer, StreamingClusterer};
 use dnasim_codec::{LayoutError, OuterRsCode, RecoveryOutcome, RsError, StrandLayout, XorParity};
-use dnasim_core::rng::SimRng;
-use dnasim_core::{Budget, Cluster, Dataset, DnasimError, WindowStats};
+use dnasim_core::rng::{RngExt, SeedSequence, SimRng};
+use dnasim_core::{Budget, Cluster, DnasimError, Strand, WindowStats};
 use dnasim_dataset::GroundTruthChannel;
 use dnasim_par::{PoolError, ThreadPool};
 use dnasim_reconstruct::{
@@ -329,42 +329,71 @@ fn archive_round_trip_windowed(
     let flat: Vec<u8> = protected.iter().flatten().copied().collect();
     let references = layout.encode_file(&flat);
 
-    // --- Channel: synthesis → decay → PCR → sequencing. ---
+    // --- Channel: synthesis → decay → PCR → sequencing, sharded per
+    // strand group. ---
     // Realistic synthesis: error rate a few 1e-4 per base, and enough
     // distinct molecule variants that no single erroneous molecule can
-    // dominate the sequenced consensus after PCR bias.
-    let pool = SynthesisStage {
+    // dominate the sequenced consensus after PCR bias. Every stage up to
+    // sequencing touches no cross-reference state, so each group's slice
+    // of the molecule pool is generated on demand from an RNG forked by
+    // group index — the pool as a whole never exists in memory.
+    let synthesis = SynthesisStage {
         error_model: NaiveModel::new(0.0002, 0.0004, 0.0004),
         variants_per_reference: 12,
         dropout_probability: 0.002,
         mean_abundance: 20.0,
-    }
-    .run(&references, rng);
-    let pool = DecayStage {
+    };
+    let decay = DecayStage {
         years: config.storage_years,
         half_life_years: 500.0,
         loss_threshold: 1e-6,
-    }
-    .run(&pool);
-    let pool = PcrStage {
+    };
+    let pcr = PcrStage {
         cycles: 12,
         efficiency: 0.85,
         bias_sigma: 0.05,
         substitution_rate: 0.0002,
-    }
-    .run(&pool, rng);
+    };
     let sequencing = SequencingStage {
         error_model: GroundTruthChannel::new(0.03, layout.strand_len()),
         total_reads: references.len() * config.sequencing_reads_per_strand,
     };
-    let dataset: Dataset = if config.imperfect_clustering {
-        let perfect = sequencing.run(&pool, &references, rng);
-        let pool_reads = perfect.clone().into_read_pool(rng);
-        GreedyClusterer::default().cluster_against_references(&pool_reads, &references)
-    } else {
-        sequencing.run(&pool, &references, rng)
+    let seeds = SeedSequence::new(rng.random::<u64>());
+    let channel_seeds = SeedSequence::new(seeds.derive("channel"));
+    let sample_seeds = SeedSequence::new(seeds.derive("sample"));
+    // One group's molecules, regenerated identically on every call: a pure
+    // function of the group index, so windows can be revisited (weights
+    // pass, then sampling pass) without ever holding the whole pool.
+    let group_pool = |g: usize| {
+        let mut grng = channel_seeds.fork_rng(g as u64);
+        let pool = synthesis.run_group(g, &references[g], &mut grng);
+        let pool = decay.run(&pool);
+        pcr.run(&pool, &mut grng)
     };
-    let reads_sequenced = dataset.total_reads();
+    let refs_len = references.len();
+    let window_len = batch_size.min(refs_len.max(1));
+
+    // Pass 0: per-group total abundance, windowed — O(references) scalars
+    // resident, never the molecules themselves. The global read budget is
+    // then split across groups by the same categorical draw the whole-pool
+    // sampler made, collapsed to group granularity.
+    let mut group_weights = vec![0.0f64; refs_len];
+    let mut start = 0usize;
+    while start < refs_len {
+        let len = window_len.min(refs_len - start);
+        let weights = workers
+            .par_map_len(len, |i| group_pool(start + i).total_abundance())
+            .map_err(ArchiveError::Worker)?;
+        group_weights[start..start + len].copy_from_slice(&weights);
+        start += len;
+    }
+    let read_counts =
+        sequencing.allocate_reads(&group_weights, &mut seeds.derive_rng("allocate"));
+    // One group's sequenced reads, again a pure function of the group
+    // index — the imperfect path regenerates them for its second pass.
+    let sample_reads = |g: usize| {
+        sequencing.sample_group(&group_pool(g), read_counts[g], &mut sample_seeds.fork_rng(g as u64))
+    };
 
     // --- Reconstruct and decode every cluster. ---
     // Different reconstructors leave *different* residual indels, and an
@@ -384,20 +413,23 @@ fn archive_round_trip_windowed(
     // bytes are independent of both worker scheduling and batch size.
     let mut received: Vec<Option<Vec<u8>>> = vec![None; protected.len()];
     let mut window = WindowStats::default();
-    let clusters = dataset.clusters();
-    let mut start = 0usize;
-    while start < clusters.len() {
+    // Decodes one window of clusters, budget-metered (one unit per decode
+    // attempt). Returns the admitted count; an admitted count below the
+    // window length means the budget ran dry — the caller stops decoding
+    // and the remaining clusters stay quarantined for erasure recovery.
+    let decode_window = |clusters: &[Cluster],
+                             resident_reads_now: usize,
+                             window: &mut WindowStats,
+                             received: &mut Vec<Option<Vec<u8>>>|
+     -> Result<usize, ArchiveError> {
         budget.check("decode").map_err(ArchiveError::Cancelled)?;
-        let len = batch_size.min(clusters.len() - start);
         let (decoded, admitted) = workers
-            .par_map_admitted(budget, &clusters[start..start + len], |_, cluster| {
+            .par_map_admitted(budget, clusters, |_, cluster| {
                 decode_cluster(cluster, &ensemble, &layout)
             })
             .map_err(ArchiveError::Worker)?;
         if admitted > 0 {
-            window.batches += 1;
-            window.clusters += admitted;
-            window.high_watermark = window.high_watermark.max(admitted);
+            window.record_window(admitted, resident_reads_now);
         }
         for (index, bytes) in decoded.into_iter().flatten() {
             // Each strand carries `chunk` bytes of the flat protected
@@ -407,11 +439,125 @@ fn archive_round_trip_windowed(
                 received[slot] = Some(bytes);
             }
         }
-        start += admitted;
-        if admitted < len {
-            // Budget exhausted mid-decode: the remaining clusters stay
-            // quarantined and erasure recovery absorbs what it can.
-            break;
+        Ok(admitted)
+    };
+
+    let reads_sequenced: usize;
+    if config.imperfect_clustering {
+        // Pass A: stream the reads (group-major, window by window) through
+        // the online clusterer. Groups are matched to references at
+        // founding time, so every read's reference is known the moment it
+        // is pushed; only the per-read reference index (not the read) is
+        // kept, plus per-reference expected counts. The clusterer itself
+        // holds per-group representatives only.
+        let clusterer_config = GreedyClusterer::default();
+        let mut clusterer = StreamingClusterer::with_references(clusterer_config, &references);
+        let mut assignments: Vec<Option<u32>> = Vec::new();
+        let mut expected = vec![0usize; refs_len];
+        let mut start = 0usize;
+        while start < refs_len {
+            let len = window_len.min(refs_len - start);
+            let reads_per_group = workers
+                .par_map_len(len, |i| sample_reads(start + i))
+                .map_err(ArchiveError::Worker)?;
+            for group_reads in &reads_per_group {
+                for read in group_reads {
+                    let matched = clusterer.push(read).reference;
+                    assignments.push(matched.map(|r| r as u32));
+                    if let Some(r) = matched {
+                        expected[r] += 1;
+                    }
+                }
+            }
+            start += len;
+        }
+        clusterer.finish();
+        reads_sequenced = expected.iter().sum();
+
+        // Pass B: regenerate the same reads and route each into its
+        // reference's pending buffer; a reference decodes (and frees its
+        // buffer) the moment its last read arrives, so peak residency is
+        // governed by how long clusters stay incomplete — audited by the
+        // peak_resident_reads gauge — not by the pool size. References
+        // that received no reads are quarantined erasures, decoded first
+        // so every reference gets exactly one decode attempt.
+        let mut pending: Vec<Vec<Strand>> = references.iter().map(|_| Vec::new()).collect();
+        let mut ready: Vec<usize> = (0..refs_len).filter(|&r| expected[r] == 0).collect();
+        let mut resident = 0usize;
+        let mut cursor = 0usize;
+        let mut exhausted = false;
+        let mut start = 0usize;
+        'route: while start < refs_len {
+            let len = window_len.min(refs_len - start);
+            let reads_per_group = workers
+                .par_map_len(len, |i| sample_reads(start + i))
+                .map_err(ArchiveError::Worker)?;
+            for group_reads in reads_per_group {
+                for read in group_reads {
+                    if let Some(r) = assignments[cursor] {
+                        let r = r as usize;
+                        pending[r].push(read);
+                        resident += 1;
+                        if pending[r].len() == expected[r] {
+                            ready.push(r);
+                        }
+                    }
+                    cursor += 1;
+                }
+            }
+            window.peak_resident_reads = window.peak_resident_reads.max(resident);
+            while ready.len() >= window_len {
+                let batch: Vec<usize> = ready.drain(..window_len).collect();
+                let clusters: Vec<Cluster> = batch
+                    .iter()
+                    .map(|&r| {
+                        Cluster::new(references[r].clone(), std::mem::take(&mut pending[r]))
+                    })
+                    .collect();
+                let admitted = decode_window(&clusters, resident, &mut window, &mut received)?;
+                resident -= dnasim_core::resident_reads(&clusters);
+                if admitted < clusters.len() {
+                    exhausted = true;
+                    break 'route;
+                }
+            }
+            start += len;
+        }
+        while !exhausted && !ready.is_empty() {
+            let take = window_len.min(ready.len());
+            let batch: Vec<usize> = ready.drain(..take).collect();
+            let clusters: Vec<Cluster> = batch
+                .iter()
+                .map(|&r| Cluster::new(references[r].clone(), std::mem::take(&mut pending[r])))
+                .collect();
+            let admitted = decode_window(&clusters, resident, &mut window, &mut received)?;
+            resident -= dnasim_core::resident_reads(&clusters);
+            if admitted < clusters.len() {
+                exhausted = true;
+            }
+        }
+    } else {
+        // Perfect clustering: each reference's cluster is generated and
+        // decoded inside one window — sequencing output for a window
+        // exists only while that window decodes.
+        reads_sequenced = read_counts.iter().sum();
+        let mut start = 0usize;
+        while start < refs_len {
+            let len = window_len.min(refs_len - start);
+            let clusters: Vec<Cluster> = workers
+                .par_map_len(len, |i| {
+                    let g = start + i;
+                    Cluster::new(references[g].clone(), sample_reads(g))
+                })
+                .map_err(ArchiveError::Worker)?;
+            let resident = dnasim_core::resident_reads(&clusters);
+            let admitted = decode_window(&clusters, resident, &mut window, &mut received)?;
+            if admitted < len {
+                // Budget exhausted mid-decode: the remaining clusters stay
+                // quarantined and erasure recovery absorbs what it can.
+                break;
+            }
+            start += len;
         }
     }
     // --- Erasure recovery: quarantined slots become erasures for the

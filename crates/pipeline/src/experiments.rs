@@ -8,9 +8,12 @@ use dnasim_channel::{
     CoverageModel, DnaSimulatorModel, ErrorModel, KeoliyaModel, ParametricModel, Simulator,
     SimulatorLayer, SpatialDistribution,
 };
-use dnasim_core::rng::SeedSequence;
-use dnasim_core::{Dataset, EditOp, Strand};
+use dnasim_core::rng::{SeedSequence, SimRng};
+use dnasim_core::{
+    Batch, Cluster, ClusterSink, Dataset, DnasimError, EditOp, Strand, WindowStats,
+};
 use dnasim_metrics::PositionalProfile;
+use dnasim_par::ThreadPool;
 use dnasim_profile::{edit_script_with, EditScratch, ErrorStats, LearnedModel, TieBreak};
 use dnasim_reconstruct::{
     BmaLookahead, DividerBma, Iterative, MsaReconstructor, TraceReconstructor, TwoWayIterative,
@@ -33,6 +36,49 @@ const PROFILE_READ_CAP: usize = 40_000;
 /// discards clusters with fewer than 10 reads).
 const PROTOCOL_MIN_COVERAGE: usize = 10;
 
+/// Clusters per window when streaming the twin through the profiler.
+const GENERATE_BATCH: usize = 256;
+
+/// Accumulates the twin *and* learns the error model in one streaming
+/// pass: each batch is profiled as it arrives (until [`PROFILE_READ_CAP`])
+/// and then appended to the dataset, so model learning never waits for —
+/// or re-traverses — the fully materialised twin.
+///
+/// Clusters and reads are visited in exactly the order the old two-phase
+/// code (generate, then iterate) visited them, so the profiler's RNG
+/// stream and the learned statistics are byte-identical.
+struct ProfilingTee {
+    clusters: Vec<Cluster>,
+    stats: ErrorStats,
+    rng: SimRng,
+    scratch: EditScratch,
+    seen: usize,
+}
+
+impl ClusterSink for ProfilingTee {
+    fn accept(&mut self, batch: Batch) -> Result<(), DnasimError> {
+        for cluster in batch.into_clusters() {
+            if self.seen < PROFILE_READ_CAP {
+                for read in cluster.reads() {
+                    self.stats.record_pair_with(
+                        &mut self.scratch,
+                        cluster.reference(),
+                        read,
+                        TieBreak::Random,
+                        &mut self.rng,
+                    );
+                    self.seen += 1;
+                    if self.seen >= PROFILE_READ_CAP {
+                        break;
+                    }
+                }
+            }
+            self.clusters.push(cluster);
+        }
+        Ok(())
+    }
+}
+
 /// The experiment context: twin dataset + learned model + seeds.
 #[derive(Debug)]
 pub struct Experiments {
@@ -40,42 +86,63 @@ pub struct Experiments {
     learned: LearnedModel,
     stats: ErrorStats,
     seeds: SeedSequence,
+    generation: WindowStats,
 }
 
 impl Experiments {
-    /// Generates the twin and learns the simulator parameters from it.
+    /// Generates the twin and learns the simulator parameters from it, in
+    /// one streaming pass (each generated window is profiled immediately,
+    /// then absorbed into the dataset).
     pub fn new(config: &NanoporeTwinConfig) -> Experiments {
-        let twin = config.generate();
         // Domain-separate the experiment streams from the twin generator's
         // via the named-derive discipline rather than ad-hoc xor arithmetic
         // (see DESIGN.md §9: seed-forking contract).
         let seeds = SeedSequence::new(SeedSequence::new(config.seed).derive("experiments"));
-        let mut rng = seeds.derive_rng("profiler");
-        let mut stats = ErrorStats::new();
-        let mut scratch = EditScratch::new();
-        let mut seen = 0usize;
-        'outer: for cluster in twin.iter() {
-            for read in cluster.reads() {
-                stats.record_pair_with(
-                    &mut scratch,
-                    cluster.reference(),
-                    read,
-                    TieBreak::Random,
-                    &mut rng,
-                );
-                seen += 1;
-                if seen >= PROFILE_READ_CAP {
-                    break 'outer;
+        let mut tee = ProfilingTee {
+            clusters: Vec::with_capacity(config.cluster_count),
+            stats: ErrorStats::new(),
+            rng: seeds.derive_rng("profiler"),
+            scratch: EditScratch::new(),
+            seen: 0,
+        };
+        let pool = ThreadPool::from_env();
+        let generation = match config.generate_stream(GENERATE_BATCH, &pool, &mut tee) {
+            Ok(stats) => stats,
+            Err(_) => {
+                // A worker died mid-stream: fall back to the serial
+                // two-phase path (same bytes, no parallel machinery).
+                tee = ProfilingTee {
+                    clusters: Vec::new(),
+                    stats: ErrorStats::new(),
+                    rng: seeds.derive_rng("profiler"),
+                    scratch: EditScratch::new(),
+                    seen: 0,
+                };
+                let twin = config.generate();
+                let mut stats = WindowStats::default();
+                for (start, cluster) in twin.iter().enumerate() {
+                    let batch = Batch::new(start, vec![cluster.clone()]);
+                    stats.record_window(1, cluster.reads().len());
+                    let _ = tee.accept(batch);
                 }
+                stats
             }
-        }
-        let learned = LearnedModel::from_stats(&stats, 10);
+        };
+        let twin = Dataset::from_clusters(tee.clusters);
+        let learned = LearnedModel::from_stats(&tee.stats, 10);
         Experiments {
             twin,
             learned,
-            stats,
+            stats: tee.stats,
             seeds,
+            generation,
         }
+    }
+
+    /// Window statistics of the streaming twin generation: batches,
+    /// cluster high-watermark, and the peak-resident-reads gauge.
+    pub fn generation_stats(&self) -> WindowStats {
+        self.generation
     }
 
     /// The "real" dataset (the Nanopore twin).

@@ -134,9 +134,7 @@ impl ErrorStats {
             if batch.is_empty() {
                 continue;
             }
-            window.batches += 1;
-            window.clusters += batch.len();
-            window.high_watermark = window.high_watermark.max(batch.len());
+            window.record_window(batch.len(), dnasim_core::resident_reads(batch.clusters()));
             let mut partial = ErrorStats::new();
             for cluster in batch.clusters() {
                 partial.record_cluster_with(&mut scratch, cluster, tie_break, rng);

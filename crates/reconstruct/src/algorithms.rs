@@ -4,7 +4,10 @@ use dnasim_core::rng::seeded;
 use dnasim_core::{Base, EditOp, Strand};
 use dnasim_profile::{edit_script_with, EditScratch, TieBreak};
 
-use crate::consensus::{anchored_one_way_bma, one_way_bma, positional_majority, VoteTally};
+use crate::consensus::{
+    anchored_one_way_bma_filtered, one_way_bma_filtered, positional_majority,
+    LookaheadFilterStats, VoteTally,
+};
 
 /// A trace-reconstruction algorithm: estimates the reference strand of
 /// known design length from a cluster of noisy reads.
@@ -89,9 +92,10 @@ impl Default for BmaLookahead {
 
 impl TraceReconstructor for BmaLookahead {
     fn reconstruct(&self, reads: &[Strand], strand_len: usize) -> Strand {
-        let forward = one_way_bma(reads, strand_len, self.lookahead);
+        let mut stats = LookaheadFilterStats::default();
+        let forward = one_way_bma_filtered(reads, strand_len, self.lookahead, &mut stats);
         let reversed: Vec<Strand> = reads.iter().map(Strand::reversed).collect();
-        let backward = one_way_bma(&reversed, strand_len, self.lookahead);
+        let backward = one_way_bma_filtered(&reversed, strand_len, self.lookahead, &mut stats);
         let head_len = strand_len.div_ceil(2);
         let mut out = forward.substrand(0..head_len);
         // backward[k] estimates reference position strand_len - 1 - k; the
@@ -123,7 +127,7 @@ impl Default for OneWayBma {
 
 impl TraceReconstructor for OneWayBma {
     fn reconstruct(&self, reads: &[Strand], strand_len: usize) -> Strand {
-        one_way_bma(reads, strand_len, self.lookahead)
+        one_way_bma_filtered(reads, strand_len, self.lookahead, &mut LookaheadFilterStats::default())
     }
 
     fn name(&self) -> String {
@@ -271,12 +275,19 @@ impl Iterative {
 
 impl TraceReconstructor for Iterative {
     fn reconstruct(&self, reads: &[Strand], strand_len: usize) -> Strand {
-        let mut estimate = one_way_bma(reads, strand_len, self.lookahead);
+        let mut stats = LookaheadFilterStats::default();
+        let mut estimate = one_way_bma_filtered(reads, strand_len, self.lookahead, &mut stats);
         for _ in 0..self.max_rounds {
             // Anchored rescan locks drifted pointers back onto the current
             // estimate, then alignment voting applies majority corrections.
-            let rescanned =
-                anchored_one_way_bma(reads, Some(&estimate), 2, strand_len, self.lookahead);
+            let rescanned = anchored_one_way_bma_filtered(
+                reads,
+                Some(&estimate),
+                2,
+                strand_len,
+                self.lookahead,
+                &mut stats,
+            );
             let refined = self.refine(&rescanned, reads, strand_len);
             if refined == estimate {
                 break;

@@ -2,6 +2,10 @@
 //! look-ahead scan that BMA and Iterative reconstruction build on.
 
 use dnasim_core::{Base, Strand};
+use dnasim_metrics::QGramProfile;
+
+/// Gram length for the unanimity screen — the clusterer's default `q`.
+const UNANIMITY_Q: usize = 5;
 
 /// A per-position vote tally over the four bases.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,6 +89,123 @@ pub fn anchored_one_way_bma(
     strand_len: usize,
     lookahead: usize,
 ) -> Strand {
+    scan_core(reads, anchor, anchor_weight, strand_len, lookahead, None)
+}
+
+/// Work skipped (and done) by the filtered look-ahead scan.
+///
+/// The counters exist so tests and diagnostics can prove the prefilter
+/// actually engaged; they have no effect on the reconstruction itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookaheadFilterStats {
+    /// Clusters short-circuited whole by the q-gram unanimity fast path.
+    pub unanimous_clusters: usize,
+    /// Columns whose look-ahead window was never tallied because every
+    /// read agreed with the column majority.
+    pub skipped_windows: usize,
+    /// Columns that did tally the look-ahead window.
+    pub scored_windows: usize,
+}
+
+impl LookaheadFilterStats {
+    /// Sums another run's counters into this one.
+    pub fn absorb(&mut self, other: &LookaheadFilterStats) {
+        self.unanimous_clusters += other.unanimous_clusters;
+        self.skipped_windows += other.skipped_windows;
+        self.scored_windows += other.scored_windows;
+    }
+}
+
+/// [`one_way_bma`] with the q-gram error-ball prefilter — byte-identical
+/// output, less work (differentially tested against the unfiltered scan).
+///
+/// Two exact short-circuits:
+///
+/// * **Unanimity fast path** — a [`QGramProfile`] radius-0 screen (any
+///   nonzero lower bound proves two reads differ) gates a byte-equality
+///   check; a cluster of identical reads skips the scan entirely, since
+///   every column's majority is unanimous and no pointer ever drifts.
+/// * **Lazy look-ahead** — the future-majority window is only consulted
+///   when classifying a *disagreeing* read, so columns where every read
+///   matches the majority never tally it.
+pub fn one_way_bma_filtered(
+    reads: &[Strand],
+    strand_len: usize,
+    lookahead: usize,
+    stats: &mut LookaheadFilterStats,
+) -> Strand {
+    anchored_one_way_bma_filtered(reads, None, 0, strand_len, lookahead, stats)
+}
+
+/// [`anchored_one_way_bma`] with the q-gram error-ball prefilter — see
+/// [`one_way_bma_filtered`]. The unanimity fast path only applies to
+/// unanchored scans (an anchor can outvote unanimous reads), so anchored
+/// calls get the lazy look-ahead alone.
+pub fn anchored_one_way_bma_filtered(
+    reads: &[Strand],
+    anchor: Option<&Strand>,
+    anchor_weight: usize,
+    strand_len: usize,
+    lookahead: usize,
+    stats: &mut LookaheadFilterStats,
+) -> Strand {
+    if anchor.is_none() || anchor_weight == 0 {
+        if let Some(out) = unanimous_consensus(reads, strand_len) {
+            stats.unanimous_clusters += 1;
+            return out;
+        }
+    }
+    scan_core(reads, anchor, anchor_weight, strand_len, lookahead, Some(stats))
+}
+
+/// The scan's output when every read is byte-identical, or `None` when the
+/// reads differ (or might): the lone read value, truncated to the design
+/// length or padded with the scan's `A` filler.
+///
+/// Identity is screened with the q-gram error-ball bound first — a nonzero
+/// lower bound *proves* a difference without touching the bases — and only
+/// bound-0 survivors pay for the exact byte comparison, mirroring how the
+/// clusterer discharges hopeless candidates before the kernel.
+fn unanimous_consensus(reads: &[Strand], strand_len: usize) -> Option<Strand> {
+    let (first, rest) = reads.split_first()?;
+    if rest.iter().any(|r| r.len() != first.len()) {
+        return None;
+    }
+    if !rest.is_empty() {
+        let profile = QGramProfile::new(first, UNANIMITY_Q);
+        for read in rest.iter() {
+            if profile.distance_lower_bound(&QGramProfile::new(read, UNANIMITY_Q)) != 0 {
+                return None;
+            }
+        }
+        // Bound 0 is necessary but not sufficient: confirm byte identity.
+        if rest.iter().any(|r| r != first) {
+            return None;
+        }
+    }
+    // Unanimous cluster: every column majority is the read's own base and
+    // no pointer ever drifts; past the read's end the scan falls back to
+    // the unaligned column majority, which is empty — the `A` filler.
+    let mut out = Strand::with_capacity(strand_len);
+    out.extend(first.iter().take(strand_len));
+    while out.len() < strand_len {
+        out.push(Base::A);
+    }
+    Some(out)
+}
+
+/// The one-way scan shared by the oracle and filtered entry points. With
+/// `filter: Some(_)`, the look-ahead window is tallied lazily (only for
+/// columns with a disagreeing read) — provably output-identical, since the
+/// window is consulted nowhere else.
+fn scan_core(
+    reads: &[Strand],
+    anchor: Option<&Strand>,
+    anchor_weight: usize,
+    strand_len: usize,
+    lookahead: usize,
+    mut filter: Option<&mut LookaheadFilterStats>,
+) -> Strand {
     let mut out = Strand::with_capacity(strand_len);
     let mut ptrs: Vec<usize> = vec![0; reads.len()];
     // Look-ahead buffers reused across all output positions: allocating
@@ -120,6 +241,27 @@ pub fn anchored_one_way_bma(
             continue;
         };
         out.push(majority);
+
+        // The future-majority window is only ever consulted when a read
+        // *disagrees* with the column majority, so the filtered scan skips
+        // tallying it for fully-agreeing columns (the common case on
+        // healthy clusters) — output-identical by construction.
+        if let Some(stats) = filter.as_deref_mut() {
+            let any_disagree = reads
+                .iter()
+                .zip(&ptrs)
+                .any(|(read, &ptr)| matches!(read.get(ptr), Some(b) if b != majority));
+            if !any_disagree {
+                stats.skipped_windows += 1;
+                for (read, ptr) in reads.iter().zip(&mut ptrs) {
+                    if read.get(*ptr).is_some() {
+                        *ptr += 1;
+                    }
+                }
+                continue;
+            }
+            stats.scored_windows += 1;
+        }
 
         // Future majority over the look-ahead window, computed from the
         // reads that *agreed* with this column's majority (their pointers
@@ -268,5 +410,75 @@ mod tests {
     fn one_way_bma_output_length_is_exact() {
         let reads = vec![s("ACGTACG"), s("ACGTACGTACGTACG")];
         assert_eq!(one_way_bma(&reads, 10, 3).len(), 10);
+    }
+
+    /// The q-gram prefilter and lazy look-ahead are pure work-skips: the
+    /// filtered scan must be byte-identical to the oracle on seeded noisy
+    /// corpora — including error rate 0.0, where the unanimity fast path
+    /// short-circuits whole clusters.
+    #[test]
+    fn filtered_scan_matches_oracle_differentially() {
+        use dnasim_channel::{ErrorModel, NaiveModel};
+        use dnasim_core::rng::seeded;
+        let mut total = LookaheadFilterStats::default();
+        for (seed, rate) in [(5u64, 0.0f64), (6, 0.0), (17, 0.02), (29, 0.08), (31, 0.15)] {
+            let model = NaiveModel::with_total_rate(rate);
+            let mut rng = seeded(seed);
+            for trial in 0..40 {
+                let len = 40 + (trial % 5) * 23;
+                let reference = Strand::random(len, &mut rng);
+                let coverage = 1 + trial % 7;
+                let reads: Vec<Strand> =
+                    (0..coverage).map(|_| model.corrupt(&reference, &mut rng)).collect();
+                for lookahead in [1usize, 3] {
+                    let mut stats = LookaheadFilterStats::default();
+                    assert_eq!(
+                        one_way_bma_filtered(&reads, len, lookahead, &mut stats),
+                        one_way_bma(&reads, len, lookahead),
+                        "filtered one-way scan diverged (seed {seed}, rate {rate})"
+                    );
+                    let anchor = model.corrupt(&reference, &mut rng);
+                    assert_eq!(
+                        anchored_one_way_bma_filtered(
+                            &reads,
+                            Some(&anchor),
+                            2,
+                            len,
+                            lookahead,
+                            &mut stats
+                        ),
+                        anchored_one_way_bma(&reads, Some(&anchor), 2, len, lookahead),
+                        "filtered anchored scan diverged (seed {seed}, rate {rate})"
+                    );
+                    total.absorb(&stats);
+                }
+            }
+        }
+        // The filter must actually engage, in both modes.
+        assert!(total.unanimous_clusters > 0, "unanimity fast path never fired");
+        assert!(total.skipped_windows > 0, "lazy look-ahead never skipped a window");
+        assert!(total.scored_windows > 0, "noisy columns must still score windows");
+    }
+
+    #[test]
+    fn unanimity_fast_path_pads_and_truncates_like_the_scan() {
+        for (reads, len) in [
+            (vec![s("ACGTACGTACGT"); 4], 8usize),
+            (vec![s("ACGTACGTACGT"); 4], 12),
+            (vec![s("ACGT"); 3], 9),
+            (vec![s("ACGTACGTACGT")], 12),
+        ] {
+            let mut stats = LookaheadFilterStats::default();
+            assert_eq!(
+                one_way_bma_filtered(&reads, len, 3, &mut stats),
+                one_way_bma(&reads, len, 3),
+                "unanimous cluster output diverged at design length {len}"
+            );
+            assert_eq!(stats.unanimous_clusters, 1);
+        }
+        // Empty clusters skip the fast path but still match the oracle.
+        let mut stats = LookaheadFilterStats::default();
+        assert_eq!(one_way_bma_filtered(&[], 5, 3, &mut stats), one_way_bma(&[], 5, 3));
+        assert_eq!(stats.unanimous_clusters, 0);
     }
 }

@@ -43,7 +43,10 @@ pub use algorithms::{
     paper_suite, BmaLookahead, DividerBma, Iterative, MajorityVote, OneWayBma,
     TraceReconstructor, TwoWayIterative,
 };
-pub use consensus::{anchored_one_way_bma, one_way_bma, positional_majority};
+pub use consensus::{
+    anchored_one_way_bma, anchored_one_way_bma_filtered, one_way_bma, one_way_bma_filtered,
+    positional_majority, LookaheadFilterStats,
+};
 pub use msa::MsaReconstructor;
 pub use parallel::{reconstruct_clusters, reconstruct_read_sets};
 pub use weighted::WeightedIterative;

@@ -9,13 +9,15 @@
 # reports via `benchreport`: the workspace report (BENCH_006,
 # kernel-speedup gate), the cross-format parse report (BENCH_007,
 # binary-parse gate: binary-with-prefetch must beat text parsing by ≥2×),
-# and the multi-pattern clustering report (BENCH_008: banked assignment
+# the multi-pattern clustering report (BENCH_008: banked assignment
 # with the error-ball prefilter must beat the repeated single-pattern
 # loop by ≥2×, and the prefilter must prune ≥30% of candidate kernel
-# evaluations).
+# evaluations), and the streaming-clusterer report (BENCH_009: the online
+# clusterer must hold throughput parity — ≥0.75× — with the materialised
+# pass, and its resident state must stay a small fraction of the pool).
 #
 # Usage: scripts/bench.sh [--fast] [--out FILE] [--parse-out FILE]
-#                         [--multipattern-out FILE]
+#                         [--multipattern-out FILE] [--stream-out FILE]
 #
 #   --fast       smoke mode: DNASIM_BENCH_FAST=1 shrinks warmup/measurement
 #                to CI levels and the reports are tagged "fast" (all
@@ -24,6 +26,7 @@
 #   --out        workspace report path (default: BENCH_006.json).
 #   --parse-out  parse report path (default: BENCH_007.json).
 #   --multipattern-out  clustering report path (default: BENCH_008.json).
+#   --stream-out streaming-clusterer report path (default: BENCH_009.json).
 
 set -euo pipefail
 
@@ -33,6 +36,7 @@ mode=full
 out=BENCH_006.json
 parse_out=BENCH_007.json
 multipattern_out=BENCH_008.json
+stream_out=BENCH_009.json
 while [ "$#" -gt 0 ]; do
     case "$1" in
         --fast) mode=fast ;;
@@ -48,8 +52,12 @@ while [ "$#" -gt 0 ]; do
             shift
             multipattern_out=${1:?--multipattern-out needs a value}
             ;;
+        --stream-out)
+            shift
+            stream_out=${1:?--stream-out needs a value}
+            ;;
         *)
-            echo "usage: scripts/bench.sh [--fast] [--out FILE] [--parse-out FILE] [--multipattern-out FILE]" >&2
+            echo "usage: scripts/bench.sh [--fast] [--out FILE] [--parse-out FILE] [--multipattern-out FILE] [--stream-out FILE]" >&2
             exit 2
             ;;
     esac
@@ -147,4 +155,42 @@ if [ "$mode" = full ]; then
         END { if (!found) { print "bench: FAIL pruned-share-pct record missing"; exit 1 } }
     ' "$tmpdir/clustering.jsonl"
 fi
-echo "bench: OK ($out, $parse_out, $multipattern_out)"
+
+echo "== assemble $stream_out =="
+stream_gate=()
+if [ "$mode" = full ]; then
+    # ISSUE acceptance: the online streaming clusterer holds throughput
+    # parity with the materialised pass — it may give up at most 25% in
+    # exchange for bounded memory.
+    stream_gate=(--min-speedup 0.75)
+fi
+cargo run -q --release -p dnasim-bench --bin benchreport -- \
+    assemble --mode "$mode" --out "$stream_out" --bench-id BENCH_009 \
+    --baseline cluster-stream/materialised/64refs \
+    --contender cluster-stream/streaming/64refs \
+    "${stream_gate[@]}" \
+    clustering="$tmpdir/clustering.jsonl"
+
+cargo run -q --release -p dnasim-bench --bin benchreport -- check "$stream_out"
+
+if [ "$mode" = full ]; then
+    # ISSUE acceptance: the streaming clusterer's resident state (per-group
+    # representatives) must stay below half the pool it consumed — the
+    # bounded-memory claim, measured rather than asserted. The metric rides
+    # the JSONL stream as a pseudo-record (median == the percentage).
+    awk '
+        /"id":"cluster-stream\/resident-share-pct"/ {
+            found = 1
+            if (match($0, /"median_ns":[0-9.]+/)) {
+                share = substr($0, RSTART + 12, RLENGTH - 12) + 0
+                if (share >= 50.0) {
+                    printf "bench: FAIL resident share %.1f%% >= 50%%\n", share
+                    exit 1
+                }
+                printf "bench: clusterer resident state is %.1f%% of the pool\n", share
+            }
+        }
+        END { if (!found) { print "bench: FAIL resident-share-pct record missing"; exit 1 } }
+    ' "$tmpdir/clustering.jsonl"
+fi
+echo "bench: OK ($out, $parse_out, $multipattern_out, $stream_out)"

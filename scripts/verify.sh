@@ -30,18 +30,24 @@
 #    `deny(unsafe_op_in_unsafe_fn)` and SAFETY comments.
 # 9. Streaming equivalence: the bounded-memory pipeline
 #    (tests/streaming_equivalence.rs) must be byte-identical to the
-#    in-memory path at DNASIM_THREADS=1 and =4, and the CLI `--stream` /
-#    `--batch-size` paths must reproduce the whole-dataset files exactly
-#    (DESIGN.md §11).
+#    in-memory path at DNASIM_THREADS=1 and =4 — including the online
+#    streaming clusterer diffed against the materialised greedy pass on
+#    seeded pools at batch sizes {1, 7, 64, ∞}, and the fully windowed
+#    archive whose peak-resident-reads gauge must stay bounded — and the
+#    CLI `--stream` / `--batch-size` paths must reproduce the
+#    whole-dataset files exactly (DESIGN.md §11, §16). The cluster crate
+#    suite also re-runs under DNASIM_SIMD=off so lane accounting holds on
+#    the portable fallback.
 # 10. Serve soak smoke: the multi-tenant batch RPC tier must answer ≥200
 #    interleaved requests byte-identically to isolated serial execution
 #    (tests/serve_soak.rs in smoke mode), and the `dnasim serve` pipe must
 #    honour the exit-code contract (responses + exit 0 on valid JSONL,
 #    usage + exit 2 on a malformed line, never a panic).
 # 11. Bench smoke: scripts/bench.sh --fast must produce parseable reports
-#    (the workspace groups, the cross-format parse group, and the
-#    multi-pattern clustering group), and the committed BENCH_004.json …
-#    BENCH_008.json reports (when present) must still validate.
+#    (the workspace groups, the cross-format parse group, the
+#    multi-pattern clustering group, and the streaming-clusterer group),
+#    and the committed BENCH_004.json … BENCH_009.json reports (when
+#    present) must still validate.
 # 12. Cancellation chaos smoke: the `dnasim chaos --json` grid (including
 #    the stalled-source / sink-write-failure / budget-exhaustion
 #    streaming faults) must report clean, and a deadline-metered serve
@@ -218,7 +224,14 @@ CARGO_NET_OFFLINE=true cargo test -q -p dnasim-metrics --test myers_differential
 echo "== kernel differential suite (DNASIM_SIMD=off, portable fallback) =="
 CARGO_NET_OFFLINE=true DNASIM_SIMD=off cargo test -q -p dnasim-metrics --test myers_differential
 
+echo "== cluster suite (DNASIM_SIMD=off, scalar lane accounting) =="
+# ClusterStats lane accounting and the reference-assignment paths must be
+# identical when the multi-pattern bank tier falls back to scalar lanes.
+CARGO_NET_OFFLINE=true DNASIM_SIMD=off cargo test -q -p dnasim-cluster
+
 echo "== streaming equivalence suite (DNASIM_THREADS=1 and 4) =="
+# Includes the streaming-vs-materialised clusterer diff on seeded pools
+# and the windowed-archive batch/thread invariance matrix.
 CARGO_NET_OFFLINE=true DNASIM_THREADS=1 cargo test -q --test streaming_equivalence
 CARGO_NET_OFFLINE=true DNASIM_THREADS=4 cargo test -q --test streaming_equivalence
 
@@ -300,17 +313,21 @@ echo "== bench smoke (fast mode) =="
 smoke_report=$(mktemp /tmp/dnasim-bench-smoke.XXXXXX.json)
 smoke_parse_report=$(mktemp /tmp/dnasim-bench-parse-smoke.XXXXXX.json)
 smoke_mp_report=$(mktemp /tmp/dnasim-bench-mp-smoke.XXXXXX.json)
-trap 'rm -f "$smoke_report" "$smoke_parse_report" "$smoke_mp_report"' EXIT
+smoke_stream_report=$(mktemp /tmp/dnasim-bench-stream-smoke.XXXXXX.json)
+trap 'rm -f "$smoke_report" "$smoke_parse_report" "$smoke_mp_report" "$smoke_stream_report"' EXIT
 scripts/bench.sh --fast --out "$smoke_report" --parse-out "$smoke_parse_report" \
-    --multipattern-out "$smoke_mp_report"
+    --multipattern-out "$smoke_mp_report" --stream-out "$smoke_stream_report"
 CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
     check "$smoke_report"
 CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
     check "$smoke_parse_report"
 CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
     check "$smoke_mp_report"
+CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \
+    check "$smoke_stream_report"
 
-for report in BENCH_004.json BENCH_005.json BENCH_006.json BENCH_007.json BENCH_008.json; do
+for report in BENCH_004.json BENCH_005.json BENCH_006.json BENCH_007.json BENCH_008.json \
+              BENCH_009.json; do
     if [ -f "$report" ]; then
         echo "== committed benchmark report ($report) =="
         CARGO_NET_OFFLINE=true cargo run -q --release -p dnasim-bench --bin benchreport -- \

@@ -67,10 +67,11 @@ pub mod prelude {
         CoverageModel, DnaSimulatorModel, ErrorModel, FullHistogramModel, KeoliyaModel,
         NaiveModel, ParametricModel, Simulator, SimulatorLayer, SpatialDistribution,
     };
+    pub use dnasim_cluster::{GreedyClusterer, StreamingClusterer};
     pub use dnasim_core::rng::{seeded, SeedSequence, SimRng};
     pub use dnasim_core::{
-        pump, pump_prefetch, Base, Batch, Cluster, ClusterSink, ClusterSource, Dataset, EditOp,
-        EditScript, ErrorKind, PrefetchSource, Strand, WindowStats,
+        pump, pump_prefetch, resident_reads, Base, Batch, Cluster, ClusterSink, ClusterSource,
+        Dataset, EditOp, EditScript, ErrorKind, PrefetchSource, Strand, WindowStats,
     };
     pub use dnasim_dataset::{
         fnv1a64, read_dataset, read_dataset_auto, write_dataset, write_dataset_format,

@@ -12,9 +12,10 @@
 
 use std::fmt::Write as _;
 
-use dnasim::cluster::GreedyClusterer;
+use dnasim::cluster::{GreedyClusterer, StreamingClusterer};
 use dnasim::dataset::NanoporeTwinConfig;
 use dnasim::par::ThreadPool;
+use dnasim::pipeline::ArchiveMode;
 use dnasim::prelude::*;
 
 const BATCH_SIZES: [usize; 4] = [1, 7, 64, usize::MAX];
@@ -282,6 +283,140 @@ fn streamed_pipeline_matches_golden_snapshot() {
         assert_eq!(
             out, expected,
             "streamed pipeline (batch_size={batch_size}) drifted from golden_pipeline.txt"
+        );
+    }
+}
+
+/// The online clusterer must produce memberships and reference assignments
+/// byte-identical to the materialised [`GreedyClusterer`] pass at every
+/// batch size × thread count — it is the same decision core, driven read
+/// by read, holding only per-group representatives resident.
+#[test]
+fn streaming_clusterer_matches_materialised_at_any_batch_size() {
+    for seed in SEEDS {
+        let config = twin_config(seed);
+        for threads in [1usize, 4] {
+            // The twin itself arrives through the streaming generator (the
+            // thread count must not change a byte of the read pool).
+            let pool_workers = ThreadPool::new(threads);
+            let mut twin = Dataset::new();
+            config
+                .generate_stream(16, &pool_workers, &mut twin)
+                .expect("stream generation");
+            let references = dnasim::pipeline::references_of(&twin);
+            let mut rng = seeded(seed ^ 0xC1);
+            let reads = twin.into_read_pool(&mut rng);
+            let expected =
+                GreedyClusterer::default().cluster_against_references(&reads, &references);
+            for batch_size in BATCH_SIZES {
+                let mut clusterer =
+                    StreamingClusterer::with_references(GreedyClusterer::default(), &references);
+                let mut groups: Vec<Vec<usize>> = Vec::new();
+                let mut read_idx = 0usize;
+                for window in reads.chunks(batch_size.min(reads.len().max(1))) {
+                    for assignment in clusterer.push_batch(window) {
+                        if assignment.group == groups.len() {
+                            groups.push(Vec::new());
+                        }
+                        groups[assignment.group].push(read_idx);
+                        read_idx += 1;
+                    }
+                }
+                // Group-major assembly reproduces the post-hoc pass's
+                // read order exactly.
+                let mut assigned: Vec<Vec<Strand>> =
+                    references.iter().map(|_| Vec::new()).collect();
+                for (gid, group) in groups.iter().enumerate() {
+                    if let Some(ref_idx) = clusterer.group_reference(gid) {
+                        for &read_idx in group {
+                            assigned[ref_idx].push(reads[read_idx].clone());
+                        }
+                    }
+                }
+                let streamed: Dataset = references
+                    .iter()
+                    .zip(assigned)
+                    .map(|(reference, cluster_reads)| {
+                        Cluster::new(reference.clone(), cluster_reads)
+                    })
+                    .collect();
+                assert_eq!(
+                    to_bytes(&streamed),
+                    to_bytes(&expected),
+                    "seed={seed} threads={threads} batch_size={batch_size}"
+                );
+                // Resident state is groups, not reads.
+                assert!(clusterer.resident_groups() <= references.len() + groups.len());
+                assert_eq!(clusterer.reads_seen(), reads.len());
+            }
+        }
+    }
+}
+
+/// The fully windowed archive: identical reports at every batch size ×
+/// thread count for both clustering modes, with the peak-resident-reads
+/// gauge proving the molecule pool never materialises whole.
+#[test]
+fn windowed_archive_report_is_batch_and_thread_invariant() {
+    let data: Vec<u8> = (0..256u32).map(|i| (i % 251) as u8).collect();
+    for imperfect in [false, true] {
+        let config = ArchiveConfig {
+            imperfect_clustering: imperfect,
+            mode: ArchiveMode::Lenient,
+            ..ArchiveConfig::default()
+        };
+        let mut baseline = None;
+        for threads in [1usize, 4] {
+            for batch_size in BATCH_SIZES {
+                let mut rng = seeded(7);
+                let (report, window) = archive_round_trip_stream(
+                    &data,
+                    &config,
+                    &mut rng,
+                    &ThreadPool::new(threads),
+                    batch_size,
+                )
+                .expect("windowed archive");
+                assert_eq!(&report.data[..data.len()], &data[..], "payload lost");
+                assert!(
+                    window.high_watermark <= batch_size,
+                    "decode window exceeded batch size"
+                );
+                assert!(window.peak_resident_reads > 0, "read gauge never moved");
+                match &baseline {
+                    None => baseline = Some(report),
+                    Some(expected) => assert_eq!(
+                        &report, expected,
+                        "imperfect={imperfect} threads={threads} batch_size={batch_size}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The bounded-memory claim itself: at a small batch size the peak
+/// resident reads sit far below the total sequenced reads — the archive
+/// never holds the whole pool.
+#[test]
+fn windowed_archive_bounds_resident_reads_by_batch() {
+    let data: Vec<u8> = (0..512u32).map(|i| (i % 249) as u8).collect();
+    for imperfect in [false, true] {
+        let config = ArchiveConfig {
+            imperfect_clustering: imperfect,
+            mode: ArchiveMode::Lenient,
+            ..ArchiveConfig::default()
+        };
+        let mut rng = seeded(7);
+        let (report, window) =
+            archive_round_trip_stream(&data, &config, &mut rng, &ThreadPool::new(2), 4)
+                .expect("windowed archive");
+        assert!(
+            window.peak_resident_reads < report.reads_sequenced / 2,
+            "imperfect={imperfect}: peak {} reads resident is not bounded by the window \
+             (total sequenced {})",
+            window.peak_resident_reads,
+            report.reads_sequenced
         );
     }
 }
